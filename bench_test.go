@@ -1,0 +1,225 @@
+// Package sdds_bench regenerates every table and figure of the paper's
+// evaluation as Go benchmarks. Each benchmark runs the corresponding
+// harness experiment at a reduced workload scale (the full-scale numbers
+// are produced by cmd/sddstables and recorded in EXPERIMENTS.md) and
+// reports the headline shape metrics via b.ReportMetric, so
+// `go test -bench=. -benchmem` prints the reproduced series alongside the
+// timing.
+package sdds_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"sdds/internal/cluster"
+	"sdds/internal/harness"
+	"sdds/internal/power"
+	"sdds/internal/workloads"
+)
+
+// benchScale keeps each benchmark iteration around a second of wall time.
+const benchScale = 0.1
+
+// benchApps is the subset used by per-figure benchmarks to bound runtime;
+// it pairs a short-idle application with a long-phase one.
+var benchApps = []string{"sar", "madbench2"}
+
+func benchConfig() harness.Config {
+	return harness.Config{Scale: benchScale, Apps: benchApps, Seed: 1}
+}
+
+// pct parses the "12.3%" cells the harness renders.
+func pct(s string) float64 {
+	f, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		return 0
+	}
+	return f
+}
+
+func runExperiment(b *testing.B, id string, report func(*testing.B, *harness.Result)) {
+	b.Helper()
+	exp, err := harness.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Run(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 && report != nil {
+			report(b, res)
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates the per-application baseline (execution time
+// and disk energy under the Default Scheme).
+func BenchmarkTable3(b *testing.B) {
+	runExperiment(b, "table3", func(b *testing.B, res *harness.Result) {
+		for _, row := range res.Rows {
+			if v, err := strconv.ParseFloat(row[3], 64); err == nil {
+				b.ReportMetric(v, row[0]+"_J")
+			}
+		}
+	})
+}
+
+// BenchmarkFig12a regenerates the idle-period CDF without the scheme and
+// reports the fraction of gaps at most 100 ms (paper average: 86.4%).
+func BenchmarkFig12a(b *testing.B) {
+	runExperiment(b, "fig12a", func(b *testing.B, res *harness.Result) {
+		for _, row := range res.Rows {
+			if row[0] == "100" {
+				b.ReportMetric(pct(row[1]), "pct_le100ms_"+res.Headers[1])
+			}
+		}
+	})
+}
+
+// BenchmarkFig12b regenerates the idle-period CDF with the scheme (the CDF
+// must shift right relative to Fig. 12(a)).
+func BenchmarkFig12b(b *testing.B) {
+	runExperiment(b, "fig12b", func(b *testing.B, res *harness.Result) {
+		for _, row := range res.Rows {
+			if row[0] == "100" {
+				b.ReportMetric(pct(row[1]), "pct_le100ms_"+res.Headers[1])
+			}
+		}
+	})
+}
+
+// BenchmarkFig12c regenerates normalized energy per policy without the
+// scheme (paper averages: simple 95.3%, prediction 93.7%, history 84.4%,
+// staggered 90.2%).
+func BenchmarkFig12c(b *testing.B) {
+	runExperiment(b, "fig12c", func(b *testing.B, res *harness.Result) {
+		for _, row := range res.Rows {
+			for ci := 1; ci < len(row); ci++ {
+				b.ReportMetric(pct(row[ci]), row[0]+"_"+res.Headers[ci])
+			}
+		}
+	})
+}
+
+// BenchmarkFig12d regenerates normalized energy per policy with the scheme
+// (savings should roughly double Fig. 12(c)'s).
+func BenchmarkFig12d(b *testing.B) {
+	runExperiment(b, "fig12d", func(b *testing.B, res *harness.Result) {
+		for _, row := range res.Rows {
+			for ci := 1; ci < len(row); ci++ {
+				b.ReportMetric(pct(row[ci]), row[0]+"_"+res.Headers[ci])
+			}
+		}
+	})
+}
+
+// BenchmarkFig13a regenerates performance degradation without the scheme.
+func BenchmarkFig13a(b *testing.B) { runExperiment(b, "fig13a", nil) }
+
+// BenchmarkFig13b regenerates performance degradation with the scheme.
+func BenchmarkFig13b(b *testing.B) { runExperiment(b, "fig13b", nil) }
+
+// BenchmarkFig13c regenerates the I/O-node-count sweep.
+func BenchmarkFig13c(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Apps = []string{"sar"}
+	exp, _ := harness.ByID("fig13c")
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig13d regenerates the δ sweep (interior maximum around δ=20).
+func BenchmarkFig13d(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Apps = []string{"sar"}
+	exp, _ := harness.ByID("fig13d")
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig14a regenerates the θ energy sweep (savings grow with θ).
+func BenchmarkFig14a(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Apps = []string{"sar"}
+	exp, _ := harness.ByID("fig14a")
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig14b regenerates the θ performance sweep.
+func BenchmarkFig14b(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Apps = []string{"sar"}
+	exp, _ := harness.ByID("fig14b")
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheSens regenerates the §V-D storage-cache sensitivity.
+func BenchmarkCacheSens(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Apps = []string{"sar"}
+	exp, _ := harness.ByID("cachesens")
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileTime measures the scheduling pass itself (the paper
+// reports ~1.4 s worst case on Phoenix).
+func BenchmarkCompileTime(b *testing.B) {
+	runExperiment(b, "compile", nil)
+}
+
+// BenchmarkAblations runs the scheduler design ablations (ordering, σ
+// weights, vertical reuse range).
+func BenchmarkAblations(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Apps = []string{"sar"}
+	exp, _ := harness.ByID("ablations")
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndScheduledRun measures one full scheduled cluster run
+// (compile + execute) — the system's overall throughput.
+func BenchmarkEndToEndScheduledRun(b *testing.B) {
+	spec, err := workloads.ByName("madbench2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := spec.Build(benchScale)
+	for i := 0; i < b.N; i++ {
+		cfg := cluster.DefaultConfig()
+		cfg.Scheduling = true
+		cfg.Policy = power.Config{Kind: power.KindHistory}
+		res, err := cluster.Run(prog, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.EnergyJ, "virtual_J")
+			b.ReportMetric(res.ExecTime.Seconds(), "virtual_s")
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Command sddsim runs one application on the simulated cluster under one
+// power policy, with or without the compiler-directed data access
+// scheduling framework, and prints the measurements: execution time, disk
+// energy, idle-period CDF, cache/buffer behaviour.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sdds/internal/cluster"
+	"sdds/internal/metrics"
+	"sdds/internal/power"
+	"sdds/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sddsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sddsim", flag.ContinueOnError)
+	var (
+		app        = fs.String("app", "hf", "application (hf, sar, astro, apsi, madbench2, wupwise)")
+		policy     = fs.String("policy", "default", "power policy (default, simple, prediction, history, staggered)")
+		scheduling = fs.Bool("scheduling", false, "enable the compiler-directed scheduling framework")
+		scale      = fs.Float64("scale", 1.0, "workload scale factor")
+		procs      = fs.Int("procs", 32, "client (compute) nodes")
+		nodes      = fs.Int("ionodes", 8, "I/O nodes")
+		delta      = fs.Int("delta", 20, "vertical reuse range δ")
+		theta      = fs.Int("theta", 4, "per-node concurrency cap θ (0 = unbounded)")
+		seed       = fs.Int64("seed", 1, "simulation seed")
+		asJSON     = fs.Bool("json", false, "emit the run summary as JSON instead of text")
+		describe   = fs.Bool("describe", false, "print the application's loop-nest pseudo-code and exit")
+		tables     = fs.String("tables", "", "with -scheduling: write the per-process scheduling tables (JSON) to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	spec, err := workloads.ByName(*app)
+	if err != nil {
+		return err
+	}
+	kind, err := power.ParseKind(*policy)
+	if err != nil {
+		return err
+	}
+	prog := spec.Build(*scale)
+	if *describe {
+		fmt.Print(prog.Render())
+		return nil
+	}
+
+	cfg := cluster.DefaultConfig()
+	cfg.Procs = *procs
+	cfg.Layout.NumNodes = *nodes
+	cfg.Net.NumNodes = *nodes
+	cfg.Policy = power.Config{Kind: kind}
+	cfg.Scheduling = *scheduling
+	cfg.Compiler.Delta = *delta
+	cfg.Compiler.Theta = *theta
+	cfg.Seed = *seed
+
+	res, err := cluster.Run(prog, cfg)
+	if err != nil {
+		return err
+	}
+	if *tables != "" {
+		if res.Compile == nil {
+			return fmt.Errorf("-tables requires -scheduling")
+		}
+		f, err := os.Create(*tables)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := res.Compile.WriteTables(f, *procs); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote scheduling tables to %s\n", *tables)
+	}
+	if *asJSON {
+		return res.WriteJSON(os.Stdout)
+	}
+
+	fmt.Printf("application:      %s (%s)\n", spec.Name, spec.Description)
+	fmt.Printf("policy:           %s, scheduling=%v\n", kind, *scheduling)
+	fmt.Printf("execution time:   %.1f s\n", res.ExecTime.Seconds())
+	fmt.Printf("disk energy:      %.1f J\n", res.EnergyJ)
+	fmt.Printf("disk requests:    %d (spin-ups %d, RPM shifts %d)\n",
+		res.DiskRequests, res.SpinUps, res.RPMShifts)
+	fmt.Printf("storage cache:    %d hits / %d misses\n", res.StorageCacheHits, res.StorageCacheMisses)
+	if *scheduling {
+		fmt.Printf("client buffer:    %d hits / %d misses (agents issued %d prefetches, %d moved entries)\n",
+			res.BufferHits, res.BufferMisses, res.AgentIssued, res.AgentMoved)
+		fmt.Printf("compile:          %d accesses over %d slots in %v (profiler=%v)\n",
+			len(res.Compile.Accesses), res.Compile.Program.Slots(*procs),
+			res.Compile.CompileTime.Round(1e6), res.Compile.UsedProfiler)
+	}
+	fmt.Printf("idle periods:     %d recorded, mean %.0f ms\n", res.Idle.Count(), res.Idle.Mean().Milliseconds())
+	fmt.Println()
+	rows := make([][]string, 0, len(metrics.PaperBucketsMs))
+	for _, p := range res.Idle.CDF() {
+		rows = append(rows, []string{fmt.Sprintf("%.0f", p.BoundMs), metrics.Pct(p.Frac)})
+	}
+	fmt.Print(metrics.Table([]string{"Idleness (msec)", "CDF"}, rows))
+	return nil
+}

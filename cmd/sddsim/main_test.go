@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestRunDescribe(t *testing.T) {
+	if err := run([]string{"-app", "sar", "-describe"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownApp(t *testing.T) {
+	if err := run([]string{"-app", "doom"}); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestRunUnknownPolicy(t *testing.T) {
+	if err := run([]string{"-app", "sar", "-policy", "psychic"}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunTinySimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster run")
+	}
+	if err := run([]string{"-app", "madbench2", "-scale", "0.02", "-procs", "8", "-policy", "history", "-scheduling", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+}

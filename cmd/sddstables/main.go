@@ -1,0 +1,65 @@
+// Command sddstables regenerates the tables and figures of the paper's
+// evaluation section. With no flags it runs every experiment at full scale;
+// use --experiment to run one (table2, table3, fig12a..fig14b, cachesens,
+// compile, ablations) and --scale to shrink the workloads for a quick pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sdds/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sddstables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sddstables", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "", "experiment id to run (default: all)")
+		scale      = fs.Float64("scale", 1.0, "workload scale factor")
+		apps       = fs.String("apps", "", "comma-separated application subset (default: all six)")
+		seed       = fs.Int64("seed", 1, "simulation seed")
+		list       = fs.Bool("list", false, "list experiment ids and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	cfg := harness.Config{Scale: *scale, Seed: *seed}
+	if *apps != "" {
+		cfg.Apps = strings.Split(*apps, ",")
+	}
+
+	experiments := harness.All()
+	if *experiment != "" {
+		e, err := harness.ByID(*experiment)
+		if err != nil {
+			return err
+		}
+		experiments = []harness.Experiment{e}
+	}
+	for _, e := range experiments {
+		start := time.Now()
+		res, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Print(res.Render())
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "fig99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-zzz"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	if err := run([]string{"-experiment", "table2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTinyExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster runs")
+	}
+	if err := run([]string{"-experiment", "compile", "-scale", "0.02", "-apps", "sar"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+// Policies drives a single multi-speed disk through a synthetic idle-gap
+// pattern under each power-management mechanism of §II and prints the
+// energy and latency outcome — the smallest way to see why the paper's
+// history-based scheme wins on long, predictable idleness and why a naive
+// 50 ms spin-down hurts on mid-length gaps.
+//
+//	go run ./examples/policies
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sdds/internal/disk"
+	"sdds/internal/metrics"
+	"sdds/internal/power"
+	"sdds/internal/sim"
+)
+
+// pattern is a gap sequence (milliseconds between successive requests)
+// mixing the three regimes of the evaluation: dense I/O (20 ms), mid-length
+// idleness (800 ms), and long, repeated compute-phase gaps (90 s).
+func pattern() []float64 {
+	var gaps []float64
+	for phase := 0; phase < 2; phase++ {
+		for i := 0; i < 200; i++ {
+			gaps = append(gaps, 20)
+		}
+		for i := 0; i < 20; i++ {
+			gaps = append(gaps, 800)
+		}
+		for i := 0; i < 4; i++ {
+			gaps = append(gaps, 90_000)
+		}
+	}
+	return gaps
+}
+
+func main() {
+	gaps := pattern()
+	fmt.Printf("gap pattern: %d requests over three regimes (20 ms / 800 ms / 90 s)\n\n", len(gaps))
+	fmt.Printf("%-18s %12s %10s %14s %12s\n", "policy", "energy (J)", "vs idle", "mean lat (ms)", "p-shifts/ups")
+
+	for _, kind := range power.AllKinds() {
+		eng := sim.NewEngine(1)
+		d, err := disk.New(eng, 0, disk.DefaultParams())
+		if err != nil {
+			log.Fatal(err)
+		}
+		pol, err := power.New(eng, power.Config{Kind: kind})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pol.Attach(d)
+
+		var totalLat sim.Duration
+		var served int
+		at := sim.Time(0)
+		for _, g := range gaps {
+			at += sim.MilliToTime(g)
+			req := &disk.Request{
+				Op: disk.OpRead, Sector: int64(served) * 997 % 1000, Bytes: 64 << 10,
+				Done: func(_ sim.Time, r *disk.Request) {
+					totalLat += r.Latency()
+					served++
+				},
+			}
+			if _, err := eng.ScheduleAt(at, "inject", func(sim.Time) { _ = d.Submit(req) }); err != nil {
+				log.Fatal(err)
+			}
+		}
+		eng.Run()
+		end := eng.Now()
+
+		energy := d.Energy().TotalJoules(end)
+		idleBaseline := d.Params().IdlePowerW * end.Seconds()
+		st := d.Stats()
+		fmt.Printf("%-18s %12.1f %10s %14.2f %6d/%d\n",
+			kind.String(), energy,
+			metrics.Pct(energy/idleBaseline),
+			(totalLat / sim.Duration(maxInt(served, 1))).Milliseconds(),
+			st.RPMShifts, st.SpinUps)
+	}
+	fmt.Println("\n(vs idle = energy relative to never leaving full-speed idle;")
+	fmt.Println(" the history-based scheme approaches the long-gap floor with")
+	fmt.Println(" negligible latency impact, while the 50 ms spin-down pays")
+	fmt.Println(" spin-up penalties on the 800 ms band.)")
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,58 @@
+// Sweep runs the δ and θ sensitivity analyses of §V-D on one application
+// and emits CSV, mirroring Fig. 13(d) and Fig. 14(a)/(b) for custom
+// parameter ranges.
+//
+//	go run ./examples/sweep -app sar -scale 0.25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sdds/internal/cluster"
+	"sdds/internal/power"
+	"sdds/internal/workloads"
+)
+
+func main() {
+	app := flag.String("app", "sar", "application to sweep")
+	scale := flag.Float64("scale", 0.25, "workload scale")
+	flag.Parse()
+
+	spec, err := workloads.ByName(*app)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(scheduling bool, delta, theta int) *cluster.Result {
+		cfg := cluster.DefaultConfig()
+		cfg.Policy = power.Config{Kind: power.KindHistory}
+		cfg.Scheduling = scheduling
+		cfg.Compiler.Delta = delta
+		cfg.Compiler.Theta = theta
+		res, err := cluster.Run(spec.Build(*scale), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	base := run(false, 20, 4)
+	w := os.Stdout
+	fmt.Fprintf(w, "# %s at scale %.2f: history-based policy, scheme on, vs scheme off\n", *app, *scale)
+	fmt.Fprintln(w, "param,value,energy_joule,exec_seconds,energy_saving_pct,degradation_pct")
+	emit := func(param string, value int, r *cluster.Result) {
+		fmt.Fprintf(w, "%s,%d,%.1f,%.2f,%.2f,%.2f\n",
+			param, value, r.EnergyJ, r.ExecTime.Seconds(),
+			100*(1-r.EnergyJ/base.EnergyJ),
+			100*(r.ExecTime.Seconds()-base.ExecTime.Seconds())/base.ExecTime.Seconds())
+	}
+	for _, d := range []int{5, 10, 20, 40, 80} {
+		emit("delta", d, run(true, d, 4))
+	}
+	for _, th := range []int{2, 4, 6, 8} {
+		emit("theta", th, run(true, 20, th))
+	}
+}

@@ -1,0 +1,3 @@
+module sdds
+
+go 1.22

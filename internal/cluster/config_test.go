@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"sdds/internal/ionode"
+	"sdds/internal/stripe"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	muts := []func(*Config){
+		func(c *Config) { c.Procs = 0 },
+		func(c *Config) { c.Layout = stripe.Layout{} },
+		func(c *Config) { c.Node = ionode.Config{} },
+		func(c *Config) { c.Net.LinkMBps = 0 },
+		func(c *Config) { c.Net.NumNodes = 3 }, // mismatch with layout
+		func(c *Config) { c.BufferBytes = 0 },
+		func(c *Config) { c.BufferHitTime = -1 },
+		func(c *Config) { c.ComputeJitter = 1.5 },
+		func(c *Config) { c.ComputeJitter = -0.1 },
+	}
+	for i, m := range muts {
+		cfg := DefaultConfig()
+		m(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d validated", i)
+		}
+	}
+}
+
+func TestNormalizedAlignsSubConfigs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Layout.NumNodes = 4
+	cfg.Procs = 16
+	n := cfg.normalized()
+	if n.Net.NumNodes != 4 || n.Compiler.Procs != 16 || n.Compiler.Layout.NumNodes != 4 {
+		t.Fatalf("normalized = net %d, compiler procs %d, layout %d",
+			n.Net.NumNodes, n.Compiler.Procs, n.Compiler.Layout.NumNodes)
+	}
+}
+
+func TestHash01Properties(t *testing.T) {
+	seen := map[float64]bool{}
+	var sum float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		v := hash01(1, i%32, i)
+		if v < 0 || v >= 1 {
+			t.Fatalf("hash01 out of range: %v", v)
+		}
+		seen[v] = true
+		sum += v
+	}
+	if len(seen) < n*9/10 {
+		t.Fatalf("only %d distinct values of %d", len(seen), n)
+	}
+	if mean := sum / n; mean < 0.45 || mean > 0.55 {
+		t.Fatalf("mean %v far from 0.5", mean)
+	}
+	// Deterministic in all arguments.
+	if hash01(1, 2, 3) != hash01(1, 2, 3) {
+		t.Fatal("hash01 not deterministic")
+	}
+	if hash01(1, 2, 3) == hash01(2, 2, 3) {
+		t.Fatal("hash01 ignores seed")
+	}
+}
+
+func TestRunWithRAID5Nodes(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Node.Members = 3
+	cfg.Node.Level = ionode.RAID5
+	res, err := Run(smallProgram(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EnergyJ <= 0 {
+		t.Fatal("no energy recorded")
+	}
+}
+
+func TestRunWithDifferentNodeCounts(t *testing.T) {
+	for _, nodes := range []int{2, 4, 16} {
+		cfg := smallConfig()
+		cfg.Layout.NumNodes = nodes
+		cfg.Net.NumNodes = nodes
+		res, err := Run(smallProgram(), cfg)
+		if err != nil {
+			t.Fatalf("nodes=%d: %v", nodes, err)
+		}
+		if len(res.NodeEnergyJ) != nodes {
+			t.Fatalf("nodes=%d: %d energies", nodes, len(res.NodeEnergyJ))
+		}
+	}
+}
+
+func TestJitterChangesTimingButNotWork(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ComputeJitter = 0
+	a, err := Run(smallProgram(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ComputeJitter = 0.3
+	b, err := Run(smallProgram(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Application-level I/O volume is timing-independent (disk-request
+	// counts vary slightly with stride-prefetch timing).
+	if av, bv := a.StorageCacheHits+a.StorageCacheMisses, b.StorageCacheHits+b.StorageCacheMisses; av != bv {
+		t.Fatalf("jitter changed node read count: %d vs %d", av, bv)
+	}
+	if a.ExecTime == b.ExecTime {
+		t.Fatal("jitter had no timing effect")
+	}
+}
+
+func TestSummaryAndJSON(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Scheduling = true
+	res, err := Run(smallProgram(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Summary()
+	if s.Program != "small" || !s.Scheduling || s.EnergyJoule != res.EnergyJ {
+		t.Fatalf("summary = %+v", s)
+	}
+	if len(s.IdleCDF) == 0 || s.IdleCDF[len(s.IdleCDF)-1].Frac > 1 {
+		t.Fatalf("bad CDF: %+v", s.IdleCDF)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Program != s.Program || back.EnergyJoule != s.EnergyJoule {
+		t.Fatal("JSON round-trip mismatch")
+	}
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"encoding/json"
+	"io"
+
+	"sdds/internal/metrics"
+)
+
+// Summary is the JSON-serializable digest of a run, for piping results into
+// external analysis (plotting, regression tracking).
+type Summary struct {
+	Program    string `json:"program"`
+	Policy     string `json:"policy"`
+	Scheduling bool   `json:"scheduling"`
+
+	ExecSeconds float64   `json:"execSeconds"`
+	EnergyJoule float64   `json:"energyJoule"`
+	NodeEnergy  []float64 `json:"nodeEnergyJoule"`
+
+	IdleGaps    int64      `json:"idleGaps"`
+	IdleMeanMs  float64    `json:"idleMeanMs"`
+	IdleCDF     []CDFPoint `json:"idleCdf"`
+	DiskReqs    int64      `json:"diskRequests"`
+	SpinUps     int64      `json:"spinUps"`
+	RPMShifts   int64      `json:"rpmShifts"`
+	CacheHits   int64      `json:"storageCacheHits"`
+	CacheMisses int64      `json:"storageCacheMisses"`
+
+	BufferHits   int64 `json:"bufferHits,omitempty"`
+	BufferMisses int64 `json:"bufferMisses,omitempty"`
+	AgentMoved   int64 `json:"agentMoved,omitempty"`
+	AgentIssued  int64 `json:"agentIssued,omitempty"`
+}
+
+// CDFPoint mirrors metrics.CDFPoint with JSON tags.
+type CDFPoint struct {
+	BoundMs float64 `json:"boundMs"`
+	Frac    float64 `json:"frac"`
+}
+
+// Summary digests the result.
+func (r *Result) Summary() Summary {
+	cdf := make([]CDFPoint, 0, len(metrics.PaperBucketsMs))
+	for _, p := range r.Idle.CDF() {
+		cdf = append(cdf, CDFPoint{BoundMs: p.BoundMs, Frac: p.Frac})
+	}
+	return Summary{
+		Program:      r.Program,
+		Policy:       r.Policy.String(),
+		Scheduling:   r.Scheduling,
+		ExecSeconds:  r.ExecTime.Seconds(),
+		EnergyJoule:  r.EnergyJ,
+		NodeEnergy:   append([]float64(nil), r.NodeEnergyJ...),
+		IdleGaps:     r.Idle.Count(),
+		IdleMeanMs:   r.Idle.Mean().Milliseconds(),
+		IdleCDF:      cdf,
+		DiskReqs:     r.DiskRequests,
+		SpinUps:      r.SpinUps,
+		RPMShifts:    r.RPMShifts,
+		CacheHits:    r.StorageCacheHits,
+		CacheMisses:  r.StorageCacheMisses,
+		BufferHits:   r.BufferHits,
+		BufferMisses: r.BufferMisses,
+		AgentMoved:   r.AgentMoved,
+		AgentIssued:  r.AgentIssued,
+	}
+}
+
+// WriteJSON writes the indented summary to w.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Summary())
+}

@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"testing"
+
+	"sdds/internal/disk"
+	"sdds/internal/metrics"
+	"sdds/internal/power"
+	"sdds/internal/sim"
+)
+
+func TestRunWithPolicyFactory(t *testing.T) {
+	cfg := smallConfig()
+	built := 0
+	cfg.PolicyFactory = func(eng *sim.Engine) (power.Policy, error) {
+		built++
+		return power.New(eng, power.Config{Kind: power.KindStaggered})
+	}
+	res, err := Run(smallProgram(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDisks := cfg.Layout.NumNodes * cfg.Node.Members
+	if built != wantDisks {
+		t.Fatalf("factory built %d policies, want %d (one per disk)", built, wantDisks)
+	}
+	if res.EnergyJ <= 0 {
+		t.Fatal("degenerate result")
+	}
+}
+
+func TestRunWithExtraIdleRecorder(t *testing.T) {
+	cfg := smallConfig()
+	extra := metrics.NewIdleHistogram()
+	cfg.ExtraIdleRecorder = extra
+	res, err := Run(smallProgram(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extra.Count() == 0 {
+		t.Fatal("extra recorder saw no gaps")
+	}
+	if extra.Count() != res.Idle.Count() {
+		t.Fatalf("tee mismatch: extra %d vs built-in %d", extra.Count(), res.Idle.Count())
+	}
+}
+
+func TestRunWithGapTraceAndOracle(t *testing.T) {
+	// Pass 1: record the true gaps under the Default Scheme.
+	cfg := smallConfig()
+	var eng0 *sim.Engine
+	var trace *metrics.GapTrace
+	cfg.PolicyFactory = func(eng *sim.Engine) (power.Policy, error) {
+		if trace == nil {
+			eng0 = eng
+			trace = metrics.NewGapTrace(func() sim.Time { return eng0.Now() })
+		}
+		return power.New(eng, power.Config{Kind: power.KindDefault})
+	}
+	cfg.ExtraIdleRecorder = lateRecorder{&trace}
+	base, err := Run(smallProgram(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace == nil || base.Idle.Count() == 0 {
+		t.Fatal("trace not captured")
+	}
+	// Pass 2: oracle replay must not error and must not use more energy
+	// than the default scheme by more than noise.
+	cfg2 := smallConfig()
+	cfg2.PolicyFactory = func(eng *sim.Engine) (power.Policy, error) {
+		return power.NewOracle(eng, power.Config{}, trace), nil
+	}
+	orc, err := Run(smallProgram(), cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orc.EnergyJ > base.EnergyJ*1.05 {
+		t.Fatalf("oracle used more energy than default: %v vs %v", orc.EnergyJ, base.EnergyJ)
+	}
+}
+
+type lateRecorder struct{ t **metrics.GapTrace }
+
+func (l lateRecorder) RecordIdle(d *disk.Disk, gap sim.Duration) {
+	if *l.t != nil {
+		(*l.t).RecordIdle(d, gap)
+	}
+}
+
+func TestRunWithPowerAwareCache(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Node.PowerAwareCache = true
+	cfg.Policy = power.Config{Kind: power.KindSimple}
+	res, err := Run(smallProgram(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EnergyJ <= 0 || res.StorageCacheHits+res.StorageCacheMisses == 0 {
+		t.Fatal("degenerate PA-LRU run")
+	}
+}

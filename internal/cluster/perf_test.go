@@ -1,0 +1,57 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"sdds/internal/power"
+	"sdds/internal/workloads"
+)
+
+func TestPerfProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe")
+	}
+	start := time.Now()
+	avg := map[string][]float64{}
+	for _, spec := range workloads.All() {
+		prog := spec.Build(1.0)
+		var baseE, baseT float64
+		for _, sched := range []bool{false, true} {
+			line := fmt.Sprintf("%-10s sched=%-5v", spec.Name, sched)
+			for _, kind := range power.AllKinds() {
+				cfg := DefaultConfig()
+				cfg.Scheduling = sched
+				cfg.Policy = power.Config{Kind: kind}
+				res, err := Run(prog, cfg)
+				if err != nil {
+					t.Fatalf("%s/%v: %v", spec.Name, kind, err)
+				}
+				if kind == power.KindDefault && !sched {
+					baseE = res.EnergyJ
+					baseT = res.ExecTime.Seconds()
+				}
+				save := 100 * (1 - res.EnergyJ/baseE)
+				deg := 100 * (res.ExecTime.Seconds() - baseT) / baseT
+				line += fmt.Sprintf("  %s:%6.1f/%5.1f", kind.String()[:4], save, deg)
+				key := fmt.Sprintf("%v/%s", sched, kind)
+				avg[key] = append(avg[key], save)
+			}
+			fmt.Println(line)
+		}
+	}
+	for _, sched := range []bool{false, true} {
+		line := fmt.Sprintf("AVG sched=%-5v", sched)
+		for _, kind := range power.AllKinds() {
+			xs := avg[fmt.Sprintf("%v/%s", sched, kind)]
+			var s float64
+			for _, x := range xs {
+				s += x
+			}
+			line += fmt.Sprintf("  %s:%6.1f", kind.String()[:4], s/float64(len(xs)))
+		}
+		fmt.Println(line)
+	}
+	fmt.Println("total wall:", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,414 @@
+package cluster
+
+import (
+	"fmt"
+
+	"sdds/internal/compiler"
+	"sdds/internal/disk"
+	"sdds/internal/ionode"
+	"sdds/internal/loop"
+	"sdds/internal/metrics"
+	"sdds/internal/mpiio"
+	"sdds/internal/netsim"
+	"sdds/internal/power"
+	"sdds/internal/sched"
+	"sdds/internal/sim"
+)
+
+// Result is the outcome of one run.
+type Result struct {
+	Program    string
+	Policy     power.Kind
+	Scheduling bool
+
+	// ExecTime is when the last process finished.
+	ExecTime sim.Duration
+	// EnergyJ is total disk energy over the run (all nodes, all members).
+	EnergyJ float64
+	// NodeEnergyJ breaks energy down per I/O node.
+	NodeEnergyJ []float64
+	// Idle is the merged idle-period histogram across all disks (Fig. 12).
+	Idle *metrics.IdleHistogram
+
+	// Compile is the compiler output (nil when Scheduling is off).
+	Compile *compiler.Result
+
+	// Buffer and cache behaviour.
+	BufferHits, BufferMisses int64
+	PrefetchIssued           int64 // storage-cache stride prefetches
+	StorageCacheHits         int64
+	StorageCacheMisses       int64
+
+	// Runtime-scheduler agent behaviour.
+	AgentMoved    int64 // table entries scheduled earlier than their orig
+	AgentIssued   int64 // prefetches actually issued
+	AgentBlocked  int64 // stop-fetching occurrences (buffer full)
+	AgentDeferred int64 // producer local-time deferrals
+
+	// Disk activity.
+	DiskRequests int64
+	SpinUps      int64
+	RPMShifts    int64
+}
+
+// psKey indexes per-process per-slot instance lists.
+type psKey struct{ proc, slot int }
+
+// Run executes prog on the configured cluster and returns the
+// measurements.
+func Run(prog *loop.Program, cfg Config) (*Result, error) {
+	cfg = cfg.normalized()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+
+	eng := sim.NewEngine(cfg.Seed)
+
+	// Storage: I/O nodes with per-disk power policies and idle recorders.
+	idle := metrics.NewIdleHistogram()
+	var recorder disk.IdleRecorder = idle
+	if cfg.ExtraIdleRecorder != nil {
+		recorder = teeRecorder{idle, cfg.ExtraIdleRecorder}
+	}
+	nodes := make([]*ionode.Node, cfg.Layout.NumNodes)
+	for i := range nodes {
+		n, err := ionode.New(eng, i, cfg.Node)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range n.Disks() {
+			var pol power.Policy
+			var err error
+			if cfg.PolicyFactory != nil {
+				pol, err = cfg.PolicyFactory(eng)
+			} else {
+				pol, err = power.New(eng, cfg.Policy)
+			}
+			if err != nil {
+				return nil, err
+			}
+			pol.Attach(d)
+			d.SetIdleRecorder(recorder)
+		}
+		nodes[i] = n
+	}
+	net, err := netsim.New(eng, cfg.Net)
+	if err != nil {
+		return nil, err
+	}
+	mw, err := mpiio.New(eng, cfg.Layout, nodes, net)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range prog.Files {
+		if _, err := mw.Open(f.ID, f.Name, f.Size); err != nil {
+			return nil, err
+		}
+	}
+
+	ex := &executor{
+		eng:    eng,
+		cfg:    cfg,
+		prog:   prog,
+		mw:     mw,
+		nodes:  nodes,
+		slots:  prog.Slots(cfg.Procs),
+		ioBy:   make(map[psKey][]loop.IOInstance),
+		procAt: make([]int, cfg.Procs),
+		finish: make([]sim.Time, cfg.Procs),
+	}
+	for _, inst := range prog.Instances(cfg.Procs) {
+		k := psKey{inst.Proc, inst.Slot}
+		ex.ioBy[k] = append(ex.ioBy[k], inst)
+	}
+	ex.prepareSlotMeta()
+
+	// The framework: compile and stand up the runtime scheduler.
+	if cfg.Scheduling {
+		comp, err := compiler.Compile(prog, cfg.Compiler)
+		if err != nil {
+			return nil, err
+		}
+		ex.comp = comp
+		ex.buf = sched.MustNewGlobalBuffer(cfg.BufferBytes)
+		resolve := func(id int) (sched.AccessInfo, bool) {
+			inst, ok := comp.InstanceOf(id)
+			if !ok {
+				return sched.AccessInfo{}, false
+			}
+			return sched.AccessInfo{
+				File:       inst.File,
+				Offset:     inst.Offset,
+				Length:     inst.Length,
+				WriterSlot: comp.WriterSlotOf(id),
+			}, true
+		}
+		for p := 0; p < cfg.Procs; p++ {
+			agent, err := sched.NewAgent(p, comp.Schedule.Table(p), resolve, ex, ex.buf, ex)
+			if err != nil {
+				return nil, err
+			}
+			ex.agents = append(ex.agents, agent)
+		}
+	}
+
+	// Launch all processes at t=0 and run to completion.
+	for p := 0; p < cfg.Procs; p++ {
+		p := p
+		eng.Schedule(0, "cluster.start", func(now sim.Time) { ex.beginSlot(p, 0, now) })
+	}
+	end := eng.Run()
+	if !ex.allDone() {
+		return nil, fmt.Errorf("cluster: run stalled at %v with processes unfinished", end)
+	}
+
+	// Close trailing idle gaps and collect results.
+	execEnd := ex.maxFinish()
+	res := &Result{
+		Program:     prog.Name,
+		Policy:      cfg.Policy.Kind,
+		Scheduling:  cfg.Scheduling,
+		ExecTime:    execEnd,
+		Idle:        idle,
+		Compile:     ex.comp,
+		NodeEnergyJ: make([]float64, len(nodes)),
+	}
+	for i, n := range nodes {
+		n.FlushIdleGaps(execEnd)
+		j := n.EnergyJoules(execEnd)
+		res.NodeEnergyJ[i] = j
+		res.EnergyJ += j
+		st := n.Stats()
+		res.StorageCacheHits += st.CacheHits
+		res.StorageCacheMisses += st.CacheMisses
+		res.PrefetchIssued += st.PrefetchIssued
+		for _, d := range n.Disks() {
+			ds := d.Stats()
+			res.DiskRequests += ds.Completed
+			res.SpinUps += ds.SpinUps
+			res.RPMShifts += ds.RPMShifts
+		}
+	}
+	if ex.buf != nil {
+		hits, misses, _, _ := ex.buf.Stats()
+		res.BufferHits, res.BufferMisses = hits, misses
+	}
+	for p, a := range ex.agents {
+		issued, blocked, deferred := a.Stats()
+		res.AgentIssued += issued
+		res.AgentBlocked += blocked
+		res.AgentDeferred += deferred
+		res.AgentMoved += int64(len(ex.comp.Schedule.MovedEarlier(p)))
+	}
+	return res, nil
+}
+
+// executor drives the processes through their slots.
+type executor struct {
+	eng   *sim.Engine
+	cfg   Config
+	prog  *loop.Program
+	mw    *mpiio.Middleware
+	nodes []*ionode.Node
+
+	slots  int
+	ioBy   map[psKey][]loop.IOInstance
+	procAt []int // current slot per process
+	finish []sim.Time
+	done   int
+
+	// Slot metadata: nest index and per-iteration compute cost.
+	slotNest []int
+	slotLoc  []int
+
+	// Barrier between nests.
+	barrierNest  int
+	barrierCount int
+	barrierWait  []func(now sim.Time)
+
+	// Framework state.
+	comp   *compiler.Result
+	buf    *sched.GlobalBuffer
+	agents []*sched.Agent
+}
+
+// Fetch implements sched.Fetcher on top of the middleware.
+func (ex *executor) Fetch(file int, offset, length int64, done func(now sim.Time)) error {
+	return ex.mw.Read(file, offset, length, done)
+}
+
+// MinSlot implements sched.LocalClock.
+func (ex *executor) MinSlot() int {
+	min := ex.slots
+	for _, s := range ex.procAt {
+		if s < min {
+			min = s
+		}
+	}
+	return min
+}
+
+func (ex *executor) prepareSlotMeta() {
+	ex.slotNest = make([]int, ex.slots)
+	ex.slotLoc = make([]int, ex.slots)
+	s := 0
+	for ni := range ex.prog.Nests {
+		base := ex.prog.NestSlotOffset(ex.cfg.Procs, ni)
+		next := ex.slots
+		if ni+1 < len(ex.prog.Nests) {
+			next = ex.prog.NestSlotOffset(ex.cfg.Procs, ni+1)
+		}
+		for ; s < next && s >= base; s++ {
+			ex.slotNest[s] = ni
+			ex.slotLoc[s] = s - base
+		}
+	}
+}
+
+// computeCost returns the computation time of one slot for a process.
+func (ex *executor) computeCost(proc, slot int) sim.Duration {
+	ni := ex.slotNest[slot]
+	n := ex.prog.Nests[ni]
+	iter, ok := ex.prog.IterOf(ex.cfg.Procs, ni, proc, ex.slotLoc[slot])
+	if !ok {
+		return 0
+	}
+	cost := n.IterCost
+	for _, st := range n.Body {
+		if st.Kind == loop.StmtCompute {
+			_ = iter
+			cost += st.Cost
+		}
+	}
+	if j := ex.cfg.ComputeJitter; j > 0 && cost > 0 {
+		// Deterministic per (seed, proc, slot) multiplier in [1−j, 1+j].
+		u := hash01(ex.cfg.Seed, proc, slot)
+		cost = sim.Duration(float64(cost) * (1 + j*(2*u-1)))
+	}
+	return cost
+}
+
+// hash01 maps (seed, proc, slot) to a uniform value in [0, 1) using a
+// split-mix style integer hash — stable across runs with the same seed.
+func hash01(seed int64, proc, slot int) float64 {
+	x := uint64(seed)*0x9E3779B97F4A7C15 ^ uint64(proc)<<32 ^ uint64(slot)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+// pumpAgents lets every scheduler agent retry deferred/blocked fetches.
+func (ex *executor) pumpAgents(now sim.Time) {
+	for _, a := range ex.agents {
+		a.Pump(now)
+	}
+}
+
+// beginSlot starts process p's execution of slot s: nest barrier, agent
+// notification, compute, then the slot's I/O in order.
+func (ex *executor) beginSlot(p, s int, now sim.Time) {
+	if s >= ex.slots {
+		ex.finish[p] = now
+		ex.done++
+		ex.procAt[p] = ex.slots
+		ex.pumpAgents(now)
+		return
+	}
+	// Barrier: entering a new nest waits for all processes.
+	ni := ex.slotNest[s]
+	if ni > ex.barrierNest && ex.slotLoc[s] == 0 {
+		ex.barrierCount++
+		ex.barrierWait = append(ex.barrierWait, func(t sim.Time) { ex.runSlot(p, s, t) })
+		if ex.barrierCount == ex.cfg.Procs {
+			ex.barrierNest = ni
+			ex.barrierCount = 0
+			waiters := ex.barrierWait
+			ex.barrierWait = nil
+			for _, w := range waiters {
+				w := w
+				ex.eng.Schedule(0, "cluster.barrier-release", w)
+			}
+		}
+		return
+	}
+	ex.runSlot(p, s, now)
+}
+
+func (ex *executor) runSlot(p, s int, now sim.Time) {
+	ex.procAt[p] = s
+	if len(ex.agents) > 0 {
+		ex.agents[p].AdvanceTo(s, now)
+		ex.pumpAgents(now)
+	}
+	cost := ex.computeCost(p, s)
+	ex.eng.Schedule(cost, "cluster.compute", func(t sim.Time) {
+		ex.runIO(p, s, 0, t)
+	})
+}
+
+// runIO executes the i-th I/O instance of (p, s), then advances.
+func (ex *executor) runIO(p, s, i int, now sim.Time) {
+	insts := ex.ioBy[psKey{p, s}]
+	if i >= len(insts) {
+		ex.beginSlot(p, s+1, now)
+		return
+	}
+	inst := insts[i]
+	next := func(t sim.Time) { ex.runIO(p, s, i+1, t) }
+	switch inst.Kind {
+	case loop.StmtWrite:
+		if err := ex.mw.Write(inst.File, inst.Offset, inst.Length, next); err != nil {
+			ex.eng.Schedule(0, "cluster.io-err", next)
+		}
+	case loop.StmtRead:
+		if ex.comp != nil {
+			if id, ok := ex.comp.AccessFor(inst); ok {
+				// Resident data is a hit; an in-flight prefetch makes the
+				// read wait for the delivery instead of duplicating the
+				// disk access.
+				hit := ex.buf.WaitConsume(id, func() {
+					ex.eng.Schedule(ex.cfg.BufferHitTime, "cluster.buffer-hit", func(t sim.Time) {
+						ex.pumpAgents(t)
+						next(t)
+					})
+				})
+				if hit {
+					return
+				}
+			}
+		}
+		if err := ex.mw.Read(inst.File, inst.Offset, inst.Length, next); err != nil {
+			ex.eng.Schedule(0, "cluster.io-err", next)
+		}
+	default:
+		ex.eng.Schedule(0, "cluster.io-skip", next)
+	}
+}
+
+func (ex *executor) allDone() bool { return ex.done == ex.cfg.Procs }
+
+func (ex *executor) maxFinish() sim.Time {
+	var max sim.Time
+	for _, f := range ex.finish {
+		if f > max {
+			max = f
+		}
+	}
+	return max
+}
+
+// teeRecorder fans idle gaps out to two recorders.
+type teeRecorder struct {
+	a, b disk.IdleRecorder
+}
+
+func (t teeRecorder) RecordIdle(d *disk.Disk, gap sim.Duration) {
+	t.a.RecordIdle(d, gap)
+	t.b.RecordIdle(d, gap)
+}

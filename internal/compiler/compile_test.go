@@ -1,0 +1,250 @@
+package compiler
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sdds/internal/loop"
+	"sdds/internal/sim"
+	"sdds/internal/stripe"
+)
+
+func testProgram() *loop.Program {
+	return &loop.Program{
+		Name:  "t",
+		Files: []loop.File{{ID: 0, Name: "a", Size: 1 << 26}, {ID: 1, Name: "b", Size: 1 << 26}},
+		Nests: []loop.Nest{
+			{Name: "produce", Trips: 32, Parallel: true, IterCost: sim.MilliToTime(2),
+				Body: []loop.Stmt{{Kind: loop.StmtWrite, File: 0, Region: loop.Affine{IterCoef: 64 << 10, Len: 64 << 10}}}},
+			{Name: "consume", Trips: 32, Parallel: true, IterCost: sim.MilliToTime(2),
+				Body: []loop.Stmt{
+					{Kind: loop.StmtRead, File: 0, Region: loop.Affine{IterCoef: 64 << 10, Len: 64 << 10}},
+					{Kind: loop.StmtRead, File: 1, Region: loop.Affine{IterCoef: 32 << 10, Len: 32 << 10}},
+				}},
+		},
+	}
+}
+
+func TestCompileAffinePath(t *testing.T) {
+	res, err := Compile(testProgram(), DefaultOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UsedProfiler {
+		t.Fatal("affine program compiled via profiler")
+	}
+	if len(res.Accesses) != 64 { // 32 reads of a + 32 of b
+		t.Fatalf("accesses = %d, want 64", len(res.Accesses))
+	}
+	if res.Schedule.Len() != 64 {
+		t.Fatalf("scheduled = %d", res.Schedule.Len())
+	}
+	if _, err := res.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.CompileTime <= 0 {
+		t.Fatal("compile time not recorded")
+	}
+}
+
+func TestCompileProfilerFallback(t *testing.T) {
+	p := testProgram()
+	p.Nests[1].Body[1].Custom = func(i, proc int) (int64, int64) {
+		return int64(i*i) % (1 << 20), 32 << 10
+	}
+	res, err := Compile(p, DefaultOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.UsedProfiler {
+		t.Fatal("non-affine program did not use profiler")
+	}
+}
+
+func TestCompileForceProfileAgrees(t *testing.T) {
+	p := testProgram()
+	a, err := Compile(p, DefaultOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(4)
+	opts.ForceProfile = true
+	b, err := Compile(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Slacks) != len(b.Slacks) {
+		t.Fatalf("slack counts differ: %d vs %d", len(a.Slacks), len(b.Slacks))
+	}
+	for i := range a.Slacks {
+		if a.Slacks[i] != b.Slacks[i] {
+			t.Fatalf("slack %d differs between analyzers", i)
+		}
+	}
+}
+
+func TestCompileOptionValidation(t *testing.T) {
+	if _, err := Compile(testProgram(), Options{Procs: 0, Layout: stripe.DefaultLayout()}); err == nil {
+		t.Fatal("zero procs accepted")
+	}
+	o := DefaultOptions(4)
+	o.SlotBytes = -1
+	if _, err := Compile(testProgram(), o); err == nil {
+		t.Fatal("negative SlotBytes accepted")
+	}
+	if _, err := Compile(&loop.Program{}, DefaultOptions(4)); err == nil {
+		t.Fatal("invalid program accepted")
+	}
+}
+
+func TestAccessLengthsFromSlotBytes(t *testing.T) {
+	o := DefaultOptions(4)
+	o.SlotBytes = 32 << 10 // 64 KB reads become length 2
+	res, err := Compile(testProgram(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int64]int{64 << 10: 2, 32 << 10: 1}
+	for i, a := range res.Accesses {
+		inst := res.Slacks[i].Inst
+		if a.Length != want[inst.Length] {
+			t.Fatalf("access %d (bytes %d) length %d, want %d", i, inst.Length, a.Length, want[inst.Length])
+		}
+	}
+}
+
+func TestAccessForRoundTrip(t *testing.T) {
+	res, err := Compile(testProgram(), DefaultOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range res.Slacks {
+		id, ok := res.AccessFor(s.Inst)
+		if !ok || id != i {
+			t.Fatalf("AccessFor(%+v) = %d, %v; want %d", s.Inst, id, ok, i)
+		}
+		inst, ok := res.InstanceOf(id)
+		if !ok || inst != s.Inst {
+			t.Fatal("InstanceOf mismatch")
+		}
+	}
+	if _, ok := res.AccessFor(loop.IOInstance{Proc: 99}); ok {
+		t.Fatal("phantom instance resolved")
+	}
+	if res.WriterSlotOf(-1) != -1 || res.WriterSlotOf(1<<20) != -1 {
+		t.Fatal("out-of-range WriterSlotOf")
+	}
+}
+
+func TestSignaturesMatchLayout(t *testing.T) {
+	res, err := Compile(testProgram(), DefaultOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := stripe.DefaultLayout()
+	for i, a := range res.Accesses {
+		inst := res.Slacks[i].Inst
+		want := layout.SignatureFor(inst.Offset, inst.Length)
+		if !a.Sig.Equal(want) {
+			t.Fatalf("access %d signature %s, want %s", i, a.Sig.String(), want.String())
+		}
+	}
+}
+
+func TestCoalesceDShrinksAndRescales(t *testing.T) {
+	p := testProgram()
+	base, err := Compile(p, DefaultOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultOptions(4)
+	o.CoalesceD = 4
+	co, err := Compile(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co.Schedule.Len() != base.Schedule.Len() {
+		t.Fatalf("coalesced schedule lost accesses: %d vs %d", co.Schedule.Len(), base.Schedule.Len())
+	}
+	// Every point must be valid in the full-resolution slot space.
+	if _, err := co.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Points land on unit boundaries (multiples of d) unless clamped into
+	// the slack.
+	for i := range co.Accesses {
+		pt, ok := co.Schedule.PointOf(i)
+		if !ok {
+			t.Fatalf("access %d unscheduled", i)
+		}
+		begin, end := co.Slacks[i].Begin, co.Slacks[i].End
+		if pt < begin || pt > end {
+			t.Fatalf("access %d point %d outside full-res slack [%d,%d]", i, pt, begin, end)
+		}
+	}
+}
+
+func TestCoalesceDValidation(t *testing.T) {
+	o := DefaultOptions(4)
+	o.CoalesceD = -1
+	if _, err := Compile(testProgram(), o); err == nil {
+		t.Fatal("negative CoalesceD accepted")
+	}
+}
+
+func TestTableSerializationRoundTrip(t *testing.T) {
+	res, err := Compile(testProgram(), DefaultOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteTables(&buf, 4); err != nil {
+		t.Fatal(err)
+	}
+	tf, err := ReadTables(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tf.Program != "t" || tf.Procs != 4 || tf.Delta != 20 || tf.Theta != 4 {
+		t.Fatalf("header = %+v", tf)
+	}
+	if len(tf.Entries) != len(res.Accesses) {
+		t.Fatalf("entries = %d, want %d", len(tf.Entries), len(res.Accesses))
+	}
+	per := tf.PerProcess()
+	total := 0
+	for proc, entries := range per {
+		if proc < 0 || proc >= 4 {
+			t.Fatalf("bad proc %d", proc)
+		}
+		total += len(entries)
+	}
+	if total != len(tf.Entries) {
+		t.Fatal("PerProcess lost entries")
+	}
+	for _, e := range tf.Entries {
+		pt, ok := res.Schedule.PointOf(e.AccessID)
+		if !ok || pt != e.Slot {
+			t.Fatalf("entry %d slot %d != schedule %d", e.AccessID, e.Slot, pt)
+		}
+	}
+}
+
+func TestReadTablesRejectsGarbage(t *testing.T) {
+	if _, err := ReadTables(strings.NewReader("{")); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+	if _, err := ReadTables(strings.NewReader(`{"program":"x","procs":0,"numSlots":5}`)); err == nil {
+		t.Fatal("zero procs accepted")
+	}
+	if _, err := ReadTables(strings.NewReader(`{"program":"x","procs":2,"numSlots":5,"entries":[{"proc":9,"slot":0,"bytes":1,"length":1}]}`)); err == nil {
+		t.Fatal("out-of-range proc accepted")
+	}
+	if _, err := ReadTables(strings.NewReader(`{"program":"x","procs":2,"numSlots":5,"entries":[{"proc":0,"slot":99,"bytes":1,"length":1}]}`)); err == nil {
+		t.Fatal("out-of-range slot accepted")
+	}
+	if _, err := ReadTables(strings.NewReader(`{"program":"x","procs":2,"numSlots":5,"entries":[{"proc":0,"slot":1,"bytes":0,"length":1}]}`)); err == nil {
+		t.Fatal("zero bytes accepted")
+	}
+}

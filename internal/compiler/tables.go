@@ -1,0 +1,109 @@
+package compiler
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The compiler phase of Fig. 4 "records this information in a table for
+// each application process"; the runtime scheduler then loads those tables.
+// TableFile is the serialized form of that artifact, making the two phases
+// separable: compile once, ship the tables, run many times.
+
+// TableFile is the on-disk scheduling-table bundle for one program.
+type TableFile struct {
+	// Program is the application name the tables were compiled for.
+	Program string `json:"program"`
+	// Procs is the process count the schedule assumes.
+	Procs int `json:"procs"`
+	// NumSlots is the scheduling-slot count.
+	NumSlots int `json:"numSlots"`
+	// Delta and Theta record the algorithm parameters used.
+	Delta int `json:"delta"`
+	Theta int `json:"theta"`
+	// Entries lists every scheduled access.
+	Entries []TableEntry `json:"entries"`
+}
+
+// TableEntry is one scheduled access in serialized form.
+type TableEntry struct {
+	AccessID int   `json:"accessId"`
+	Proc     int   `json:"proc"`
+	Slot     int   `json:"slot"`
+	Orig     int   `json:"orig"`
+	Length   int   `json:"length"`
+	File     int   `json:"file"`
+	Offset   int64 `json:"offset"`
+	Bytes    int64 `json:"bytes"`
+	// WriterSlot is the producer's slot (−1 when the data pre-exists),
+	// needed by the runtime scheduler's local-time check.
+	WriterSlot int `json:"writerSlot"`
+}
+
+// WriteTables serializes the compiled schedule to w.
+func (r *Result) WriteTables(w io.Writer, procs int) error {
+	tf := TableFile{
+		Program:  r.Program.Name,
+		Procs:    procs,
+		NumSlots: r.Program.Slots(procs),
+		Delta:    r.params.Delta,
+		Theta:    r.params.Theta,
+	}
+	for _, proc := range r.Schedule.Procs() {
+		for _, e := range r.Schedule.Table(proc) {
+			inst, ok := r.InstanceOf(e.AccessID)
+			if !ok {
+				return fmt.Errorf("compiler: table entry %d has no instance", e.AccessID)
+			}
+			tf.Entries = append(tf.Entries, TableEntry{
+				AccessID:   e.AccessID,
+				Proc:       proc,
+				Slot:       e.Slot,
+				Orig:       e.Orig,
+				Length:     e.Length,
+				File:       inst.File,
+				Offset:     inst.Offset,
+				Bytes:      inst.Length,
+				WriterSlot: r.WriterSlotOf(e.AccessID),
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tf)
+}
+
+// ReadTables parses a scheduling-table bundle.
+func ReadTables(rd io.Reader) (*TableFile, error) {
+	var tf TableFile
+	if err := json.NewDecoder(rd).Decode(&tf); err != nil {
+		return nil, fmt.Errorf("compiler: decode tables: %w", err)
+	}
+	if tf.Procs <= 0 || tf.NumSlots <= 0 {
+		return nil, fmt.Errorf("compiler: tables for %q have invalid dimensions %d×%d",
+			tf.Program, tf.Procs, tf.NumSlots)
+	}
+	for i, e := range tf.Entries {
+		if e.Proc < 0 || e.Proc >= tf.Procs {
+			return nil, fmt.Errorf("compiler: entry %d: process %d out of range", i, e.Proc)
+		}
+		if e.Slot < 0 || e.Slot >= tf.NumSlots {
+			return nil, fmt.Errorf("compiler: entry %d: slot %d out of range", i, e.Slot)
+		}
+		if e.Bytes <= 0 || e.Length < 1 {
+			return nil, fmt.Errorf("compiler: entry %d: degenerate size", i)
+		}
+	}
+	return &tf, nil
+}
+
+// PerProcess groups the entries by process, each sorted by slot (the form
+// the runtime scheduler consumes).
+func (tf *TableFile) PerProcess() map[int][]TableEntry {
+	out := make(map[int][]TableEntry, tf.Procs)
+	for _, e := range tf.Entries {
+		out[e.Proc] = append(out[e.Proc], e)
+	}
+	return out
+}

@@ -1,0 +1,479 @@
+package disk
+
+import (
+	"errors"
+	"fmt"
+
+	"sdds/internal/sim"
+)
+
+// Op distinguishes reads from writes.
+type Op int
+
+// Request operations.
+const (
+	OpRead Op = iota + 1
+	OpWrite
+)
+
+// String returns "read" or "write".
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	default:
+		return "invalid"
+	}
+}
+
+// Request is one disk I/O. Done, if non-nil, is invoked when the media
+// transfer completes.
+type Request struct {
+	Op     Op
+	Sector int64
+	Bytes  int64
+	Done   func(now sim.Time, r *Request)
+
+	// Filled in by the disk.
+	Arrival  sim.Time
+	Start    sim.Time // service start (seek begin)
+	Finish   sim.Time // media transfer end
+	cylinder int64
+}
+
+// QueueDelay returns how long the request waited before service began.
+func (r *Request) QueueDelay() sim.Duration { return r.Start - r.Arrival }
+
+// Latency returns total request latency (arrival to completion).
+func (r *Request) Latency() sim.Duration { return r.Finish - r.Arrival }
+
+// Listener receives power-management hooks from a disk. Implementations are
+// the power policies; hooks run synchronously inside the disk's event
+// handlers on the engine goroutine.
+type Listener interface {
+	// RequestArrived fires on every request submission, before service is
+	// attempted. The policy may issue control calls (SpinUp, SetTargetRPM)
+	// from inside the hook.
+	RequestArrived(d *Disk, now sim.Time)
+	// IdleStarted fires when service completes and the queue is empty.
+	IdleStarted(d *Disk, now sim.Time)
+}
+
+// IdleRecorder receives the length of every closed idle gap (completion of
+// the last request to arrival of the next), the quantity whose CDF the paper
+// plots in Fig. 12.
+type IdleRecorder interface {
+	RecordIdle(d *Disk, gap sim.Duration)
+}
+
+// Stats aggregates per-disk service counters.
+type Stats struct {
+	Arrived      int64
+	Completed    int64
+	BytesRead    int64
+	BytesWritten int64
+	QueueDelay   sim.Duration
+	ServiceTime  sim.Duration
+	SpinUps      int64
+	SpinDowns    int64
+	RPMShifts    int64
+	IdleGaps     int64
+}
+
+// Control errors returned to power policies.
+var (
+	// ErrNotIdle is returned when a control action needs an idle disk.
+	ErrNotIdle = errors.New("disk: not idle")
+	// ErrNotStandby is returned by SpinUp when the disk is not stopped.
+	ErrNotStandby = errors.New("disk: not in standby")
+)
+
+// Disk is the device model. All methods must be called from the engine
+// goroutine (i.e. inside event handlers).
+type Disk struct {
+	ID     int
+	params Params
+	eng    *sim.Engine
+
+	state     State
+	rpm       int
+	targetRPM int
+	rampFirst bool // serve only after reaching targetRPM
+
+	queue   *elevator
+	current *Request
+	headCyl int64
+
+	account  *EnergyAccount
+	listener Listener
+	recorder IdleRecorder
+
+	idleGapOpen  bool
+	idleGapStart sim.Time
+	wantUp       bool       // spin up again once an in-flight spin-down completes
+	transStart   sim.Time   // start of the in-flight spin transition
+	transEvent   *sim.Event // completion event of the in-flight transition
+	upSince      sim.Time   // when an upward RPM target became pending
+
+	stats Stats
+}
+
+// New returns a disk spinning at full speed in the idle state.
+func New(eng *sim.Engine, id int, p Params) (*Disk, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Disk{
+		ID:        id,
+		params:    p,
+		eng:       eng,
+		state:     StateIdle,
+		rpm:       p.MaxRPM,
+		targetRPM: p.MaxRPM,
+		queue:     newElevator(),
+	}
+	d.account = NewEnergyAccount(eng.Now(), StateIdle, p.IdlePowerAt(d.rpm))
+	d.openIdleGap(eng.Now())
+	return d, nil
+}
+
+// MustNew is New, panicking on invalid parameters (for tests and examples).
+func MustNew(eng *sim.Engine, id int, p Params) *Disk {
+	d, err := New(eng, id, p)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Params returns the disk's configuration.
+func (d *Disk) Params() Params { return d.params }
+
+// State returns the current power/activity state.
+func (d *Disk) State() State { return d.state }
+
+// RPM returns the current rotational speed (the speed being left, during a
+// shift).
+func (d *Disk) RPM() int { return d.rpm }
+
+// TargetRPM returns the commanded rotational speed.
+func (d *Disk) TargetRPM() int { return d.targetRPM }
+
+// QueueLen returns the number of waiting requests (excluding any in
+// service).
+func (d *Disk) QueueLen() int { return d.queue.Len() }
+
+// Busy reports whether a request is in service.
+func (d *Disk) Busy() bool { return d.current != nil }
+
+// Stats returns a copy of the service counters.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// Energy returns the energy account (live; use its methods with the current
+// time).
+func (d *Disk) Energy() *EnergyAccount { return d.account }
+
+// SetListener installs the power-policy hook receiver (may be nil).
+func (d *Disk) SetListener(l Listener) { d.listener = l }
+
+// SetIdleRecorder installs the idle-gap recorder (may be nil).
+func (d *Disk) SetIdleRecorder(r IdleRecorder) { d.recorder = r }
+
+// setState transitions the power state and re-bases energy accounting.
+func (d *Disk) setState(now sim.Time, s State, drawW float64) {
+	d.state = s
+	d.account.SetDraw(now, s, drawW)
+}
+
+func (d *Disk) openIdleGap(now sim.Time) {
+	d.idleGapOpen = true
+	d.idleGapStart = now
+}
+
+func (d *Disk) closeIdleGap(now sim.Time) {
+	if !d.idleGapOpen {
+		return
+	}
+	d.idleGapOpen = false
+	d.stats.IdleGaps++
+	if d.recorder != nil {
+		d.recorder.RecordIdle(d, now-d.idleGapStart)
+	}
+}
+
+// Submit enqueues a request. Service begins immediately if the disk is
+// ready; otherwise the request waits for the spindle (spin-up, RPM shift) or
+// for queued predecessors.
+func (d *Disk) Submit(r *Request) error {
+	if r.Bytes <= 0 {
+		return fmt.Errorf("disk %d: request bytes %d must be positive", d.ID, r.Bytes)
+	}
+	if r.Sector < 0 || r.Sector >= d.params.TotalSectors() {
+		return fmt.Errorf("disk %d: sector %d out of range [0,%d)", d.ID, r.Sector, d.params.TotalSectors())
+	}
+	now := d.eng.Now()
+	r.Arrival = now
+	r.cylinder = r.Sector / int64(d.params.SectorsPerCylinder)
+	d.stats.Arrived++
+	d.closeIdleGap(now)
+	d.queue.Push(r)
+	if d.listener != nil {
+		d.listener.RequestArrived(d, now)
+	}
+	d.tryService(now)
+	return nil
+}
+
+// tryService starts the next piece of work if the disk is able.
+func (d *Disk) tryService(now sim.Time) {
+	if d.current != nil {
+		return
+	}
+	switch d.state {
+	case StateSpinningDown:
+		// A waiting request aborts the spin-down: the spindle reverses
+		// from its current (partial) speed, so the recovery time is
+		// proportional to how far the deceleration got.
+		if d.queue.Len() > 0 {
+			d.abortSpinDown(now)
+		}
+		return
+	case StateSpinningUp, StateShiftingRPM:
+		return // transition-complete handler will call back
+	case StateStandby:
+		if d.queue.Len() > 0 {
+			d.beginSpinUp(now)
+		}
+		return
+	case StateIdle:
+		// An upward shift runs once the queue is empty, when the policy
+		// demanded ramp-before-service, or after it has been deferred for
+		// maxUpDefer — multi-speed disks serve at the current speed, but a
+		// busy disk must not be trapped below the speed it needs to drain
+		// its queue.
+		if d.targetRPM > d.rpm &&
+			(d.rampFirst || d.queue.Len() == 0 || now-d.upSince > maxUpDefer) {
+			d.beginShift(now)
+			return
+		}
+		// A pending downward ramp runs when idle (or when the policy
+		// demanded ramp-before-service).
+		if d.targetRPM < d.rpm && (d.rampFirst || d.queue.Len() == 0) {
+			d.beginShift(now)
+			return
+		}
+		if d.queue.Len() > 0 {
+			d.beginRequest(now)
+		}
+	}
+}
+
+// beginRequest pops the elevator and runs seek → rotate → transfer.
+func (d *Disk) beginRequest(now sim.Time) {
+	r := d.queue.Pop(d.headCyl)
+	if r == nil {
+		return
+	}
+	d.current = r
+	r.Start = now
+	d.stats.QueueDelay += r.QueueDelay()
+
+	dist := r.cylinder - d.headCyl
+	if dist < 0 {
+		dist = -dist
+	}
+	seek := d.params.SeekTime(dist)
+	// Average rotational latency: half a revolution at the current speed.
+	rot := d.params.FullRotation(d.rpm) / 2
+	media := sim.Duration(float64(r.Bytes) / d.params.TransferRateAt(d.rpm))
+	bus := sim.Duration(float64(r.Bytes) / (d.params.BusMBps * 1e6 / 1e6))
+	if bus > media {
+		media = bus // bus-limited transfer
+	}
+	d.headCyl = r.cylinder
+
+	d.setState(now, StateSeeking, d.params.SeekPowerAt(d.rpm))
+	d.eng.Schedule(seek+rot, "disk.transfer", func(t sim.Time) {
+		d.setState(t, StateTransferring, d.params.ActivePowerAt(d.rpm))
+		d.eng.Schedule(media, "disk.complete", func(t2 sim.Time) {
+			d.completeRequest(t2, r)
+		})
+	})
+}
+
+func (d *Disk) completeRequest(now sim.Time, r *Request) {
+	r.Finish = now
+	d.current = nil
+	d.stats.Completed++
+	d.stats.ServiceTime += now - r.Start
+	if r.Op == OpRead {
+		d.stats.BytesRead += r.Bytes
+	} else {
+		d.stats.BytesWritten += r.Bytes
+	}
+	if d.queue.Len() > 0 {
+		d.setState(now, StateIdle, d.params.IdlePowerAt(d.rpm))
+		if r.Done != nil {
+			r.Done(now, r)
+		}
+		d.tryService(now)
+		return
+	}
+	// Queue drained: enter idle, open the gap, notify the policy.
+	d.setState(now, StateIdle, d.params.IdlePowerAt(d.rpm))
+	d.openIdleGap(now)
+	if r.Done != nil {
+		r.Done(now, r)
+	}
+	if d.listener != nil && d.current == nil && d.queue.Len() == 0 {
+		d.listener.IdleStarted(d, now)
+	}
+	// The Done callback or the policy may have queued new work or commanded
+	// a shift.
+	d.tryService(now)
+}
+
+// SpinDown transitions an idle disk to standby. It fails with ErrNotIdle if
+// the disk is serving, has queued work, or is already transitioning.
+func (d *Disk) SpinDown() error {
+	now := d.eng.Now()
+	if d.state != StateIdle || d.current != nil || d.queue.Len() > 0 {
+		return fmt.Errorf("%w: state=%v queue=%d", ErrNotIdle, d.state, d.queue.Len())
+	}
+	d.stats.SpinDowns++
+	d.wantUp = false
+	d.transStart = now
+	d.setState(now, StateSpinningDown, d.params.SpinDownPowerW)
+	d.transEvent = d.eng.Schedule(d.params.SpinDownTime, "disk.standby", func(t sim.Time) {
+		d.transEvent = nil
+		d.setState(t, StateStandby, d.params.StandbyPowerW)
+		d.rpm = 0
+		if d.wantUp || d.queue.Len() > 0 {
+			d.beginSpinUp(t)
+		}
+	})
+	return nil
+}
+
+// abortSpinDown reverses an in-flight spin-down: the spin-up time is
+// proportional to how far the spindle had decelerated.
+func (d *Disk) abortSpinDown(now sim.Time) {
+	if d.state != StateSpinningDown {
+		return
+	}
+	if d.transEvent != nil {
+		d.transEvent.Cancel()
+		d.transEvent = nil
+	}
+	frac := float64(now-d.transStart) / float64(d.params.SpinDownTime)
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	// The spindle coasts down: rotational speed decays slowly at first, so
+	// the kinetic energy (∝ ω², Eq. 1) to recover grows quadratically with
+	// deceleration progress, plus a fixed head-reload cost.
+	const headReload = 300 * sim.Millisecond
+	up := headReload + sim.Duration(frac*frac*float64(d.params.SpinUpTime))
+	d.stats.SpinUps++
+	d.wantUp = false
+	d.setState(now, StateSpinningUp, d.params.SpinUpPowerW)
+	d.eng.Schedule(up, "disk.abort-up", func(t sim.Time) {
+		d.rpm = d.params.MaxRPM
+		d.targetRPM = d.params.MaxRPM
+		d.setState(t, StateIdle, d.params.IdlePowerAt(d.rpm))
+		d.tryService(t)
+	})
+}
+
+// SpinUp starts acceleration back to full speed. In standby it begins
+// immediately; during a spin-down it aborts the deceleration and reverses
+// from the partial speed; otherwise it returns ErrNotStandby.
+func (d *Disk) SpinUp() error {
+	switch d.state {
+	case StateStandby:
+		d.beginSpinUp(d.eng.Now())
+		return nil
+	case StateSpinningDown:
+		d.abortSpinDown(d.eng.Now())
+		return nil
+	default:
+		return fmt.Errorf("%w: state=%v", ErrNotStandby, d.state)
+	}
+}
+
+func (d *Disk) beginSpinUp(now sim.Time) {
+	d.stats.SpinUps++
+	d.wantUp = false
+	d.setState(now, StateSpinningUp, d.params.SpinUpPowerW)
+	d.eng.Schedule(d.params.SpinUpTime, "disk.spunup", func(t sim.Time) {
+		d.rpm = d.params.MaxRPM
+		d.targetRPM = d.params.MaxRPM
+		d.setState(t, StateIdle, d.params.IdlePowerAt(d.rpm))
+		d.tryService(t)
+	})
+}
+
+// SetTargetRPM commands a rotational-speed change. rampFirst makes the disk
+// finish the shift before serving queued or future requests (the staggered
+// policy's return-to-full); otherwise requests are served at the current
+// speed and the shift happens when the disk is idle (the history policy's
+// low-speed service). The speed snaps to the nearest valid level.
+func (d *Disk) SetTargetRPM(rpm int, rampFirst bool) error {
+	if !d.state.Spinning() {
+		return fmt.Errorf("%w: state=%v", ErrNotStandby, d.state)
+	}
+	prev := d.targetRPM
+	d.targetRPM = d.params.ClampRPM(rpm)
+	d.rampFirst = rampFirst
+	if d.targetRPM > d.rpm && prev <= d.rpm {
+		d.upSince = d.eng.Now()
+	}
+	if d.state == StateIdle && d.current == nil && d.targetRPM != d.rpm {
+		if d.rampFirst || d.queue.Len() == 0 {
+			d.beginShift(d.eng.Now())
+		}
+	}
+	return nil
+}
+
+func (d *Disk) beginShift(now sim.Time) {
+	from, to := d.rpm, d.targetRPM
+	if from == to {
+		return
+	}
+	d.stats.RPMShifts++
+	hi := from
+	if to > hi {
+		hi = to
+	}
+	// A speed transition draws slightly more than idling at the higher of
+	// the two speeds (DRPM's transition model): deceleration is nearly
+	// free, acceleration costs the differential kinetic energy.
+	d.setState(now, StateShiftingRPM, 1.2*d.params.IdlePowerAt(hi))
+	d.eng.Schedule(d.params.RPMShiftTime(from, to), "disk.shifted", func(t sim.Time) {
+		// Land on the speed this shift was computed for; a target that
+		// moved mid-shift is handled by the tryService below.
+		d.rpm = to
+		d.setState(t, StateIdle, d.params.IdlePowerAt(d.rpm))
+		// The target may have moved again while shifting (staggered
+		// step-down interrupted by a ramp command) — tryService handles
+		// both another shift and pending work.
+		d.tryService(t)
+	})
+}
+
+// FlushIdleGap closes a trailing open idle gap at end-of-run so the final
+// quiet period is counted in the CDF, matching how a finite simulation
+// window truncates the last gap.
+func (d *Disk) FlushIdleGap(now sim.Time) {
+	d.closeIdleGap(now)
+}
+
+// maxUpDefer bounds how long an upward RPM shift may be postponed by a busy
+// queue before it takes priority over service.
+const maxUpDefer = 500 * sim.Millisecond

@@ -1,0 +1,538 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"sdds/internal/cluster"
+	"sdds/internal/compiler"
+	"sdds/internal/core"
+	"sdds/internal/disk"
+	"sdds/internal/metrics"
+	"sdds/internal/power"
+	"sdds/internal/sim"
+	"sdds/internal/stripe"
+	"sdds/internal/workloads"
+)
+
+// Table2 dumps the default configuration, mirroring Table II.
+func Table2(c Config) (*Result, error) {
+	cfg := cluster.DefaultConfig()
+	p := cfg.Node.DiskParams
+	rows := [][]string{
+		{"Number of Client (Compute) Nodes", fmt.Sprintf("%d", cfg.Procs)},
+		{"Number of I/O nodes", fmt.Sprintf("%d", cfg.Layout.NumNodes)},
+		{"Stripe Size", fmt.Sprintf("%dKB", cfg.Layout.StripeSize>>10)},
+		{"RAID Level", cfg.Node.Level.String()},
+		{"Disks per I/O node", fmt.Sprintf("%d", cfg.Node.Members)},
+		{"Individual Disk Capacity", fmt.Sprintf("%.0fGB", p.CapacityGB)},
+		{"Storage Cache Capacity", fmt.Sprintf("%dMB (per I/O node)", cfg.Node.CacheBytes>>20)},
+		{"Maximum Disk Rotation Speed", fmt.Sprintf("%d RPM", p.MaxRPM)},
+		{"Idle Power", fmt.Sprintf("%.1fW (at %d RPM)", p.IdlePowerW, p.MaxRPM)},
+		{"Active (R/W) Power", fmt.Sprintf("%.1fW (at %d RPM)", p.ActivePowerW, p.MaxRPM)},
+		{"Seek Power", fmt.Sprintf("%.1fW (at %d RPM)", p.SeekPowerW, p.MaxRPM)},
+		{"Standby Power", fmt.Sprintf("%.1fW", p.StandbyPowerW)},
+		{"Spin-up Power", fmt.Sprintf("%.1fW", p.SpinUpPowerW)},
+		{"Spin-up Time", fmt.Sprintf("%.0fsecs", p.SpinUpTime.Seconds())},
+		{"Spin-down Time", fmt.Sprintf("%.0fsecs", p.SpinDownTime.Seconds())},
+		{"Disk-Arm Scheduling", "Elevator"},
+		{"Minimum Disk Rotation Speed", fmt.Sprintf("%d RPM", p.MinRPM)},
+		{"RPM Step-Size", fmt.Sprintf("%d", p.RPMStep)},
+		{"delta", fmt.Sprintf("%d iterations (slots)", cfg.Compiler.Delta)},
+		{"theta", fmt.Sprintf("%d", cfg.Compiler.Theta)},
+	}
+	return &Result{ID: "table2", Title: "Main experimental parameters",
+		Headers: []string{"Parameter", "Value"}, Rows: rows}, nil
+}
+
+// Table3 reports per-application execution time and disk energy under the
+// Default Scheme (no power management) — the baseline every other number is
+// normalized against.
+func Table3(c Config) (*Result, error) {
+	c = c.withDefaults()
+	base, err := runBaselines(c)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]string, 0, len(c.Apps))
+	for _, app := range c.Apps {
+		spec, _ := workloads.ByName(app)
+		res := base.byApp[app]
+		rows = append(rows, []string{
+			app, spec.Description,
+			fmt.Sprintf("%.1f", res.ExecTime.Seconds()/60),
+			fmt.Sprintf("%.1f", res.EnergyJ),
+		})
+	}
+	return &Result{ID: "table3", Title: "Application programs",
+		Headers: []string{"Name", "Brief Description", "Exec Time (minutes)", "Disk Energy (Joule)"},
+		Rows:    rows}, nil
+}
+
+// cdfResult renders per-app idle CDFs at the paper's bucket bounds.
+func cdfResult(id, title string, c Config, scheduling bool) (*Result, error) {
+	c = c.withDefaults()
+	headers := []string{"Idleness (msec)"}
+	headers = append(headers, c.Apps...)
+	hists := make([]*metrics.IdleHistogram, len(c.Apps))
+	for i, app := range c.Apps {
+		res, err := runOne(c, app, power.KindDefault, scheduling)
+		if err != nil {
+			return nil, err
+		}
+		hists[i] = res.Idle
+	}
+	var rows [][]string
+	for bi, bound := range metrics.PaperBucketsMs {
+		row := []string{fmt.Sprintf("%.0f", bound)}
+		for _, h := range hists {
+			row = append(row, metrics.Pct(h.CDF()[bi].Frac))
+		}
+		rows = append(rows, row)
+	}
+	var mean100, mean5000 float64
+	for _, h := range hists {
+		mean100 += h.FracAtMost(100)
+		mean5000 += h.FracAtMost(5000)
+	}
+	notes := []string{fmt.Sprintf("average: %s of idle periods ≤100ms, %s ≤5s (paper without scheme: 86.4%% and 96.5%%)",
+		metrics.Pct(mean100/float64(len(hists))), metrics.Pct(mean5000/float64(len(hists))))}
+	return &Result{ID: id, Title: title, Headers: headers, Rows: rows, Notes: notes}, nil
+}
+
+// Fig12a is the idle-period CDF without the scheme.
+func Fig12a(c Config) (*Result, error) {
+	return cdfResult("fig12a", "CDF of idle periods without the scheme", c, false)
+}
+
+// Fig12b is the idle-period CDF with the scheme.
+func Fig12b(c Config) (*Result, error) {
+	return cdfResult("fig12b", "CDF of idle periods with the scheme", c, true)
+}
+
+// energyResult renders normalized energy per app × policy.
+func energyResult(id, title string, c Config, scheduling bool) (*Result, error) {
+	c = c.withDefaults()
+	base, err := runBaselines(c)
+	if err != nil {
+		return nil, err
+	}
+	kinds := power.ManagedKinds()
+	headers := []string{"App"}
+	for _, k := range kinds {
+		headers = append(headers, k.String())
+	}
+	rows := make([][]string, 0, len(c.Apps))
+	avg := make([]float64, len(kinds))
+	values := make([][]float64, 0, len(c.Apps))
+	for _, app := range c.Apps {
+		row := []string{app}
+		vals := make([]float64, 0, len(kinds))
+		for ki, k := range kinds {
+			res, err := runOne(c, app, k, scheduling)
+			if err != nil {
+				return nil, err
+			}
+			norm := metrics.NormalizedEnergy(res.EnergyJ, base.byApp[app].EnergyJ)
+			avg[ki] += 1 - norm
+			row = append(row, metrics.Pct(norm))
+			vals = append(vals, norm)
+		}
+		rows = append(rows, row)
+		values = append(values, vals)
+	}
+	series := make([]string, len(kinds))
+	for ki, k := range kinds {
+		series[ki] = k.String()
+	}
+	chart := &metrics.BarChart{Title: title, Groups: c.Apps, Series: series, Values: values}
+	note := "average savings:"
+	for ki, k := range kinds {
+		note += fmt.Sprintf(" %s %s", k, metrics.Pct(avg[ki]/float64(len(c.Apps))))
+	}
+	paper := "paper without scheme: simple 4.7%, prediction 6.3%, history 15.6%, staggered 9.8%"
+	if scheduling {
+		paper = "paper with scheme: simple 9.4%, prediction 14.2%, history 29.2%, staggered 25.9%"
+	}
+	return &Result{ID: id, Title: title, Headers: headers, Rows: rows,
+		Notes: []string{note, paper}, Chart: chart}, nil
+}
+
+// Fig12c is normalized energy per policy without the scheme.
+func Fig12c(c Config) (*Result, error) {
+	return energyResult("fig12c", "Normalized energy consumption without the scheme", c, false)
+}
+
+// Fig12d is normalized energy per policy with the scheme.
+func Fig12d(c Config) (*Result, error) {
+	return energyResult("fig12d", "Normalized energy consumption with the scheme", c, true)
+}
+
+// degradationResult renders performance degradation per app × policy.
+func degradationResult(id, title string, c Config, scheduling bool) (*Result, error) {
+	c = c.withDefaults()
+	base, err := runBaselines(c)
+	if err != nil {
+		return nil, err
+	}
+	kinds := power.ManagedKinds()
+	headers := []string{"App"}
+	for _, k := range kinds {
+		headers = append(headers, k.String())
+	}
+	rows := make([][]string, 0, len(c.Apps))
+	avg := make([]float64, len(kinds))
+	for _, app := range c.Apps {
+		row := []string{app}
+		for ki, k := range kinds {
+			res, err := runOne(c, app, k, scheduling)
+			if err != nil {
+				return nil, err
+			}
+			d := metrics.Degradation(res.ExecTime, base.byApp[app].ExecTime)
+			avg[ki] += d
+			row = append(row, metrics.Pct(d))
+		}
+		rows = append(rows, row)
+	}
+	note := "average degradation:"
+	for ki, k := range kinds {
+		note += fmt.Sprintf(" %s %s", k, metrics.Pct(avg[ki]/float64(len(c.Apps))))
+	}
+	return &Result{ID: id, Title: title, Headers: headers, Rows: rows, Notes: []string{note}}, nil
+}
+
+// Fig13a is performance degradation without the scheme.
+func Fig13a(c Config) (*Result, error) {
+	return degradationResult("fig13a", "Performance degradation without the scheme", c, false)
+}
+
+// Fig13b is performance degradation with the scheme.
+func Fig13b(c Config) (*Result, error) {
+	return degradationResult("fig13b", "Performance degradation with the scheme", c, true)
+}
+
+// extraSavings computes the additional energy reduction the scheme brings
+// over the history-based policy alone, for one app under a modified
+// cluster config.
+func extraSavings(c Config, app string, mutate func(*cluster.Config)) (float64, error) {
+	spec, err := workloads.ByName(app)
+	if err != nil {
+		return 0, err
+	}
+	run := func(scheduling bool) (*cluster.Result, error) {
+		prog := spec.Build(c.Scale)
+		cfg := cluster.DefaultConfig()
+		cfg.Seed = c.Seed
+		cfg.Policy = power.Config{Kind: power.KindHistory}
+		cfg.Scheduling = scheduling
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		return cluster.Run(prog, cfg)
+	}
+	without, err := run(false)
+	if err != nil {
+		return 0, err
+	}
+	with, err := run(true)
+	if err != nil {
+		return 0, err
+	}
+	return metrics.EnergySaving(with.EnergyJ, without.EnergyJ), nil
+}
+
+// sweepResult renders the extra savings of the scheme (over history-based)
+// across a parameter sweep, averaged over the configured apps.
+func sweepResult(id, title, param string, values []string, c Config, mutate func(*cluster.Config, int)) (*Result, error) {
+	c = c.withDefaults()
+	headers := append([]string{"App"}, values...)
+	rows := make([][]string, 0, len(c.Apps))
+	avg := make([]float64, len(values))
+	for _, app := range c.Apps {
+		row := []string{app}
+		for vi := range values {
+			vi := vi
+			s, err := extraSavings(c, app, func(cfg *cluster.Config) { mutate(cfg, vi) })
+			if err != nil {
+				return nil, err
+			}
+			avg[vi] += s
+			row = append(row, metrics.Pct(s))
+		}
+		rows = append(rows, row)
+	}
+	note := fmt.Sprintf("average extra reduction by %s:", param)
+	for vi, v := range values {
+		note += fmt.Sprintf(" %s=%s %s", param, v, metrics.Pct(avg[vi]/float64(len(c.Apps))))
+	}
+	return &Result{ID: id, Title: title, Headers: headers, Rows: rows, Notes: []string{note}}, nil
+}
+
+// Fig13c sweeps the number of I/O nodes.
+func Fig13c(c Config) (*Result, error) {
+	nodes := []int{2, 4, 8, 16, 32}
+	values := make([]string, len(nodes))
+	for i, n := range nodes {
+		values[i] = fmt.Sprintf("%d", n)
+	}
+	return sweepResult("fig13c", "Energy reduction as the number of I/O nodes varies", "nodes", values, c,
+		func(cfg *cluster.Config, vi int) {
+			cfg.Layout = stripe.Layout{NumNodes: nodes[vi], StripeSize: cfg.Layout.StripeSize}
+			cfg.Net.NumNodes = nodes[vi]
+		})
+}
+
+// Fig13d sweeps the vertical reuse range δ.
+func Fig13d(c Config) (*Result, error) {
+	deltas := []int{5, 10, 20, 40, 80}
+	values := make([]string, len(deltas))
+	for i, d := range deltas {
+		values[i] = fmt.Sprintf("%d", d)
+	}
+	return sweepResult("fig13d", "Energy reduction as the value of delta varies", "delta", values, c,
+		func(cfg *cluster.Config, vi int) { cfg.Compiler.Delta = deltas[vi] })
+}
+
+// Fig14a sweeps θ for energy.
+func Fig14a(c Config) (*Result, error) {
+	thetas := []int{2, 4, 6, 8}
+	values := make([]string, len(thetas))
+	for i, th := range thetas {
+		values[i] = fmt.Sprintf("%d", th)
+	}
+	return sweepResult("fig14a", "Energy reduction as the value of theta varies", "theta", values, c,
+		func(cfg *cluster.Config, vi int) { cfg.Compiler.Theta = thetas[vi] })
+}
+
+// Fig14b sweeps θ for performance improvement of raising θ relative to the
+// most constrained setting (θ=2), with the scheme on.
+func Fig14b(c Config) (*Result, error) {
+	c = c.withDefaults()
+	thetas := []int{2, 4, 6, 8}
+	headers := []string{"App"}
+	for _, th := range thetas {
+		headers = append(headers, fmt.Sprintf("%d", th))
+	}
+	rows := make([][]string, 0, len(c.Apps))
+	for _, app := range c.Apps {
+		spec, err := workloads.ByName(app)
+		if err != nil {
+			return nil, err
+		}
+		times := make([]float64, len(thetas))
+		for ti, th := range thetas {
+			prog := spec.Build(c.Scale)
+			cfg := cluster.DefaultConfig()
+			cfg.Seed = c.Seed
+			cfg.Policy = power.Config{Kind: power.KindHistory}
+			cfg.Scheduling = true
+			cfg.Compiler.Theta = th
+			res, err := cluster.Run(prog, cfg)
+			if err != nil {
+				return nil, err
+			}
+			times[ti] = res.ExecTime.Seconds()
+		}
+		row := []string{app}
+		for _, t := range times {
+			row = append(row, metrics.Pct((times[0]-t)/times[0]))
+		}
+		rows = append(rows, row)
+	}
+	return &Result{ID: "fig14b", Title: "Performance improvement as theta varies (vs theta=2)",
+		Headers: headers, Rows: rows}, nil
+}
+
+// CacheSens varies the per-node storage-cache capacity (§V-D: 32 MB raises
+// the scheme's relative benefit, 256 MB lowers it).
+func CacheSens(c Config) (*Result, error) {
+	caps := []int64{32 << 20, 64 << 20, 256 << 20}
+	values := []string{"32MB", "64MB", "256MB"}
+	return sweepResult("cachesens", "Extra energy reduction vs storage-cache capacity", "cache", values, c,
+		func(cfg *cluster.Config, vi int) { cfg.Node.CacheBytes = caps[vi] })
+}
+
+// CompileCost measures the wall-clock cost of the compiler pass per app
+// (the paper reports ~1.4 s worst case, ~40% over the baseline compile).
+func CompileCost(c Config) (*Result, error) {
+	c = c.withDefaults()
+	rows := make([][]string, 0, len(c.Apps))
+	for _, app := range c.Apps {
+		spec, err := workloads.ByName(app)
+		if err != nil {
+			return nil, err
+		}
+		prog := spec.Build(c.Scale)
+		start := time.Now()
+		res, err := compiler.Compile(prog, compiler.DefaultOptions(32))
+		if err != nil {
+			return nil, err
+		}
+		wall := time.Since(start)
+		rows = append(rows, []string{
+			app,
+			fmt.Sprintf("%d", len(res.Accesses)),
+			fmt.Sprintf("%d", res.Program.Slots(32)),
+			fmt.Sprintf("%.3fs", wall.Seconds()),
+			fmt.Sprintf("%v", res.UsedProfiler),
+		})
+	}
+	return &Result{ID: "compile", Title: "Scheduling pass cost",
+		Headers: []string{"App", "Accesses", "Slots", "Wall time", "Profiler"},
+		Rows:    rows}, nil
+}
+
+// Ablations quantifies the design choices of §IV-B on the scheduling
+// algorithm itself (no cluster simulation): processing order, σ weights,
+// and the vertical reuse range, measured by packed node-slot activations
+// (lower = tighter grouping).
+func Ablations(c Config) (*Result, error) {
+	c = c.withDefaults()
+	type variant struct {
+		name   string
+		mutate func(*compiler.Options)
+	}
+	variants := []variant{
+		{"paper (slack order, weights, delta=20)", nil},
+		{"input order", func(o *compiler.Options) { o.Order = core.OrderInput }},
+		{"longest-slack first", func(o *compiler.Options) { o.Order = core.OrderLongestSlack }},
+		{"no position weights", func(o *compiler.Options) { o.NoWeights = true }},
+		{"delta=0 (horizontal only)", func(o *compiler.Options) { o.Delta = 0 }},
+		{"coalesced d=8 (Sec. IV-A)", func(o *compiler.Options) { o.CoalesceD = 8 }},
+	}
+	headers := []string{"Variant"}
+	headers = append(headers, c.Apps...)
+	rows := make([][]string, 0, len(variants))
+	for _, v := range variants {
+		row := []string{v.name}
+		for _, app := range c.Apps {
+			spec, err := workloads.ByName(app)
+			if err != nil {
+				return nil, err
+			}
+			prog := spec.Build(c.Scale)
+			opts := compiler.DefaultOptions(32)
+			if v.mutate != nil {
+				v.mutate(&opts)
+			}
+			res, err := compiler.Compile(prog, opts)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%d", res.Schedule.NodeActivations()))
+		}
+		rows = append(rows, row)
+	}
+	return &Result{ID: "ablations", Title: "Scheduler design ablations (node-slot activations; lower = tighter grouping)",
+		Headers: headers, Rows: rows}, nil
+}
+
+// Oracle compares the history-based policy against an oracle multi-speed
+// policy fed the true idle lengths recorded in a first pass — an upper
+// bound on what better prediction could buy (ablation beyond the paper).
+func Oracle(c Config) (*Result, error) {
+	c = c.withDefaults()
+	headers := []string{"App", "default (J)", "history (J)", "oracle (J)", "history saving", "oracle saving"}
+	rows := make([][]string, 0, len(c.Apps))
+	for _, app := range c.Apps {
+		spec, err := workloads.ByName(app)
+		if err != nil {
+			return nil, err
+		}
+		// Pass 1: Default Scheme, recording the gap trace.
+		var trace *metrics.GapTrace
+		cfg := cluster.DefaultConfig()
+		cfg.Seed = c.Seed
+		var eng0 *sim.Engine // captured by the factory below
+		cfg.PolicyFactory = func(eng *sim.Engine) (power.Policy, error) {
+			if trace == nil {
+				eng0 = eng
+				trace = metrics.NewGapTrace(func() sim.Time { return eng0.Now() })
+			}
+			return power.New(eng, power.Config{Kind: power.KindDefault})
+		}
+		cfg.ExtraIdleRecorder = traceHolder{&trace}
+		base, err := cluster.Run(spec.Build(c.Scale), cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Pass 2a: history.
+		cfgH := cluster.DefaultConfig()
+		cfgH.Seed = c.Seed
+		cfgH.Policy = power.Config{Kind: power.KindHistory}
+		hist, err := cluster.Run(spec.Build(c.Scale), cfgH)
+		if err != nil {
+			return nil, err
+		}
+		// Pass 2b: oracle replaying the recorded gaps.
+		cfgO := cluster.DefaultConfig()
+		cfgO.Seed = c.Seed
+		cfgO.PolicyFactory = func(eng *sim.Engine) (power.Policy, error) {
+			return power.NewOracle(eng, power.Config{}, trace), nil
+		}
+		orc, err := cluster.Run(spec.Build(c.Scale), cfgO)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, []string{
+			app,
+			fmt.Sprintf("%.0f", base.EnergyJ),
+			fmt.Sprintf("%.0f", hist.EnergyJ),
+			fmt.Sprintf("%.0f", orc.EnergyJ),
+			metrics.Pct(metrics.EnergySaving(hist.EnergyJ, base.EnergyJ)),
+			metrics.Pct(metrics.EnergySaving(orc.EnergyJ, base.EnergyJ)),
+		})
+	}
+	return &Result{ID: "oracle", Title: "Oracle prediction upper bound (ablation)",
+		Headers: headers, Rows: rows}, nil
+}
+
+// traceHolder defers recorder resolution until the trace exists (the
+// factory creates it on first use).
+type traceHolder struct{ t **metrics.GapTrace }
+
+func (h traceHolder) RecordIdle(d *disk.Disk, gap sim.Duration) {
+	if *h.t != nil {
+		(*h.t).RecordIdle(d, gap)
+	}
+}
+
+// PALRUCache compares the plain LRU storage cache against the power-aware
+// PA-LRU variant (eviction avoids blocks whose disk sleeps) under the
+// simple spin-down policy — the related-work direction (§VI) implemented
+// as an extension.
+func PALRUCache(c Config) (*Result, error) {
+	c = c.withDefaults()
+	headers := []string{"App", "LRU (J)", "PA-LRU (J)", "delta"}
+	rows := make([][]string, 0, len(c.Apps))
+	for _, app := range c.Apps {
+		spec, err := workloads.ByName(app)
+		if err != nil {
+			return nil, err
+		}
+		run := func(powerAware bool) (*cluster.Result, error) {
+			cfg := cluster.DefaultConfig()
+			cfg.Seed = c.Seed
+			cfg.Policy = power.Config{Kind: power.KindSimple}
+			cfg.Node.PowerAwareCache = powerAware
+			return cluster.Run(spec.Build(c.Scale), cfg)
+		}
+		lru, err := run(false)
+		if err != nil {
+			return nil, err
+		}
+		pal, err := run(true)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, []string{
+			app,
+			fmt.Sprintf("%.0f", lru.EnergyJ),
+			fmt.Sprintf("%.0f", pal.EnergyJ),
+			metrics.Pct(metrics.EnergySaving(pal.EnergyJ, lru.EnergyJ)),
+		})
+	}
+	return &Result{ID: "palru", Title: "Power-aware storage-cache replacement (extension)",
+		Headers: headers, Rows: rows}, nil
+}

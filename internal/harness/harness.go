@@ -1,0 +1,194 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (§V): the Table III application baseline, the idle-period CDFs
+// of Fig. 12(a)/(b), the normalized-energy bars of Fig. 12(c)/(d), the
+// performance-degradation bars of Fig. 13(a)/(b), and the sensitivity
+// sweeps of Fig. 13(c)/(d), Fig. 14(a)/(b) and the storage-cache paragraph
+// of §V-D. Each experiment is a named, self-contained function from a
+// Config to printable rows, shared by cmd/sddstables and the benchmark
+// harness in bench_test.go.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"sdds/internal/cluster"
+	"sdds/internal/metrics"
+	"sdds/internal/power"
+	"sdds/internal/workloads"
+)
+
+// Config scopes a harness run.
+type Config struct {
+	// Scale multiplies workload trip counts (1.0 = full evaluation size;
+	// benchmarks use smaller scales).
+	Scale float64
+	// Apps restricts the applications (nil = all six).
+	Apps []string
+	// Seed feeds the cluster simulations.
+	Seed int64
+}
+
+// DefaultConfig runs everything at full scale.
+func DefaultConfig() Config { return Config{Scale: 1.0, Seed: 1} }
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1.0
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if len(c.Apps) == 0 {
+		c.Apps = workloads.Names()
+	}
+	return c
+}
+
+// Result of one experiment: a title, column headers and rows, pre-rendered
+// by Render.
+type Result struct {
+	ID      string
+	Title   string
+	Headers []string
+	Rows    [][]string
+	// Notes carries shape observations (e.g. averages) printed after the
+	// table.
+	Notes []string
+	// Chart, when non-nil, renders the result as the paper's bar figure.
+	Chart *metrics.BarChart
+}
+
+// Render returns the printable experiment output.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	b.WriteString(metrics.Table(r.Headers, r.Rows))
+	if r.Chart != nil {
+		b.WriteByte('\n')
+		b.WriteString(r.Chart.Render())
+	}
+	for _, n := range r.Notes {
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Experiment is a runnable paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Config) (*Result, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "table2", Title: "Table II: main experimental parameters", Run: Table2},
+		{ID: "table3", Title: "Table III: application programs (Default Scheme baseline)", Run: Table3},
+		{ID: "fig12a", Title: "Fig. 12(a): CDF of idle periods without the scheme", Run: Fig12a},
+		{ID: "fig12b", Title: "Fig. 12(b): CDF of idle periods with the scheme", Run: Fig12b},
+		{ID: "fig12c", Title: "Fig. 12(c): normalized energy without the scheme", Run: Fig12c},
+		{ID: "fig12d", Title: "Fig. 12(d): normalized energy with the scheme", Run: Fig12d},
+		{ID: "fig13a", Title: "Fig. 13(a): performance degradation without the scheme", Run: Fig13a},
+		{ID: "fig13b", Title: "Fig. 13(b): performance degradation with the scheme", Run: Fig13b},
+		{ID: "fig13c", Title: "Fig. 13(c): energy reduction vs number of I/O nodes", Run: Fig13c},
+		{ID: "fig13d", Title: "Fig. 13(d): energy reduction vs delta", Run: Fig13d},
+		{ID: "fig14a", Title: "Fig. 14(a): energy reduction vs theta", Run: Fig14a},
+		{ID: "fig14b", Title: "Fig. 14(b): performance improvement vs theta", Run: Fig14b},
+		{ID: "cachesens", Title: "Sec. V-D: storage-cache capacity sensitivity", Run: CacheSens},
+		{ID: "compile", Title: "Sec. V-A: compilation (scheduling pass) cost", Run: CompileCost},
+		{ID: "oracle", Title: "Oracle prediction upper bound (ablation)", Run: Oracle},
+		{ID: "palru", Title: "Power-aware storage-cache replacement (extension)", Run: PALRUCache},
+		{ID: "ablations", Title: "Design ablations (ordering, weights, vertical range)", Run: Ablations},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0, len(All()))
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("harness: unknown experiment %q (have %v)", id, ids)
+}
+
+// runKey memoizes default-configuration runs across experiments within one
+// process: fig13a reuses fig12c's runs, every experiment reuses the
+// baselines, and a full `sddstables` pass does each configuration once.
+type runKey struct {
+	app        string
+	kind       power.Kind
+	scheduling bool
+	scale      float64
+	seed       int64
+}
+
+var (
+	runMu   sync.Mutex
+	runMemo = map[runKey]*cluster.Result{}
+)
+
+// MemoSize reports how many distinct configurations have been simulated in
+// this process (diagnostics for long sddstables runs).
+func MemoSize() int {
+	runMu.Lock()
+	defer runMu.Unlock()
+	return len(runMemo)
+}
+
+// runOne executes one (app × policy × scheme) configuration under the
+// default cluster config, memoizing the result.
+func runOne(c Config, app string, kind power.Kind, scheduling bool) (*cluster.Result, error) {
+	key := runKey{app, kind, scheduling, c.Scale, c.Seed}
+	runMu.Lock()
+	if res, ok := runMemo[key]; ok {
+		runMu.Unlock()
+		return res, nil
+	}
+	runMu.Unlock()
+	spec, err := workloads.ByName(app)
+	if err != nil {
+		return nil, err
+	}
+	prog := spec.Build(c.Scale)
+	cfg := cluster.DefaultConfig()
+	cfg.Seed = c.Seed
+	cfg.Policy = power.Config{Kind: kind}
+	cfg.Scheduling = scheduling
+	res, err := cluster.Run(prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	runMu.Lock()
+	runMemo[key] = res
+	runMu.Unlock()
+	return res, nil
+}
+
+// baselines runs the Default Scheme for every app once and caches the
+// results within one harness invocation.
+type baselineSet struct {
+	byApp map[string]*cluster.Result
+}
+
+func runBaselines(c Config) (*baselineSet, error) {
+	out := &baselineSet{byApp: make(map[string]*cluster.Result, len(c.Apps))}
+	for _, app := range c.Apps {
+		res, err := runOne(c, app, power.KindDefault, false)
+		if err != nil {
+			return nil, err
+		}
+		out.byApp[app] = res
+	}
+	return out, nil
+}

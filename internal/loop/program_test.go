@@ -1,0 +1,256 @@
+package loop
+
+import (
+	"strings"
+	"testing"
+
+	"sdds/internal/sim"
+)
+
+// twoNestProgram: nest 0 writes file 0 in parallel; nest 1 reads it back.
+func twoNestProgram() *Program {
+	return &Program{
+		Name:  "test",
+		Files: []File{{ID: 0, Name: "data", Size: 1 << 20}},
+		Nests: []Nest{
+			{
+				Name: "produce", Trips: 16, Parallel: true,
+				Body: []Stmt{
+					{Kind: StmtWrite, File: 0, Region: Affine{IterCoef: 1024, Len: 1024}},
+					{Kind: StmtCompute, Cost: sim.MilliToTime(1)},
+				},
+			},
+			{
+				Name: "consume", Trips: 16, Parallel: true,
+				Body: []Stmt{
+					{Kind: StmtRead, File: 0, Region: Affine{IterCoef: 1024, Len: 1024}},
+				},
+			},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := twoNestProgram().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Program){
+		func(p *Program) { p.Nests = nil },
+		func(p *Program) { p.Files[0].Size = 0 },
+		func(p *Program) { p.Files = append(p.Files, File{ID: 0, Size: 1}) },
+		func(p *Program) { p.Nests[0].Trips = 0 },
+		func(p *Program) { p.Nests[0].Body[0].File = 99 },
+		func(p *Program) { p.Nests[0].Body[0].Region.Len = 0 },
+		func(p *Program) { p.Nests[0].Body[1].Cost = -1 },
+		func(p *Program) { p.Nests[0].Body[0].Kind = StmtKind(9) },
+	}
+	for i, mutate := range cases {
+		p := twoNestProgram()
+		mutate(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d validated", i)
+		}
+	}
+}
+
+func TestIsAffine(t *testing.T) {
+	p := twoNestProgram()
+	if !p.IsAffine() {
+		t.Fatal("affine program reported non-affine")
+	}
+	p.Nests[0].Body[0].Custom = func(i, proc int) (int64, int64) { return 0, 1 }
+	if p.IsAffine() {
+		t.Fatal("custom region reported affine")
+	}
+}
+
+func TestSlotsAndOffsets(t *testing.T) {
+	p := twoNestProgram()
+	// 16 trips over 4 procs → 4 slots per nest.
+	if got := p.Slots(4); got != 8 {
+		t.Fatalf("Slots(4) = %d, want 8", got)
+	}
+	if got := p.NestSlotOffset(4, 1); got != 4 {
+		t.Fatalf("NestSlotOffset(4,1) = %d, want 4", got)
+	}
+	// Serial nest contributes full trips.
+	p.Nests[0].Parallel = false
+	if got := p.Slots(4); got != 20 {
+		t.Fatalf("Slots with serial nest = %d, want 20", got)
+	}
+}
+
+func TestIterOfBlockDecomposition(t *testing.T) {
+	p := twoNestProgram()
+	// Proc 2 of 4, nest 0: block = iterations 8..11.
+	for k := 0; k < 4; k++ {
+		iter, ok := p.IterOf(4, 0, 2, k)
+		if !ok || iter != 8+k {
+			t.Fatalf("IterOf(proc2,k=%d) = %d, %v", k, iter, ok)
+		}
+	}
+	if _, ok := p.IterOf(4, 0, 2, 4); ok {
+		t.Fatal("out-of-chunk slot executed")
+	}
+	// Ragged tail: 10 trips over 4 procs → chunk 3; proc 3 runs only iter 9.
+	p.Nests[0].Trips = 10
+	if iter, ok := p.IterOf(4, 0, 3, 0); !ok || iter != 9 {
+		t.Fatalf("ragged IterOf = %d, %v", iter, ok)
+	}
+	if _, ok := p.IterOf(4, 0, 3, 1); ok {
+		t.Fatal("phantom iteration past trip count")
+	}
+}
+
+func TestInstancesEnumeration(t *testing.T) {
+	p := twoNestProgram()
+	insts := p.Instances(4)
+	// 16 writes + 16 reads.
+	var reads, writes int
+	for _, in := range insts {
+		switch in.Kind {
+		case StmtRead:
+			reads++
+		case StmtWrite:
+			writes++
+		}
+		if in.Length != 1024 {
+			t.Fatalf("instance length %d", in.Length)
+		}
+	}
+	if reads != 16 || writes != 16 {
+		t.Fatalf("reads=%d writes=%d", reads, writes)
+	}
+	// Offsets cover the full 16 KB region uniquely per kind.
+	seen := map[int64]int{}
+	for _, in := range insts {
+		if in.Kind == StmtWrite {
+			seen[in.Offset]++
+		}
+	}
+	if len(seen) != 16 {
+		t.Fatalf("distinct write offsets = %d", len(seen))
+	}
+}
+
+func TestEveryStride(t *testing.T) {
+	p := &Program{
+		Files: []File{{ID: 0, Name: "f", Size: 1 << 20}},
+		Nests: []Nest{{
+			Trips: 12, Parallel: false,
+			Body: []Stmt{{Kind: StmtRead, File: 0, Region: Affine{Len: 64}, Every: 4}},
+		}},
+	}
+	insts := p.Instances(1)
+	if len(insts) != 3 { // iterations 0, 4, 8
+		t.Fatalf("Every=4 over 12 trips → %d instances, want 3", len(insts))
+	}
+}
+
+func TestSerialNestReplicated(t *testing.T) {
+	p := &Program{
+		Files: []File{{ID: 0, Name: "f", Size: 1 << 20}},
+		Nests: []Nest{{
+			Trips: 2, Parallel: false,
+			Body: []Stmt{{Kind: StmtRead, File: 0, Region: Affine{Len: 64}}},
+		}},
+	}
+	insts := p.Instances(4)
+	if len(insts) != 8 { // every proc executes both iterations
+		t.Fatalf("serial nest instances = %d, want 8", len(insts))
+	}
+}
+
+func TestAffineAt(t *testing.T) {
+	a := Affine{Base: 100, IterCoef: 10, ProcCoef: 1000, Len: 7}
+	off, l := a.At(3, 2)
+	if off != 2130 || l != 7 {
+		t.Fatalf("At = %d, %d", off, l)
+	}
+}
+
+func TestSlackLen(t *testing.T) {
+	s := Slack{Begin: 4, End: 9}
+	if s.Len() != 6 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestFileByID(t *testing.T) {
+	p := twoNestProgram()
+	if f, ok := p.FileByID(0); !ok || f.Name != "data" {
+		t.Fatalf("FileByID = %+v, %v", f, ok)
+	}
+	if _, ok := p.FileByID(42); ok {
+		t.Fatal("phantom file found")
+	}
+}
+
+func TestStmtKindString(t *testing.T) {
+	if StmtRead.String() != "read" || StmtWrite.String() != "write" || StmtCompute.String() != "compute" {
+		t.Fatal("kind names wrong")
+	}
+	if StmtKind(0).String() != "invalid" {
+		t.Fatal("zero kind must be invalid")
+	}
+}
+
+func TestRenderProgram(t *testing.T) {
+	p := twoNestProgram()
+	out := p.Render()
+	for _, want := range []string{
+		"program test",
+		`MPI_File_open(..., "data", &fh_data, ...)`,
+		"for i = 1, 16, 1",
+		"MPI_File_read(fh_data",
+		"MPI_File_write(fh_data",
+		"MPI_File_close(&fh_data)",
+		"block-distributed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderNonAffineNote(t *testing.T) {
+	p := twoNestProgram()
+	p.Nests[1].Body[0].Custom = func(i, proc int) (int64, int64) { return 0, 64 }
+	if !strings.Contains(p.Render(), "non-affine") {
+		t.Fatal("non-affine statement not flagged")
+	}
+	if !strings.Contains(p.Render(), "custom(i, p)") {
+		t.Fatal("custom region not rendered")
+	}
+}
+
+func TestByteSize(t *testing.T) {
+	cases := map[int64]string{
+		512:      "512B",
+		64 << 10: "64KB",
+		3 << 20:  "3MB",
+		2 << 30:  "2GB",
+		1500:     "1500B",
+	}
+	for in, want := range cases {
+		if got := byteSize(in); got != want {
+			t.Errorf("byteSize(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRenderEveryGuardAndStride(t *testing.T) {
+	p := &Program{
+		Name:  "g",
+		Files: []File{{ID: 0, Name: "f", Size: 1 << 20}},
+		Nests: []Nest{{Trips: 8, Body: []Stmt{
+			{Kind: StmtRead, File: 0, Region: Affine{Base: 64 << 10, IterCoef: 128 << 10, ProcCoef: 1 << 20, Len: 64 << 10}, Every: 4},
+		}}},
+	}
+	out := p.Render()
+	for _, want := range []string{"if (i % 4 == 0)", "64KB + 128KB*i + 1MB*p", "len=64KB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %s", want, out)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package loop
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render prints the program as MPI-IO-style pseudo-code in the shape of the
+// paper's Fig. 5 — used by sddsim -describe and the documentation.
+func (p *Program) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n", p.Name)
+	for _, f := range p.Files {
+		fmt.Fprintf(&b, "MPI_File_open(..., %q, &fh_%s, ...);  // %s\n",
+			f.Name, f.Name, byteSize(f.Size))
+	}
+	for _, n := range p.Nests {
+		par := ""
+		if n.Parallel {
+			par = "  // block-distributed over processes"
+		}
+		fmt.Fprintf(&b, "for i = 1, %d, 1 {  // %s%s\n", n.Trips, n.Name, par)
+		if n.IterCost > 0 {
+			fmt.Fprintf(&b, "    compute(%.0f ms);\n", n.IterCost.Milliseconds())
+		}
+		for _, s := range n.Body {
+			guard := ""
+			if s.Every > 1 {
+				guard = fmt.Sprintf("if (i %% %d == 0) ", s.Every)
+			}
+			switch s.Kind {
+			case StmtRead:
+				fmt.Fprintf(&b, "    %sMPI_File_read(fh_%s, %s);%s\n",
+					guard, p.fileName(s.File), regionString(s), nonAffineNote(s))
+			case StmtWrite:
+				fmt.Fprintf(&b, "    %sMPI_File_write(fh_%s, %s);%s\n",
+					guard, p.fileName(s.File), regionString(s), nonAffineNote(s))
+			case StmtCompute:
+				fmt.Fprintf(&b, "    compute(%.0f ms);\n", s.Cost.Milliseconds())
+			}
+		}
+		b.WriteString("}\n")
+	}
+	for _, f := range p.Files {
+		fmt.Fprintf(&b, "MPI_File_close(&fh_%s);\n", f.Name)
+	}
+	return b.String()
+}
+
+func (p *Program) fileName(id int) string {
+	if f, ok := p.FileByID(id); ok {
+		return f.Name
+	}
+	return fmt.Sprintf("file%d", id)
+}
+
+func regionString(s Stmt) string {
+	if s.Custom != nil {
+		return "custom(i, p)"
+	}
+	r := s.Region
+	var parts []string
+	if r.Base != 0 {
+		parts = append(parts, byteSize(r.Base))
+	}
+	if r.IterCoef != 0 {
+		parts = append(parts, fmt.Sprintf("%s*i", byteSize(r.IterCoef)))
+	}
+	if r.ProcCoef != 0 {
+		parts = append(parts, fmt.Sprintf("%s*p", byteSize(r.ProcCoef)))
+	}
+	off := strings.Join(parts, " + ")
+	if off == "" {
+		off = "0"
+	}
+	return fmt.Sprintf("off=%s, len=%s", off, byteSize(r.Len))
+}
+
+func nonAffineNote(s Stmt) string {
+	if s.Custom != nil {
+		return "  // non-affine: profiling tool required"
+	}
+	return ""
+}
+
+// byteSize renders a byte count compactly (KB/MB/GB).
+func byteSize(v int64) string {
+	switch {
+	case v >= 1<<30 && v%(1<<30) == 0:
+		return fmt.Sprintf("%dGB", v>>30)
+	case v >= 1<<20 && v%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", v>>20)
+	case v >= 1<<10 && v%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", v>>10)
+	default:
+		return fmt.Sprintf("%dB", v)
+	}
+}

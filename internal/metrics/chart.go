@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// BarChart renders grouped horizontal bars in plain text — the harness's
+// stand-in for the paper's bar figures (Figs. 12(c)/(d), 13, 14). Values
+// are fractions (e.g. normalized energy); one row per (group, series).
+type BarChart struct {
+	Title  string
+	Groups []string    // e.g. application names
+	Series []string    // e.g. policy names
+	Values [][]float64 // [group][series], fractions in [0, Max]
+	// Max is the full-scale value (default 1.0).
+	Max float64
+	// Width is the bar width in characters (default 40).
+	Width int
+}
+
+// Render draws the chart.
+func (c *BarChart) Render() string {
+	maxV := c.Max
+	if maxV <= 0 {
+		maxV = 1.0
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	labelW := 0
+	for _, g := range c.Groups {
+		for _, s := range c.Series {
+			if n := len(g) + len(s) + 1; n > labelW {
+				labelW = n
+			}
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for gi, g := range c.Groups {
+		if gi >= len(c.Values) {
+			break
+		}
+		for si, s := range c.Series {
+			if si >= len(c.Values[gi]) {
+				break
+			}
+			v := c.Values[gi][si]
+			frac := v / maxV
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			n := int(math.Round(frac * float64(width)))
+			label := fmt.Sprintf("%s/%s", g, s)
+			fmt.Fprintf(&b, "%-*s |%s%s| %s\n",
+				labelW, label,
+				strings.Repeat("#", n), strings.Repeat(" ", width-n),
+				Pct(v))
+		}
+		if gi < len(c.Groups)-1 {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Sparkline renders a series of fractions (0..1) as a compact one-line
+// profile — used for CDF quick-looks in logs.
+func Sparkline(fracs []float64) string {
+	levels := []rune("▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	for _, f := range fracs {
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		i := int(f * float64(len(levels)-1))
+		b.WriteRune(levels[i])
+	}
+	return b.String()
+}

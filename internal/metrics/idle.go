@@ -1,0 +1,141 @@
+// Package metrics provides the measurement plumbing for the evaluation:
+// idle-period histograms and CDFs with the paper's bucket boundaries
+// (Fig. 12(a)/(b)), energy normalization and performance-degradation math
+// (Figs. 12(c)/(d) and 13), and plain-text table rendering for the harness.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"sdds/internal/disk"
+	"sdds/internal/sim"
+)
+
+// PaperBucketsMs are the idleness bucket upper bounds (milliseconds) used on
+// the x axis of Fig. 12; the final +Inf bucket corresponds to "50,000+".
+var PaperBucketsMs = []float64{5, 10, 50, 100, 500, 1000, 5000, 10000, 20000, 30000, 40000, 50000}
+
+// IdleHistogram accumulates idle-gap durations into fixed buckets, keeping
+// memory constant regardless of run length.
+type IdleHistogram struct {
+	boundsMs []float64
+	counts   []int64 // len(boundsMs)+1; last is the overflow bucket
+	total    int64
+	sum      sim.Duration
+	max      sim.Duration
+}
+
+// NewIdleHistogram returns a histogram over the paper's buckets.
+func NewIdleHistogram() *IdleHistogram { return NewIdleHistogramWith(PaperBucketsMs) }
+
+// NewIdleHistogramWith returns a histogram over custom ascending bucket
+// bounds in milliseconds.
+func NewIdleHistogramWith(boundsMs []float64) *IdleHistogram {
+	b := make([]float64, len(boundsMs))
+	copy(b, boundsMs)
+	return &IdleHistogram{boundsMs: b, counts: make([]int64, len(b)+1)}
+}
+
+// Record adds one idle gap.
+func (h *IdleHistogram) Record(gap sim.Duration) {
+	if gap < 0 {
+		return
+	}
+	ms := gap.Milliseconds()
+	i := 0
+	for i < len(h.boundsMs) && ms > h.boundsMs[i] {
+		i++
+	}
+	h.counts[i]++
+	h.total++
+	h.sum += gap
+	if gap > h.max {
+		h.max = gap
+	}
+}
+
+// RecordIdle implements disk.IdleRecorder so a histogram can be installed
+// directly on a disk.
+func (h *IdleHistogram) RecordIdle(_ *disk.Disk, gap sim.Duration) { h.Record(gap) }
+
+var _ disk.IdleRecorder = (*IdleHistogram)(nil)
+
+// Count returns the number of recorded gaps.
+func (h *IdleHistogram) Count() int64 { return h.total }
+
+// Mean returns the mean gap, or 0 with no samples.
+func (h *IdleHistogram) Mean() sim.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / sim.Duration(h.total)
+}
+
+// Max returns the largest recorded gap.
+func (h *IdleHistogram) Max() sim.Duration { return h.max }
+
+// Merge folds other into h. Bucket layouts must match.
+func (h *IdleHistogram) Merge(other *IdleHistogram) error {
+	if len(other.counts) != len(h.counts) {
+		return fmt.Errorf("metrics: merging histograms with %d and %d buckets", len(h.counts), len(other.counts))
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+	return nil
+}
+
+// CDFPoint is one point of the cumulative distribution: the fraction of
+// gaps at most BoundMs milliseconds long.
+type CDFPoint struct {
+	BoundMs float64
+	Frac    float64
+}
+
+// CDF returns the cumulative distribution over the bucket bounds (the
+// overflow bucket brings the last implicit point to 1.0 and is omitted).
+func (h *IdleHistogram) CDF() []CDFPoint {
+	out := make([]CDFPoint, len(h.boundsMs))
+	var cum int64
+	for i, b := range h.boundsMs {
+		cum += h.counts[i]
+		frac := 0.0
+		if h.total > 0 {
+			frac = float64(cum) / float64(h.total)
+		}
+		out[i] = CDFPoint{BoundMs: b, Frac: frac}
+	}
+	return out
+}
+
+// FracAtMost returns the fraction of gaps with length ≤ ms. ms must be one
+// of the bucket bounds; other values are rounded up to the next bound.
+func (h *IdleHistogram) FracAtMost(ms float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var cum int64
+	for i, b := range h.boundsMs {
+		cum += h.counts[i]
+		if ms <= b {
+			return float64(cum) / float64(h.total)
+		}
+	}
+	return 1
+}
+
+// String renders the CDF compactly for logs.
+func (h *IdleHistogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "idle CDF (%d gaps):", h.total)
+	for _, p := range h.CDF() {
+		fmt.Fprintf(&b, " ≤%gms:%.1f%%", p.BoundMs, p.Frac*100)
+	}
+	return b.String()
+}

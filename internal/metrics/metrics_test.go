@@ -1,0 +1,175 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sdds/internal/sim"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewIdleHistogram()
+	// One gap per paper bucket plus one overflow.
+	gaps := []float64{3, 8, 30, 80, 300, 800, 3000, 8000, 15000, 25000, 35000, 45000, 99999}
+	for _, ms := range gaps {
+		h.Record(sim.MilliToTime(ms))
+	}
+	if h.Count() != int64(len(gaps)) {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	cdf := h.CDF()
+	if len(cdf) != len(PaperBucketsMs) {
+		t.Fatalf("CDF length %d", len(cdf))
+	}
+	// Each bound should include exactly one more sample.
+	for i, p := range cdf {
+		want := float64(i+1) / float64(len(gaps))
+		if math.Abs(p.Frac-want) > 1e-9 {
+			t.Fatalf("CDF[%d] = %v, want %v", i, p.Frac, want)
+		}
+	}
+	if h.FracAtMost(50000) >= 1 {
+		t.Fatal("overflow sample included below the last bound")
+	}
+}
+
+func TestHistogramBoundIsInclusive(t *testing.T) {
+	h := NewIdleHistogram()
+	h.Record(sim.MilliToTime(5)) // exactly on the first bound
+	if got := h.FracAtMost(5); got != 1 {
+		t.Fatalf("FracAtMost(5) = %v, want 1 (bounds are inclusive)", got)
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	h := NewIdleHistogram()
+	if h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram stats nonzero")
+	}
+	h.Record(sim.MilliToTime(10))
+	h.Record(sim.MilliToTime(30))
+	if got := h.Mean(); got != sim.MilliToTime(20) {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := h.Max(); got != sim.MilliToTime(30) {
+		t.Fatalf("Max = %v", got)
+	}
+	h.Record(-1) // ignored
+	if h.Count() != 2 {
+		t.Fatal("negative gap recorded")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewIdleHistogram(), NewIdleHistogram()
+	a.Record(sim.MilliToTime(3))
+	b.Record(sim.MilliToTime(700))
+	b.Record(sim.MilliToTime(99999))
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 3 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if err := a.Merge(NewIdleHistogramWith([]float64{1})); err == nil {
+		t.Fatal("merge with mismatched buckets succeeded")
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewIdleHistogram()
+	h.Record(sim.MilliToTime(3))
+	s := h.String()
+	if !strings.Contains(s, "1 gaps") || !strings.Contains(s, "≤5ms:100.0%") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+// Property: a CDF is monotone nondecreasing in [0,1] for any sample set.
+func TestPropertyCDFMonotone(t *testing.T) {
+	f := func(gapsMs []uint32) bool {
+		h := NewIdleHistogram()
+		for _, g := range gapsMs {
+			h.Record(sim.MilliToTime(float64(g % 100000)))
+		}
+		cdf := h.CDF()
+		if !sort.SliceIsSorted(cdf, func(i, j int) bool { return cdf[i].Frac < cdf[j].Frac }) {
+			// Equal fractions are fine; check nondecreasing explicitly.
+			for i := 1; i < len(cdf); i++ {
+				if cdf[i].Frac < cdf[i-1].Frac {
+					return false
+				}
+			}
+		}
+		for _, p := range cdf {
+			if p.Frac < 0 || p.Frac > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnergyMath(t *testing.T) {
+	if got := NormalizedEnergy(80, 100); got != 0.8 {
+		t.Fatalf("NormalizedEnergy = %v", got)
+	}
+	if got := EnergySaving(80, 100); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("EnergySaving = %v", got)
+	}
+	if NormalizedEnergy(1, 0) != 0 || EnergySaving(1, 0) != 0 {
+		t.Fatal("zero baseline must yield 0")
+	}
+}
+
+func TestDegradationAndImprovement(t *testing.T) {
+	if got := Degradation(110, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("Degradation = %v", got)
+	}
+	if got := Improvement(90, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("Improvement = %v", got)
+	}
+	if Degradation(5, 0) != 0 {
+		t.Fatal("zero baseline must yield 0")
+	}
+}
+
+func TestMeanAndPct(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := Pct(0.127); got != "12.7%" {
+		t.Fatalf("Pct = %q", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	out := Table([]string{"App", "Energy"}, [][]string{
+		{"hf", "3637.4"},
+		{"sar", "1227.3"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "App") || !strings.Contains(lines[0], "Energy") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Fatalf("rule = %q", lines[1])
+	}
+	// Columns align: "Energy" starts at the same offset in all rows.
+	col := strings.Index(lines[0], "Energy")
+	if strings.Index(lines[2], "3637.4") != col {
+		t.Fatalf("misaligned column:\n%s", out)
+	}
+}

@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"sdds/internal/sim"
+)
+
+// NormalizedEnergy returns energy/baseline — the y axis of Figs. 12(c)/(d).
+// A baseline of zero yields 0.
+func NormalizedEnergy(energyJ, baselineJ float64) float64 {
+	if baselineJ <= 0 {
+		return 0
+	}
+	return energyJ / baselineJ
+}
+
+// EnergySaving returns 1 − energy/baseline (the "savings" the paper quotes
+// in §V-B/§V-C).
+func EnergySaving(energyJ, baselineJ float64) float64 {
+	if baselineJ <= 0 {
+		return 0
+	}
+	return 1 - energyJ/baselineJ
+}
+
+// Degradation returns (t − baseline)/baseline — the performance-degradation
+// y axis of Fig. 13(a)/(b). Negative values mean the run got faster.
+func Degradation(t, baseline sim.Duration) float64 {
+	if baseline <= 0 {
+		return 0
+	}
+	return float64(t-baseline) / float64(baseline)
+}
+
+// Improvement returns (baseline − t)/baseline (Fig. 14(b)'s y axis).
+func Improvement(t, baseline sim.Duration) float64 { return -Degradation(t, baseline) }
+
+// Mean returns the arithmetic mean of xs, or 0 when empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Pct renders a fraction as a percentage with one decimal, e.g. "12.7%".
+func Pct(frac float64) string { return fmt.Sprintf("%.1f%%", frac*100) }
+
+// Table renders rows as an aligned plain-text table with a header rule, the
+// format cmd/sddstables prints.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}

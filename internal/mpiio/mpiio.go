@@ -1,0 +1,152 @@
+// Package mpiio is the I/O middleware of the simulated stack (§V-A: MPI-IO
+// on top of PVFS): it exposes file-level read/write calls, fans each byte
+// range out into stripe-unit chunks across the I/O nodes (Fig. 1), moves
+// the bytes over the network model and completes when the last chunk lands.
+// Both the application processes and the runtime data access scheduler
+// issue their accesses through this layer.
+package mpiio
+
+import (
+	"fmt"
+
+	"sdds/internal/ionode"
+	"sdds/internal/netsim"
+	"sdds/internal/sim"
+	"sdds/internal/stripe"
+)
+
+// FileInfo describes an open file.
+type FileInfo struct {
+	ID   int
+	Name string
+	Size int64
+}
+
+// Middleware routes file I/O to the I/O nodes.
+type Middleware struct {
+	eng    *sim.Engine
+	layout stripe.Layout
+	nodes  []*ionode.Node
+	net    *netsim.Network
+	files  map[int]FileInfo
+
+	reads, writes int64
+}
+
+// New wires the middleware. The node slice length must equal the layout's
+// NumNodes.
+func New(eng *sim.Engine, layout stripe.Layout, nodes []*ionode.Node, net *netsim.Network) (*Middleware, error) {
+	if err := layout.Validate(); err != nil {
+		return nil, err
+	}
+	if len(nodes) != layout.NumNodes {
+		return nil, fmt.Errorf("mpiio: %d nodes for a %d-node layout", len(nodes), layout.NumNodes)
+	}
+	return &Middleware{
+		eng:    eng,
+		layout: layout,
+		nodes:  nodes,
+		net:    net,
+		files:  make(map[int]FileInfo),
+	}, nil
+}
+
+// Open registers a file (MPI_File_open). Re-opening the same id is allowed
+// and idempotent.
+func (m *Middleware) Open(id int, name string, size int64) (FileInfo, error) {
+	if size <= 0 {
+		return FileInfo{}, fmt.Errorf("mpiio: file %q size %d must be positive", name, size)
+	}
+	fi := FileInfo{ID: id, Name: name, Size: size}
+	m.files[id] = fi
+	return fi, nil
+}
+
+// Layout returns the striping layout.
+func (m *Middleware) Layout() stripe.Layout { return m.layout }
+
+// Stats returns cumulative read/write call counts.
+func (m *Middleware) Stats() (reads, writes int64) { return m.reads, m.writes }
+
+// wrap keeps scaled-down file sizes addressable: offsets beyond the file
+// wrap around, preserving the node-visit pattern of the original trace.
+func (m *Middleware) wrap(file int, offset int64) int64 {
+	fi, ok := m.files[file]
+	if !ok || fi.Size <= 0 {
+		return offset
+	}
+	if offset < 0 {
+		offset = -offset
+	}
+	return offset % fi.Size
+}
+
+// Read fetches [offset, offset+length) of file, invoking done when every
+// chunk has been read on its I/O node and transferred back over the
+// network (MPI_File_read).
+func (m *Middleware) Read(file int, offset, length int64, done func(now sim.Time)) error {
+	if length <= 0 {
+		return fmt.Errorf("mpiio: read length %d must be positive", length)
+	}
+	m.reads++
+	return m.forEachChunk(file, offset, length, func(c stripe.Chunk, chunkDone func(sim.Time)) error {
+		node := m.nodes[c.Node]
+		return node.Read(file, c.Unit, c.Offset, c.Length, func(sim.Time) {
+			// Ship the chunk back to the client.
+			if err := m.net.Transfer(c.Node, c.Length, chunkDone); err != nil {
+				// Transfer setup errors are programming errors; complete
+				// the chunk so callers don't hang.
+				m.eng.Schedule(0, "mpiio.read-err", chunkDone)
+			}
+		})
+	}, done)
+}
+
+// Write stores [offset, offset+length) of file: data moves to each node
+// over the network, then the node writes it (MPI_File_write).
+func (m *Middleware) Write(file int, offset, length int64, done func(now sim.Time)) error {
+	if length <= 0 {
+		return fmt.Errorf("mpiio: write length %d must be positive", length)
+	}
+	m.writes++
+	return m.forEachChunk(file, offset, length, func(c stripe.Chunk, chunkDone func(sim.Time)) error {
+		node := m.nodes[c.Node]
+		return m.net.Transfer(c.Node, c.Length, func(sim.Time) {
+			if err := node.Write(file, c.Unit, c.Offset, c.Length, chunkDone); err != nil {
+				m.eng.Schedule(0, "mpiio.write-err", chunkDone)
+			}
+		})
+	}, done)
+}
+
+// SignatureFor returns the I/O-node signature of a byte range of a file
+// (after wrap normalization) — what the compiler attaches to accesses.
+func (m *Middleware) SignatureFor(file int, offset, length int64) stripe.Signature {
+	return m.layout.SignatureFor(m.wrap(file, offset), length)
+}
+
+// forEachChunk splits the range, dispatches fn per chunk and calls done
+// when all chunks complete.
+func (m *Middleware) forEachChunk(file int, offset, length int64, fn func(stripe.Chunk, func(sim.Time)) error, done func(now sim.Time)) error {
+	offset = m.wrap(file, offset)
+	chunks := m.layout.Chunks(offset, length)
+	if len(chunks) == 0 {
+		return fmt.Errorf("mpiio: empty chunk set for off=%d len=%d", offset, length)
+	}
+	remaining := len(chunks)
+	chunkDone := func(now sim.Time) {
+		remaining--
+		if remaining == 0 && done != nil {
+			done(now)
+		}
+	}
+	for _, c := range chunks {
+		if c.Node < 0 || c.Node >= len(m.nodes) {
+			return fmt.Errorf("mpiio: chunk mapped to invalid node %d", c.Node)
+		}
+		if err := fn(c, chunkDone); err != nil {
+			return err
+		}
+	}
+	return nil
+}

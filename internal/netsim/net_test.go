@@ -1,0 +1,90 @@
+package netsim
+
+import (
+	"testing"
+
+	"sdds/internal/sim"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(8).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{LatencyOneWay: -1, LinkMBps: 1, NumNodes: 1},
+		{LinkMBps: 0, NumNodes: 1},
+		{LinkMBps: 1, NumNodes: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d validated", i)
+		}
+	}
+}
+
+func TestTransferLatencyAndBandwidth(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n := MustNew(eng, Config{LatencyOneWay: 100, LinkMBps: 1, NumNodes: 2})
+	var at sim.Time
+	if err := n.Transfer(0, 1000, func(now sim.Time) { at = now }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	// 1000 bytes at 1 MB/s = 1000 µs occupancy + 100 µs latency.
+	if at != 1100 {
+		t.Fatalf("delivery at %v, want 1100", at)
+	}
+	tr, by := n.Stats()
+	if tr != 1 || by != 1000 {
+		t.Fatalf("stats = %d, %d", tr, by)
+	}
+}
+
+func TestTransfersSerializeOnOneLink(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n := MustNew(eng, Config{LatencyOneWay: 0, LinkMBps: 1, NumNodes: 1})
+	var first, second sim.Time
+	_ = n.Transfer(0, 1000, func(now sim.Time) { first = now })
+	_ = n.Transfer(0, 1000, func(now sim.Time) { second = now })
+	eng.Run()
+	if first != 1000 || second != 2000 {
+		t.Fatalf("deliveries at %v, %v; want 1000, 2000 (serialized)", first, second)
+	}
+}
+
+func TestTransfersParallelAcrossLinks(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n := MustNew(eng, Config{LatencyOneWay: 0, LinkMBps: 1, NumNodes: 2})
+	var a, b sim.Time
+	_ = n.Transfer(0, 1000, func(now sim.Time) { a = now })
+	_ = n.Transfer(1, 1000, func(now sim.Time) { b = now })
+	eng.Run()
+	if a != 1000 || b != 1000 {
+		t.Fatalf("deliveries at %v, %v; want both 1000 (parallel links)", a, b)
+	}
+}
+
+func TestTransferValidation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n := MustNew(eng, DefaultConfig(2))
+	if err := n.Transfer(2, 10, func(sim.Time) {}); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	if err := n.Transfer(-1, 10, func(sim.Time) {}); err == nil {
+		t.Fatal("negative node accepted")
+	}
+	if err := n.Transfer(0, -1, func(sim.Time) {}); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestZeroByteTransferIsLatencyOnly(t *testing.T) {
+	eng := sim.NewEngine(1)
+	n := MustNew(eng, Config{LatencyOneWay: 42, LinkMBps: 1, NumNodes: 1})
+	var at sim.Time
+	_ = n.Transfer(0, 0, func(now sim.Time) { at = now })
+	eng.Run()
+	if at != 42 {
+		t.Fatalf("delivery at %v, want 42", at)
+	}
+}

@@ -1,0 +1,173 @@
+// Package sched implements the runtime data access scheduler of §III: one
+// light-weight scheduler agent per client process issues the prefetches the
+// compiler's scheduling table calls for, into a global buffer collectively
+// shared by all agents. Application reads probe the buffer first; a hit
+// returns immediately and invalidates the entry. Agents stop fetching while
+// the buffer is full, and never fetch a block before its producer process
+// has passed the write point ("local time" synchronization).
+package sched
+
+import "fmt"
+
+// entryState tracks a buffer entry's lifecycle.
+type entryState int
+
+const (
+	statePending entryState = iota + 1 // reserved, fetch in flight
+	stateReady                         // data resident, awaiting its read
+)
+
+// GlobalBuffer is the bounded client-side buffer shared by all scheduler
+// agents. Space is reserved at fetch-issue time so in-flight prefetches
+// cannot oversubscribe it.
+type GlobalBuffer struct {
+	capacity int64
+	used     int64
+	entries  map[int]bufEntry // access ID → entry
+
+	hits, misses, inserted, dropped int64
+}
+
+type bufEntry struct {
+	bytes   int64
+	state   entryState
+	waiters []func()
+}
+
+// NewGlobalBuffer returns a buffer with the given byte capacity.
+func NewGlobalBuffer(capacity int64) (*GlobalBuffer, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("sched: buffer capacity %d must be positive", capacity)
+	}
+	return &GlobalBuffer{capacity: capacity, entries: make(map[int]bufEntry)}, nil
+}
+
+// MustNewGlobalBuffer panics on error.
+func MustNewGlobalBuffer(capacity int64) *GlobalBuffer {
+	b, err := NewGlobalBuffer(capacity)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Capacity returns the byte budget.
+func (b *GlobalBuffer) Capacity() int64 { return b.capacity }
+
+// Used returns reserved plus resident bytes.
+func (b *GlobalBuffer) Used() int64 { return b.used }
+
+// Stats returns hit/miss/insert/drop counters.
+func (b *GlobalBuffer) Stats() (hits, misses, inserted, dropped int64) {
+	return b.hits, b.misses, b.inserted, b.dropped
+}
+
+// Reserve claims space for access id before its fetch is issued. It fails
+// (without side effects) when the buffer is full — the agent then stops
+// fetching until space frees — or when the id is already present.
+func (b *GlobalBuffer) Reserve(id int, bytes int64) bool {
+	if bytes <= 0 || bytes > b.capacity {
+		return false
+	}
+	if _, exists := b.entries[id]; exists {
+		return false
+	}
+	if b.used+bytes > b.capacity {
+		return false
+	}
+	b.used += bytes
+	b.entries[id] = bufEntry{bytes: bytes, state: statePending}
+	return true
+}
+
+// Commit marks a reserved entry resident (fetch completed). If application
+// reads are already waiting on the entry (WaitConsume), the entry is
+// delivered to the first waiter immediately — consumed and invalidated —
+// and any others are woken as misses. It reports whether the entry (still)
+// existed.
+func (b *GlobalBuffer) Commit(id int) bool {
+	e, ok := b.entries[id]
+	if !ok || e.state != statePending {
+		return false
+	}
+	b.inserted++
+	if len(e.waiters) > 0 {
+		delete(b.entries, id)
+		b.used -= e.bytes
+		b.hits++
+		for _, w := range e.waiters {
+			w()
+		}
+		return true
+	}
+	e.state = stateReady
+	b.entries[id] = e
+	return true
+}
+
+// WaitConsume handles an application read racing an in-flight prefetch:
+// when the entry for id is pending, onReady is registered to fire at
+// Commit (counting as a hit) and WaitConsume returns true. When the entry
+// is ready it is consumed immediately, onReady fires synchronously and it
+// returns true. Otherwise it returns false (a plain miss) without side
+// effects beyond the miss counter.
+func (b *GlobalBuffer) WaitConsume(id int, onReady func()) bool {
+	e, ok := b.entries[id]
+	if !ok {
+		b.misses++
+		return false
+	}
+	if e.state == stateReady {
+		delete(b.entries, id)
+		b.used -= e.bytes
+		b.hits++
+		onReady()
+		return true
+	}
+	e.waiters = append(e.waiters, onReady)
+	b.entries[id] = e
+	return true
+}
+
+// Abort releases a reservation (fetch failed or became useless).
+func (b *GlobalBuffer) Abort(id int) {
+	e, ok := b.entries[id]
+	if !ok {
+		return
+	}
+	delete(b.entries, id)
+	b.used -= e.bytes
+	b.dropped++
+}
+
+// TryConsume is the application-side probe: on a hit it invalidates the
+// entry, frees its space and returns true ("if it is a hit, the data are
+// returned ... and the entry is invalidated"). A pending entry is NOT a hit
+// — the application does not wait for in-flight prefetches; it bypasses
+// them, and the buffer releases the pending entry on Commit.
+func (b *GlobalBuffer) TryConsume(id int) bool {
+	e, ok := b.entries[id]
+	if !ok {
+		b.misses++
+		return false
+	}
+	if e.state == statePending {
+		// Bypassed: mark it dead by deleting now; the in-flight Commit
+		// will find nothing and the agent aborts the space below.
+		delete(b.entries, id)
+		b.used -= e.bytes
+		b.misses++
+		b.dropped++
+		return false
+	}
+	delete(b.entries, id)
+	b.used -= e.bytes
+	b.hits++
+	return true
+}
+
+// Resident reports whether id is ready in the buffer (diagnostics).
+func (b *GlobalBuffer) Resident(id int) bool {
+	e, ok := b.entries[id]
+	return ok && e.state == stateReady
+}

@@ -1,0 +1,297 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine(1)
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestScheduleAndRunOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []Time
+	for _, d := range []Duration{30, 10, 20} {
+		d := d
+		e.Schedule(d, "t", func(now Time) { got = append(got, now) })
+	}
+	end := e.Run()
+	want := []Time{10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+	if end != 30 {
+		t.Errorf("Run() = %v, want 30", end)
+	}
+}
+
+func TestSimultaneousEventsFireInScheduleOrder(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 50; i++ {
+		i := i
+		e.Schedule(100, "same", func(Time) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (FIFO at equal time)", i, v, i)
+		}
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.Schedule(10, "c", func(Time) { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+}
+
+func TestCancelAfterFireIsNoop(t *testing.T) {
+	e := NewEngine(1)
+	ev := e.Schedule(1, "x", func(Time) {})
+	e.Run()
+	ev.Cancel() // must not panic or corrupt state
+	if e.EventsFired() != 1 {
+		t.Fatalf("EventsFired = %d, want 1", e.EventsFired())
+	}
+}
+
+func TestScheduleAtPastReturnsError(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(100, "advance", func(Time) {})
+	e.Run()
+	if _, err := e.ScheduleAt(50, "past", func(Time) {}); err == nil {
+		t.Fatal("ScheduleAt in the past succeeded, want error")
+	}
+}
+
+func TestNegativeDelayClampsToNow(t *testing.T) {
+	e := NewEngine(1)
+	var at Time = -1
+	e.Schedule(100, "outer", func(now Time) {
+		e.Schedule(-5, "inner", func(t2 Time) { at = t2 })
+	})
+	e.Run()
+	if at != 100 {
+		t.Fatalf("negative-delay event fired at %v, want 100", at)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	var trace []Time
+	e.Schedule(10, "a", func(now Time) {
+		trace = append(trace, now)
+		e.Schedule(5, "b", func(now Time) {
+			trace = append(trace, now)
+		})
+	})
+	e.Run()
+	if len(trace) != 2 || trace[0] != 10 || trace[1] != 15 {
+		t.Fatalf("trace = %v, want [10 15]", trace)
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	for _, d := range []Duration{10, 20, 30, 40} {
+		e.Schedule(d, "t", func(now Time) { fired = append(fired, now) })
+	}
+	now := e.RunUntil(25)
+	if now != 25 {
+		t.Fatalf("RunUntil = %v, want 25", now)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events before deadline, want 2", len(fired))
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("fired %d events total, want 4", len(fired))
+	}
+}
+
+func TestRunUntilAdvancesClockWhenQueueEmpty(t *testing.T) {
+	e := NewEngine(1)
+	if got := e.RunUntil(1000); got != 1000 {
+		t.Fatalf("RunUntil on empty queue = %v, want 1000", got)
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(Duration(i+1), "t", func(Time) {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("ran %d events after Stop, want 3", count)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func(seed int64) []Time {
+		e := NewEngine(seed)
+		var fired []Time
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < 200; i++ {
+			e.Schedule(Duration(rng.Intn(1000)), "t", func(now Time) {
+				fired = append(fired, now)
+				if e.Rand().Intn(4) == 0 {
+					e.Schedule(Duration(e.Rand().Intn(50)), "n", func(now Time) {
+						fired = append(fired, now)
+					})
+				}
+			})
+		}
+		e.Run()
+		return fired
+	}
+	a, b := run(7), run(7)
+	if len(a) != len(b) {
+		t.Fatalf("runs fired %d vs %d events", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run divergence at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: events always fire in nondecreasing time order, regardless of
+// insertion order.
+func TestPropertyMonotonicFiring(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine(1)
+		var fired []Time
+		for _, d := range delays {
+			e.Schedule(Duration(d), "p", func(now Time) { fired = append(fired, now) })
+		}
+		e.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the set of firing times equals the multiset of scheduled times.
+func TestPropertyAllEventsFireExactlyOnce(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine(1)
+		want := make(map[Time]int)
+		got := make(map[Time]int)
+		for _, d := range delays {
+			want[Duration(d)]++
+			e.Schedule(Duration(d), "p", func(now Time) { got[now]++ })
+		}
+		e.Run()
+		if len(want) != len(got) {
+			return false
+		}
+		for k, v := range want {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	if Second != 1_000_000 {
+		t.Fatalf("Second = %d µs, want 1e6", Second)
+	}
+	if got := MilliToTime(2.5); got != 2500 {
+		t.Fatalf("MilliToTime(2.5) = %d, want 2500", got)
+	}
+	if s := Time(1_500_000).Seconds(); s != 1.5 {
+		t.Fatalf("Seconds = %v, want 1.5", s)
+	}
+	if ms := Time(2500).Milliseconds(); ms != 2.5 {
+		t.Fatalf("Milliseconds = %v, want 2.5", ms)
+	}
+	if str := Time(1_000_000).String(); str != "1.000000s" {
+		t.Fatalf("String = %q", str)
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine(1)
+		for j := 0; j < 1000; j++ {
+			e.Schedule(Duration(j%97), "b", func(Time) {})
+		}
+		e.Run()
+	}
+}
+
+func TestEventAccessors(t *testing.T) {
+	e := NewEngine(1)
+	ev := e.Schedule(42, "x", func(Time) {})
+	if ev.At() != 42 {
+		t.Fatalf("At = %v", ev.At())
+	}
+	if e.EventsScheduled() != 1 || e.EventsFired() != 0 || e.Pending() != 1 {
+		t.Fatalf("counters: sched=%d fired=%d pending=%d",
+			e.EventsScheduled(), e.EventsFired(), e.Pending())
+	}
+	e.Run()
+	if e.EventsFired() != 1 || e.Pending() != 0 {
+		t.Fatalf("after run: fired=%d pending=%d", e.EventsFired(), e.Pending())
+	}
+}
+
+func TestRandDeterministicPerSeed(t *testing.T) {
+	a, b := NewEngine(7), NewEngine(7)
+	for i := 0; i < 10; i++ {
+		if a.Rand().Int63() != b.Rand().Int63() {
+			t.Fatal("same-seed engines diverge")
+		}
+	}
+	c := NewEngine(8)
+	same := true
+	x := NewEngine(7)
+	for i := 0; i < 10; i++ {
+		if x.Rand().Int63() != c.Rand().Int63() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}

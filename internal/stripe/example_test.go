@@ -1,0 +1,27 @@
+package stripe_test
+
+import (
+	"fmt"
+
+	"sdds/internal/stripe"
+)
+
+// ExampleSignature_Distance computes the paper's distance metric
+// distance(g1, g2) = n − similarity + difference for the Fig. 9
+// signatures.
+func ExampleSignature_Distance() {
+	g4, _ := stripe.ParseSignature("0100000001000000")
+	g6, _ := stripe.ParseSignature("0110000001100000")
+	g7, _ := stripe.ParseSignature("1000000010000000")
+	fmt.Println(g4.Distance(g6), g4.Distance(g7), g4.Distance(g4))
+	// Output: 16 20 14
+}
+
+// ExampleLayout_SignatureFor derives the I/O-node set of a byte range under
+// the Table II striping (8 nodes, 64 KB units).
+func ExampleLayout_SignatureFor() {
+	layout := stripe.DefaultLayout()
+	sig := layout.SignatureFor(128<<10, 192<<10) // units 2, 3, 4
+	fmt.Println(sig.String(), sig.Nodes())
+	// Output: 00111000 [2 3 4]
+}

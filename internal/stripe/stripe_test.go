@@ -1,0 +1,299 @@
+package stripe
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSignatureBasics(t *testing.T) {
+	s := NewSignature(16)
+	if !s.Empty() || s.Count() != 0 || s.Len() != 16 {
+		t.Fatal("fresh signature not empty")
+	}
+	s.Set(2)
+	s.Set(10)
+	if s.Empty() || s.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", s.Count())
+	}
+	if !s.Get(2) || !s.Get(10) || s.Get(3) {
+		t.Fatal("Get mismatch")
+	}
+	// Out-of-range accesses are safe no-ops.
+	s.Set(-1)
+	s.Set(16)
+	if s.Get(-1) || s.Get(16) {
+		t.Fatal("out-of-range Get returned true")
+	}
+	if s.Count() != 2 {
+		t.Fatal("out-of-range Set mutated the signature")
+	}
+	want := "0010000000100000"
+	if s.String() != want {
+		t.Fatalf("String = %q, want %q (A1's signature in Fig. 9)", s.String(), want)
+	}
+}
+
+func TestParseSignature(t *testing.T) {
+	s, err := ParseSignature("0110000001100000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.String() != "0110000001100000" {
+		t.Fatalf("round-trip = %q", s.String())
+	}
+	if got := s.Nodes(); len(got) != 4 || got[0] != 1 || got[1] != 2 || got[2] != 9 || got[3] != 10 {
+		t.Fatalf("Nodes = %v", got)
+	}
+	if _, err := ParseSignature("01x0"); err == nil {
+		t.Fatal("ParseSignature accepted invalid char")
+	}
+}
+
+func TestPaperDistanceExamples(t *testing.T) {
+	// Fig. 9 signatures on a 16-node architecture.
+	g4, _ := ParseSignature("0100000001000000") // A4
+	g6, _ := ParseSignature("0110000001100000") // A6
+	g7, _ := ParseSignature("1000000010000000") // A7
+
+	// Identical signatures: distance = n − count + 0.
+	if d := g4.Distance(g4); d != 16-2 {
+		t.Fatalf("self distance = %d, want 14", d)
+	}
+	// Disjoint signatures: similarity 0, difference 4 → 16 − 0 + 4 = 20.
+	if d := g4.Distance(g7); d != 20 {
+		t.Fatalf("disjoint distance = %d, want 20", d)
+	}
+	// Subset: g4 ⊂ g6: similarity 2, difference 2 → 16 − 2 + 2 = 16.
+	if d := g4.Distance(g6); d != 16 {
+		t.Fatalf("subset distance = %d, want 16", d)
+	}
+}
+
+func TestInverseDistanceZeroCase(t *testing.T) {
+	// distance can be 0 only when n − similarity + difference = 0, i.e.
+	// both signatures are all-ones.
+	a := SignatureOf(4, 0, 1, 2, 3)
+	b := SignatureOf(4, 0, 1, 2, 3)
+	if d := a.Distance(b); d != 0 {
+		t.Fatalf("all-ones distance = %d, want 0", d)
+	}
+	if inv := a.InverseDistance(b); inv != 2 {
+		t.Fatalf("InverseDistance at 0 = %v, want 2 (paper's convention)", inv)
+	}
+	c := SignatureOf(4, 0)
+	if inv := c.InverseDistance(SignatureOf(4, 0)); inv != 1.0/3 {
+		t.Fatalf("InverseDistance = %v, want 1/3", inv)
+	}
+}
+
+func TestOrAndClone(t *testing.T) {
+	a := SignatureOf(8, 0, 1)
+	b := SignatureOf(8, 1, 5)
+	u := a.Or(b)
+	if u.String() != "11000100" {
+		t.Fatalf("Or = %q", u.String())
+	}
+	if a.Count() != 2 {
+		t.Fatal("Or mutated receiver")
+	}
+	c := a.Clone()
+	c.Set(7)
+	if a.Get(7) {
+		t.Fatal("Clone shares storage")
+	}
+	a.OrInPlace(b)
+	if !a.Equal(u) {
+		t.Fatalf("OrInPlace = %q, want %q", a.String(), u.String())
+	}
+}
+
+func TestEqualDifferentLengths(t *testing.T) {
+	if NewSignature(4).Equal(NewSignature(8)) {
+		t.Fatal("signatures of different lengths compared equal")
+	}
+}
+
+// Property: distance is symmetric and satisfies the definition
+// n − sim + diff for random bit sets.
+func TestPropertyDistanceSymmetric(t *testing.T) {
+	f := func(xs, ys []bool) bool {
+		n := 24
+		a, b := NewSignature(n), NewSignature(n)
+		for i, v := range xs {
+			if v {
+				a.Set(i % n)
+			}
+		}
+		for i, v := range ys {
+			if v {
+				b.Set(i % n)
+			}
+		}
+		if a.Distance(b) != b.Distance(a) {
+			return false
+		}
+		return a.Distance(b) == n-a.Similarity(b)+a.Difference(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a signature is at distance n − k from itself (k = popcount),
+// and at distance n + 2k from a fully disjoint signature of equal size.
+func TestPropertyDistanceExtremes(t *testing.T) {
+	f := func(bitsIn []bool) bool {
+		n := 32
+		a := NewSignature(n)
+		for i, v := range bitsIn {
+			if v && i < n/2 {
+				a.Set(i)
+			}
+		}
+		k := a.Count()
+		if a.Distance(a) != n-k {
+			return false
+		}
+		// Shift the set into the disjoint upper half.
+		b := NewSignature(n)
+		for _, i := range a.Nodes() {
+			b.Set(i + n/2)
+		}
+		return a.Distance(b) == n+2*k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayoutValidate(t *testing.T) {
+	if err := DefaultLayout().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Layout{
+		{NumNodes: 0, StripeSize: 1},
+		{NumNodes: 4, StripeSize: 0},
+		{NumNodes: 4, StripeSize: 64, FirstNode: -1},
+		{NumNodes: 4, StripeSize: 64, FirstNode: 4},
+	}
+	for i, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("layout %d validated", i)
+		}
+	}
+}
+
+func TestRoundRobinPlacement(t *testing.T) {
+	l := Layout{NumNodes: 4, StripeSize: 100}
+	for k := int64(0); k < 12; k++ {
+		if got := l.NodeOf(k); got != int(k%4) {
+			t.Fatalf("NodeOf(%d) = %d", k, got)
+		}
+	}
+	l.FirstNode = 2
+	if l.NodeOf(0) != 2 || l.NodeOf(3) != 1 {
+		t.Fatal("FirstNode offset not applied")
+	}
+}
+
+func TestChunksSplitting(t *testing.T) {
+	l := Layout{NumNodes: 4, StripeSize: 100}
+	// Range [50, 250): parts of units 0,1,2.
+	chunks := l.Chunks(50, 200)
+	if len(chunks) != 3 {
+		t.Fatalf("len = %d, want 3", len(chunks))
+	}
+	wants := []Chunk{
+		{Node: 0, Unit: 0, Offset: 50, Length: 50},
+		{Node: 1, Unit: 1, Offset: 0, Length: 100},
+		{Node: 2, Unit: 2, Offset: 0, Length: 50},
+	}
+	for i, w := range wants {
+		if chunks[i] != w {
+			t.Fatalf("chunk %d = %+v, want %+v", i, chunks[i], w)
+		}
+	}
+	if l.Chunks(0, 0) != nil || l.Chunks(-1, 10) != nil {
+		t.Fatal("degenerate ranges must return nil")
+	}
+}
+
+// Property: chunk lengths sum to the request length and chunks are
+// contiguous in file order.
+func TestPropertyChunksCoverRange(t *testing.T) {
+	f := func(off uint16, length uint16, nodes uint8, unit uint8) bool {
+		l := Layout{NumNodes: int(nodes%7) + 1, StripeSize: int64(unit%200) + 1}
+		o, n := int64(off), int64(length)
+		chunks := l.Chunks(o, n)
+		if n == 0 {
+			return chunks == nil
+		}
+		var sum int64
+		pos := o
+		for _, c := range chunks {
+			if c.Length <= 0 || c.Length > l.StripeSize {
+				return false
+			}
+			if c.Unit*l.StripeSize+c.Offset != pos {
+				return false
+			}
+			if c.Node != l.NodeOf(c.Unit) {
+				return false
+			}
+			pos += c.Length
+			sum += c.Length
+		}
+		return sum == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignatureForMatchesChunks(t *testing.T) {
+	l := DefaultLayout()
+	sig := l.SignatureFor(100<<10, 300<<10)
+	seen := map[int]bool{}
+	for _, c := range l.Chunks(100<<10, 300<<10) {
+		seen[c.Node] = true
+	}
+	for i := 0; i < l.NumNodes; i++ {
+		if sig.Get(i) != seen[i] {
+			t.Fatalf("node %d: sig=%v chunks=%v", i, sig.Get(i), seen[i])
+		}
+	}
+}
+
+func TestSignatureForWholeRingWrap(t *testing.T) {
+	l := Layout{NumNodes: 4, StripeSize: 10}
+	// 100 bytes = 10 units > 4 nodes: all nodes used.
+	if got := l.SignatureFor(0, 100).Count(); got != 4 {
+		t.Fatalf("wrap signature count = %d, want 4", got)
+	}
+}
+
+// Property: SignatureFor equals the union of chunk nodes for random ranges.
+func TestPropertySignatureMatchesChunkNodes(t *testing.T) {
+	f := func(off uint16, length uint16, firstNode uint8) bool {
+		l := Layout{NumNodes: 8, StripeSize: 64, FirstNode: int(firstNode % 8)}
+		o, n := int64(off), int64(length)
+		sig := l.SignatureFor(o, n)
+		want := NewSignature(8)
+		for _, c := range l.Chunks(o, n) {
+			want.Set(c.Node)
+		}
+		return sig.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSignatureDistance(b *testing.B) {
+	x := SignatureOf(64, 1, 5, 9, 33, 60)
+	y := SignatureOf(64, 1, 6, 9, 35)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Distance(y)
+	}
+}

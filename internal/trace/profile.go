@@ -1,0 +1,159 @@
+// Package trace implements the profiling tool of §IV-A: when a program's
+// loop nests are non-affine (or on demand), it derives access slacks by
+// executing the program representation symbolically, tracking the last
+// writer of every byte range with an exact interval map. For affine
+// programs its output matches the polyhedral analyzer exactly — a property
+// the integration tests rely on.
+package trace
+
+import (
+	"sort"
+
+	"sdds/internal/loop"
+)
+
+// Profile computes the slack of every read instance of the program for the
+// given process count: WriterSlot is the largest slot strictly before the
+// read's slot at which any process wrote an overlapping byte range, and the
+// slack window is [WriterSlot+1, readSlot] (clamped to length ≥ 1), with
+// Begin = 0 for data that pre-exists on disk (§IV-A).
+func Profile(p *loop.Program, procs int) ([]loop.Slack, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	instances := p.Instances(procs)
+	// Group by slot so reads of slot s only see writes of slots < s (writes
+	// within a slot are concurrent with its reads across processes).
+	sort.SliceStable(instances, func(i, j int) bool { return instances[i].Slot < instances[j].Slot })
+
+	writers := make(map[int]*intervalMap) // file → last-writer map
+	var out []loop.Slack
+
+	i := 0
+	for i < len(instances) {
+		slot := instances[i].Slot
+		j := i
+		for j < len(instances) && instances[j].Slot == slot {
+			j++
+		}
+		batch := instances[i:j]
+		// Phase 1: resolve reads against state from earlier slots.
+		for _, inst := range batch {
+			if inst.Kind != loop.StmtRead {
+				continue
+			}
+			w := -1
+			if m := writers[inst.File]; m != nil {
+				if ws, ok := m.maxSlot(inst.Offset, inst.Offset+inst.Length); ok {
+					w = ws
+				}
+			}
+			begin := 0
+			if w >= 0 {
+				begin = w + 1
+			}
+			if begin > inst.Slot {
+				begin = inst.Slot // negative slack → window of length 1
+			}
+			out = append(out, loop.Slack{Inst: inst, Begin: begin, End: inst.Slot, WriterSlot: w})
+		}
+		// Phase 2: apply this slot's writes.
+		for _, inst := range batch {
+			if inst.Kind != loop.StmtWrite {
+				continue
+			}
+			m := writers[inst.File]
+			if m == nil {
+				m = &intervalMap{}
+				writers[inst.File] = m
+			}
+			m.insert(inst.Offset, inst.Offset+inst.Length, slot)
+		}
+		i = j
+	}
+	// Deterministic output order: by (slot, proc, nest, stmt).
+	sort.SliceStable(out, func(a, b int) bool {
+		x, y := out[a].Inst, out[b].Inst
+		if x.Slot != y.Slot {
+			return x.Slot < y.Slot
+		}
+		if x.Proc != y.Proc {
+			return x.Proc < y.Proc
+		}
+		if x.Nest != y.Nest {
+			return x.Nest < y.Nest
+		}
+		return x.Stmt < y.Stmt
+	})
+	return out, nil
+}
+
+// iv is a half-open byte interval [start, end) last written at slot.
+type iv struct {
+	start, end int64
+	slot       int
+}
+
+// intervalMap stores disjoint intervals sorted by start.
+type intervalMap struct {
+	ivs []iv
+}
+
+// insert records that [start, end) was written at slot, overwriting any
+// overlapped portions of older intervals (splitting them as needed).
+func (m *intervalMap) insert(start, end int64, slot int) {
+	if start >= end {
+		return
+	}
+	// Find the first interval that could overlap.
+	i := sort.Search(len(m.ivs), func(i int) bool { return m.ivs[i].end > start })
+	var out []iv
+	out = append(out, m.ivs[:i]...)
+	inserted := iv{start: start, end: end, slot: slot}
+	for ; i < len(m.ivs); i++ {
+		cur := m.ivs[i]
+		if cur.start >= end {
+			break
+		}
+		// cur overlaps [start, end): keep the non-overlapped fringes.
+		if cur.start < start {
+			out = append(out, iv{start: cur.start, end: start, slot: cur.slot})
+		}
+		if cur.end > end {
+			// Right fringe survives; insert new interval before it.
+			out = append(out, inserted)
+			inserted = iv{}
+			out = append(out, iv{start: end, end: cur.end, slot: cur.slot})
+			i++
+			break
+		}
+	}
+	if inserted.end > inserted.start {
+		out = append(out, inserted)
+	}
+	out = append(out, m.ivs[i:]...)
+	m.ivs = out
+}
+
+// maxSlot returns the maximum writer slot over [start, end), and whether
+// any byte of the range has a writer.
+func (m *intervalMap) maxSlot(start, end int64) (int, bool) {
+	if start >= end {
+		return 0, false
+	}
+	i := sort.Search(len(m.ivs), func(i int) bool { return m.ivs[i].end > start })
+	best := -1
+	for ; i < len(m.ivs); i++ {
+		cur := m.ivs[i]
+		if cur.start >= end {
+			break
+		}
+		if cur.slot > best {
+			best = cur.slot
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}

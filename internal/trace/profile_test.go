@@ -1,0 +1,217 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sdds/internal/loop"
+)
+
+func producerConsumer(trips int) *loop.Program {
+	return &loop.Program{
+		Name:  "pc",
+		Files: []loop.File{{ID: 0, Name: "data", Size: 1 << 20}},
+		Nests: []loop.Nest{
+			{Name: "produce", Trips: trips, Parallel: true,
+				Body: []loop.Stmt{{Kind: loop.StmtWrite, File: 0, Region: loop.Affine{IterCoef: 1024, Len: 1024}}}},
+			{Name: "consume", Trips: trips, Parallel: true,
+				Body: []loop.Stmt{{Kind: loop.StmtRead, File: 0, Region: loop.Affine{IterCoef: 1024, Len: 1024}}}},
+		},
+	}
+}
+
+func TestProfileProducerConsumer(t *testing.T) {
+	p := producerConsumer(16)
+	slacks, err := Profile(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slacks) != 16 {
+		t.Fatalf("slacks = %d, want 16 reads", len(slacks))
+	}
+	// Iteration i is written by proc i/4 at slot i%4 and read by the same
+	// proc at slot 4 + i%4 (two nests of 4 slots each). So the writer slot
+	// equals the read's local index and the slack begins right after it.
+	for _, s := range slacks {
+		local := s.End - 4
+		if s.WriterSlot != local {
+			t.Fatalf("read at slot %d: writer %d, want %d", s.End, s.WriterSlot, local)
+		}
+		if s.Begin != s.WriterSlot+1 {
+			t.Fatalf("Begin = %d, want writer+1", s.Begin)
+		}
+	}
+}
+
+func TestProfileInputFileFullSlack(t *testing.T) {
+	// No writer at all: slack starts at slot 0.
+	p := &loop.Program{
+		Files: []loop.File{{ID: 0, Name: "in", Size: 1 << 20}},
+		Nests: []loop.Nest{
+			{Trips: 8, Parallel: true,
+				Body: []loop.Stmt{{Kind: loop.StmtRead, File: 0, Region: loop.Affine{IterCoef: 4096, Len: 4096}}}},
+		},
+	}
+	slacks, err := Profile(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range slacks {
+		if s.WriterSlot != -1 || s.Begin != 0 {
+			t.Fatalf("input-file slack = %+v, want writer -1, begin 0", s)
+		}
+	}
+}
+
+func TestProfileSameSlotWriteNotVisible(t *testing.T) {
+	// Write and read of the same region in the same slot (different
+	// processes): the write is concurrent, not preceding → negative slack
+	// becomes a window of length 1 at the read's slot.
+	p := &loop.Program{
+		Files: []loop.File{{ID: 0, Name: "f", Size: 1 << 20}},
+		Nests: []loop.Nest{
+			{Trips: 2, Parallel: true, Body: []loop.Stmt{
+				{Kind: loop.StmtWrite, File: 0, Region: loop.Affine{Len: 512, ProcCoef: 0}},
+				{Kind: loop.StmtRead, File: 0, Region: loop.Affine{Len: 512}},
+			}},
+		},
+	}
+	slacks, err := Profile(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := slacks[0]
+	if first.End != 0 {
+		t.Fatalf("first read slot = %d", first.End)
+	}
+	if first.WriterSlot != -1 {
+		t.Fatalf("same-slot write counted as preceding: writer = %d", first.WriterSlot)
+	}
+	if first.Begin != 0 || first.Len() != 1 {
+		t.Fatalf("slack = [%d,%d], want length-1 window", first.Begin, first.End)
+	}
+}
+
+func TestProfileRewriteTracksLatest(t *testing.T) {
+	// The same region is written in nest 0 and again in nest 1; a read in
+	// nest 2 must see the nest-1 writer.
+	stmtW := loop.Stmt{Kind: loop.StmtWrite, File: 0, Region: loop.Affine{Len: 4096}}
+	stmtR := loop.Stmt{Kind: loop.StmtRead, File: 0, Region: loop.Affine{Len: 4096}}
+	p := &loop.Program{
+		Files: []loop.File{{ID: 0, Name: "f", Size: 1 << 20}},
+		Nests: []loop.Nest{
+			{Trips: 2, Parallel: false, Body: []loop.Stmt{stmtW}},
+			{Trips: 2, Parallel: false, Body: []loop.Stmt{stmtW}},
+			{Trips: 1, Parallel: false, Body: []loop.Stmt{stmtR}},
+		},
+	}
+	slacks, err := Profile(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slacks) != 1 {
+		t.Fatalf("%d slacks", len(slacks))
+	}
+	// Nest 1 occupies slots 2..3; its last write is slot 3.
+	if slacks[0].WriterSlot != 3 {
+		t.Fatalf("writer slot = %d, want 3 (latest rewrite)", slacks[0].WriterSlot)
+	}
+}
+
+func TestProfilePartialOverlap(t *testing.T) {
+	// Writer covers bytes [0,512); reader reads [256,768): overlap counts.
+	p := &loop.Program{
+		Files: []loop.File{{ID: 0, Name: "f", Size: 1 << 20}},
+		Nests: []loop.Nest{
+			{Trips: 1, Parallel: false,
+				Body: []loop.Stmt{{Kind: loop.StmtWrite, File: 0, Region: loop.Affine{Len: 512}}}},
+			{Trips: 1, Parallel: false,
+				Body: []loop.Stmt{{Kind: loop.StmtRead, File: 0, Region: loop.Affine{Base: 256, Len: 512}}}},
+		},
+	}
+	slacks, err := Profile(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slacks[0].WriterSlot != 0 {
+		t.Fatalf("partial overlap missed: writer = %d", slacks[0].WriterSlot)
+	}
+}
+
+func TestProfileRejectsInvalidProgram(t *testing.T) {
+	p := &loop.Program{}
+	if _, err := Profile(p, 1); err == nil {
+		t.Fatal("empty program accepted")
+	}
+}
+
+func TestIntervalMapInsertQuery(t *testing.T) {
+	m := &intervalMap{}
+	m.insert(0, 100, 1)
+	m.insert(200, 300, 2)
+	if s, ok := m.maxSlot(50, 60); !ok || s != 1 {
+		t.Fatalf("maxSlot = %d, %v", s, ok)
+	}
+	if s, ok := m.maxSlot(0, 300); !ok || s != 2 {
+		t.Fatalf("spanning maxSlot = %d, %v", s, ok)
+	}
+	if _, ok := m.maxSlot(100, 200); ok {
+		t.Fatal("gap query returned a writer")
+	}
+	// Overwrite the middle of interval 1.
+	m.insert(25, 75, 5)
+	if s, _ := m.maxSlot(0, 25); s != 1 {
+		t.Fatal("left fringe lost")
+	}
+	if s, _ := m.maxSlot(25, 75); s != 5 {
+		t.Fatal("overwrite lost")
+	}
+	if s, _ := m.maxSlot(75, 100); s != 1 {
+		t.Fatal("right fringe lost")
+	}
+}
+
+// Property: the interval map agrees with a naive per-byte map under random
+// operations.
+func TestPropertyIntervalMapMatchesNaive(t *testing.T) {
+	type op struct {
+		Start, Len uint8
+		Slot       uint8
+		Query      bool
+	}
+	f := func(ops []op) bool {
+		m := &intervalMap{}
+		naive := map[int64]int{}
+		for _, o := range ops {
+			start := int64(o.Start % 64)
+			end := start + int64(o.Len%16) + 1
+			if o.Query {
+				want, wantOK := -1, false
+				for b := start; b < end; b++ {
+					if s, ok := naive[b]; ok {
+						wantOK = true
+						if s > want {
+							want = s
+						}
+					}
+				}
+				got, ok := m.maxSlot(start, end)
+				if ok != wantOK {
+					return false
+				}
+				if ok && got != want {
+					return false
+				}
+			} else {
+				m.insert(start, end, int(o.Slot))
+				for b := start; b < end; b++ {
+					naive[b] = int(o.Slot)
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,302 @@
+// Package workloads defines the six parallel I/O-intensive applications of
+// Table III as loop-nest programs. The generators reproduce each
+// application's published access-pattern *shape* — phase structure, request
+// sizes, compute/I/O interleaving, producer-consumer relationships — scaled
+// down so a simulated run finishes in seconds of wall time. The shape is
+// what the evaluation depends on: hf and madbench2 are dominated by idle
+// periods under 50 ms (Fig. 12(a)), wupwise is the longest-running program,
+// madbench2 the shortest, and apsi/madbench2/hf re-read data produced
+// earlier in the run (the intra-run slacks the framework exploits). I/O
+// calls are sparse in the iteration space (an access every few iterations),
+// which is what gives the scheduler room to move them — in the dense limit
+// every slot of every process is taken and no reordering is feasible.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"sdds/internal/loop"
+	"sdds/internal/sim"
+)
+
+// Spec describes one application.
+type Spec struct {
+	// Name is the identifier used throughout the paper ("hf", "sar", ...).
+	Name string
+	// Description is the Table III description.
+	Description string
+	// Build constructs the program; scale multiplies trip counts (1.0 =
+	// the default evaluation size; tests use smaller scales).
+	Build func(scale float64) *loop.Program
+}
+
+// All returns the six applications in Table III order.
+func All() []Spec {
+	return []Spec{
+		{Name: "hf", Description: "Hartree-Fock Method", Build: HF},
+		{Name: "sar", Description: "Synthetic Aperture Radar Kernel", Build: SAR},
+		{Name: "astro", Description: "Analysis of Astronomical Data", Build: Astro},
+		{Name: "apsi", Description: "Pollutant Distribution Modeling", Build: APSI},
+		{Name: "madbench2", Description: "Cosmic Microwave Background Radiation Calculation", Build: MadBench2},
+		{Name: "wupwise", Description: "Physics/Quantum Chromo-dynamics", Build: Wupwise},
+	}
+}
+
+// Names returns the application names in Table III order.
+func Names() []string {
+	specs := All()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// ByName returns the spec for an application name.
+func ByName(name string) (Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	names := Names()
+	sort.Strings(names)
+	return Spec{}, fmt.Errorf("workloads: unknown application %q (have %v)", name, names)
+}
+
+// trips scales a trip count, keeping it a positive multiple of 64 so block
+// decomposition over the default 32 processes stays even and Every strides
+// up to 8 stay aligned across processes.
+func trips(base int, scale float64) int {
+	t := int(float64(base) * scale)
+	t -= t % 64
+	if t < 64 {
+		t = 64
+	}
+	return t
+}
+
+const (
+	kb = int64(1) << 10
+	mb = int64(1) << 20
+	gb = int64(1) << 30
+)
+
+func ms(v float64) sim.Duration { return sim.MilliToTime(v) }
+
+func sec(v float64) sim.Duration { return sim.Duration(v * float64(sim.Second)) }
+
+// HF builds the Hartree-Fock method: self-consistent-field sweeps over a
+// large two-electron integral file with short compute between reads (its
+// idle periods are almost all under 50 ms), punctuated by two long
+// matrix-diagonalization phases whose sparse density reads repeat at ~90 s
+// intervals. The Fock matrix written in the first sweep is re-read in the
+// second (intra-run slack).
+func HF(scale float64) *loop.Program {
+	scf := trips(192000, scale)
+	diag := trips(64, scale)
+	return &loop.Program{
+		Name: "hf",
+		Files: []loop.File{
+			{ID: 0, Name: "integrals", Size: 4 * gb},
+			{ID: 1, Name: "density", Size: 512 * mb},
+			{ID: 2, Name: "fock", Size: 512 * mb},
+		},
+		Nests: []loop.Nest{
+			{Name: "load-density", Trips: trips(2048, scale), Parallel: true, IterCost: ms(60),
+				Body: []loop.Stmt{
+					{Kind: loop.StmtRead, File: 1, Region: loop.Affine{IterCoef: 128 * kb, Len: 128 * kb}, Every: 2},
+				}},
+			{Name: "scf-sweep-1", Trips: scf, Parallel: true, IterCost: ms(75),
+				Body: []loop.Stmt{
+					{Kind: loop.StmtRead, File: 0, Region: loop.Affine{IterCoef: 64 * kb, Len: 256 * kb}, Every: 4},
+					{Kind: loop.StmtWrite, File: 2, Region: loop.Affine{IterCoef: 4 * kb, Len: 256 * kb}, Every: 64},
+				}},
+			{Name: "diagonalize-1", Trips: diag, Parallel: true, IterCost: sec(90),
+				Body: []loop.Stmt{
+					{Kind: loop.StmtRead, File: 1, Region: loop.Affine{IterCoef: 64 * kb, Len: 64 * kb}, Every: 2},
+				}},
+			{Name: "scf-sweep-2", Trips: scf, Parallel: true, IterCost: ms(75),
+				Body: []loop.Stmt{
+					{Kind: loop.StmtRead, File: 0, Region: loop.Affine{Base: 32 * kb, IterCoef: 64 * kb, Len: 256 * kb}, Every: 4},
+					{Kind: loop.StmtRead, File: 2, Region: loop.Affine{IterCoef: 4 * kb, Len: 256 * kb}, Every: 64},
+				}},
+			{Name: "diagonalize-2", Trips: diag, Parallel: true, IterCost: sec(90),
+				Body: []loop.Stmt{
+					{Kind: loop.StmtRead, File: 1, Region: loop.Affine{Base: 256 * mb, IterCoef: 64 * kb, Len: 64 * kb}, Every: 2},
+				}},
+		},
+	}
+}
+
+// SAR builds the synthetic aperture radar kernel: streaming reads of raw
+// pulse data with FFT compute, an autofocus phase with sparse ~85 s-spaced
+// image reads, a backprojection pass re-reading the image it wrote (the
+// mid-length idle periods multi-speed disks exploit), and a finalize phase.
+// The smallest data set in the study.
+func SAR(scale float64) *loop.Program {
+	return &loop.Program{
+		Name: "sar",
+		Files: []loop.File{
+			{ID: 0, Name: "pulses", Size: 3 * gb},
+			{ID: 1, Name: "image", Size: 3 * gb / 2},
+		},
+		Nests: []loop.Nest{
+			{Name: "form-image", Trips: trips(128000, scale), Parallel: true, IterCost: ms(90),
+				Body: []loop.Stmt{
+					{Kind: loop.StmtRead, File: 0, Region: loop.Affine{IterCoef: 128 * kb, Len: 512 * kb}, Every: 4},
+					{Kind: loop.StmtWrite, File: 1, Region: loop.Affine{IterCoef: 96 * kb, Len: 512 * kb}, Every: 64},
+				}},
+			{Name: "autofocus", Trips: trips(64, scale), Parallel: true, IterCost: sec(85),
+				Body: []loop.Stmt{
+					{Kind: loop.StmtRead, File: 1, Region: loop.Affine{IterCoef: 128 * kb, Len: 128 * kb}, Every: 4},
+				}},
+			{Name: "backproject", Trips: trips(1024, scale), Parallel: true, IterCost: ms(1200),
+				Body: []loop.Stmt{
+					{Kind: loop.StmtRead, File: 1, Region: loop.Affine{IterCoef: 96 * kb, Len: 256 * kb}, Every: 2},
+				}},
+			{Name: "finalize", Trips: trips(64, scale), Parallel: true, IterCost: sec(2),
+				Body: []loop.Stmt{
+					{Kind: loop.StmtWrite, File: 1, Region: loop.Affine{IterCoef: 256 * kb, Len: 256 * kb}, Every: 2},
+				}},
+		},
+	}
+}
+
+// Astro builds the astronomical data analysis: a strided catalog scan, a
+// long cross-correlation phase with sparse spectra reads, a strided pass
+// over the spectra and a reduction that re-reads the correlation results
+// written in the first phase. Its moderate-length idle periods are the
+// multi-speed policies' domain.
+func Astro(scale float64) *loop.Program {
+	return &loop.Program{
+		Name: "astro",
+		Files: []loop.File{
+			{ID: 0, Name: "catalog", Size: 4 * gb},
+			{ID: 1, Name: "spectra", Size: 2 * gb},
+			{ID: 2, Name: "corr", Size: 1 * gb},
+		},
+		Nests: []loop.Nest{
+			{Name: "scan-catalog", Trips: trips(192000, scale), Parallel: true, IterCost: ms(75),
+				Body: []loop.Stmt{
+					{Kind: loop.StmtRead, File: 0, Region: loop.Affine{IterCoef: 128 * kb, Len: 256 * kb}, Every: 4},
+					{Kind: loop.StmtWrite, File: 2, Region: loop.Affine{IterCoef: 16 * kb, Len: 128 * kb}, Every: 64},
+				}},
+			{Name: "cross-correlate", Trips: trips(64, scale), Parallel: true, IterCost: sec(85),
+				Body: []loop.Stmt{
+					{Kind: loop.StmtRead, File: 1, Region: loop.Affine{IterCoef: 64 * kb, Len: 64 * kb}, Every: 2},
+				}},
+			{Name: "scan-spectra", Trips: trips(1024, scale), Parallel: true, IterCost: ms(1100),
+				Body: []loop.Stmt{
+					// Strided: one 128 KB block out of every 384 KB.
+					{Kind: loop.StmtRead, File: 1, Region: loop.Affine{IterCoef: 384 * kb, Len: 128 * kb}, Every: 2},
+				}},
+			{Name: "reduce", Trips: trips(512, scale), Parallel: true, IterCost: ms(2000),
+				Body: []loop.Stmt{
+					{Kind: loop.StmtRead, File: 2, Region: loop.Affine{IterCoef: 4 * kb, Len: 128 * kb}, Every: 2},
+				}},
+		},
+	}
+}
+
+// APSI builds the pollutant-distribution model (out-of-core SPEC apsi): a
+// long initialization with terrain reads at regular ~80 s intervals, then a
+// time-step loop in which each step reads the concentration planes the
+// previous step wrote — the producer-consumer slacks of §IV-A.
+func APSI(scale float64) *loop.Program {
+	plane := trips(96000, scale)
+	p := &loop.Program{
+		Name: "apsi",
+		Files: []loop.File{
+			{ID: 0, Name: "terrain", Size: 1 * gb},
+			{ID: 1, Name: "concentration", Size: 3 * gb},
+		},
+	}
+	p.Nests = append(p.Nests, loop.Nest{
+		Name: "init", Trips: trips(64, scale), Parallel: true, IterCost: sec(80),
+		Body: []loop.Stmt{
+			{Kind: loop.StmtRead, File: 0, Region: loop.Affine{IterCoef: 256 * kb, Len: 256 * kb}, Every: 2},
+		},
+	})
+	for t := 0; t < 3; t++ {
+		p.Nests = append(p.Nests, loop.Nest{
+			Name: fmt.Sprintf("step-%d", t), Trips: plane, Parallel: true, IterCost: ms(60),
+			Body: []loop.Stmt{
+				{Kind: loop.StmtRead, File: 1, Region: loop.Affine{IterCoef: 64 * kb, Len: 256 * kb}, Every: 4},
+				{Kind: loop.StmtCompute, Cost: ms(20)},
+				{Kind: loop.StmtWrite, File: 1, Region: loop.Affine{IterCoef: 64 * kb, Len: 256 * kb}, Every: 8},
+			},
+		})
+	}
+	return p
+}
+
+// MadBench2 builds the CMB analysis benchmark: back-to-back matrix phases
+// that write large intermediates and read them in the next phase with very
+// little compute in between — the shortest run and, with hf, the one whose
+// idle periods are almost all under 50 ms — plus one short solver phase
+// whose idleness sits below the spin-down break-even (spin-down gains
+// little here, exactly as in Fig. 12(c)).
+func MadBench2(scale float64) *loop.Program {
+	phase := trips(96000, scale)
+	return &loop.Program{
+		Name: "madbench2",
+		Files: []loop.File{
+			{ID: 0, Name: "S", Size: 2 * gb},
+			{ID: 1, Name: "invD", Size: 2 * gb},
+			{ID: 2, Name: "W", Size: 1 * gb},
+		},
+		Nests: []loop.Nest{
+			{Name: "dSdC", Trips: phase, Parallel: true, IterCost: ms(50),
+				Body: []loop.Stmt{
+					{Kind: loop.StmtWrite, File: 0, Region: loop.Affine{IterCoef: 128 * kb, Len: 256 * kb}, Every: 4},
+				}},
+			{Name: "invD", Trips: phase, Parallel: true, IterCost: ms(50),
+				Body: []loop.Stmt{
+					{Kind: loop.StmtRead, File: 0, Region: loop.Affine{IterCoef: 128 * kb, Len: 256 * kb}, Every: 4},
+					{Kind: loop.StmtWrite, File: 1, Region: loop.Affine{IterCoef: 128 * kb, Len: 256 * kb}, Every: 4},
+				}},
+			{Name: "W", Trips: phase, Parallel: true, IterCost: ms(50),
+				Body: []loop.Stmt{
+					{Kind: loop.StmtRead, File: 1, Region: loop.Affine{IterCoef: 128 * kb, Len: 256 * kb}, Every: 4},
+					{Kind: loop.StmtRead, File: 0, Region: loop.Affine{IterCoef: 128 * kb, Len: 256 * kb}, Every: 8},
+					{Kind: loop.StmtWrite, File: 2, Region: loop.Affine{IterCoef: 64 * kb, Len: 128 * kb}, Every: 8},
+				}},
+			{Name: "solve", Trips: trips(64, scale), Parallel: true, IterCost: sec(45)},
+		},
+	}
+}
+
+// Wupwise builds the out-of-core QCD code: the largest data set and longest
+// run, with two lattice sweeps (read blocks, long BiCGStab compute, write
+// back) each followed by a relaxation phase whose gauge reads repeat at
+// ~95 s intervals.
+func Wupwise(scale float64) *loop.Program {
+	sweep := trips(345600, scale)
+	relax := trips(64, scale)
+	p := &loop.Program{
+		Name: "wupwise",
+		Files: []loop.File{
+			{ID: 0, Name: "lattice", Size: 6 * gb},
+			{ID: 1, Name: "gauge", Size: 2 * gb},
+		},
+	}
+	for s := 0; s < 2; s++ {
+		p.Nests = append(p.Nests, loop.Nest{
+			Name: fmt.Sprintf("sweep-%d", s), Parallel: true, Trips: sweep, IterCost: ms(75),
+			Body: []loop.Stmt{
+				{Kind: loop.StmtRead, File: 0, Region: loop.Affine{IterCoef: 128 * kb, Len: 256 * kb}, Every: 4},
+				{Kind: loop.StmtRead, File: 1, Region: loop.Affine{IterCoef: 64 * kb, Len: 128 * kb}, Every: 8},
+				{Kind: loop.StmtWrite, File: 0, Region: loop.Affine{IterCoef: 128 * kb, Len: 256 * kb}, Every: 32},
+			},
+		})
+		p.Nests = append(p.Nests, loop.Nest{
+			Name: fmt.Sprintf("relax-%d", s), Parallel: true, Trips: relax, IterCost: sec(95),
+			Body: []loop.Stmt{
+				{Kind: loop.StmtRead, File: 1, Region: loop.Affine{IterCoef: 32 * kb, Len: 64 * kb}, Every: 2},
+			},
+		})
+	}
+	return p
+}

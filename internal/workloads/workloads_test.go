@@ -1,0 +1,136 @@
+package workloads
+
+import (
+	"testing"
+
+	"sdds/internal/compiler"
+	"sdds/internal/loop"
+)
+
+func TestAllSpecsValid(t *testing.T) {
+	specs := All()
+	if len(specs) != 6 {
+		t.Fatalf("have %d applications, want 6", len(specs))
+	}
+	for _, s := range specs {
+		for _, scale := range []float64{0.05, 0.5, 1.0} {
+			p := s.Build(scale)
+			if err := p.Validate(); err != nil {
+				t.Errorf("%s@%.2f: %v", s.Name, scale, err)
+			}
+			if p.Name != s.Name {
+				t.Errorf("program name %q != spec name %q", p.Name, s.Name)
+			}
+		}
+	}
+}
+
+func TestNamesOrder(t *testing.T) {
+	want := []string{"hf", "sar", "astro", "apsi", "madbench2", "wupwise"}
+	got := Names()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want Table III order %v", got, want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("wupwise")
+	if err != nil || s.Name != "wupwise" {
+		t.Fatalf("ByName = %+v, %v", s, err)
+	}
+	if _, err := ByName("doom"); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestAllProgramsAffine(t *testing.T) {
+	// All six use affine regions, so the polyhedral path applies (§IV-A).
+	for _, s := range All() {
+		if !s.Build(0.1).IsAffine() {
+			t.Errorf("%s is not affine", s.Name)
+		}
+	}
+}
+
+func TestAllProgramsCompile(t *testing.T) {
+	for _, s := range All() {
+		p := s.Build(0.05)
+		res, err := compiler.Compile(p, compiler.DefaultOptions(8))
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if len(res.Accesses) == 0 {
+			t.Fatalf("%s: no read accesses", s.Name)
+		}
+		if _, err := res.Schedule.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestTripsScalingAligned(t *testing.T) {
+	for _, base := range []int{64, 1000, 25600} {
+		for _, scale := range []float64{0.01, 0.3, 1, 2} {
+			got := trips(base, scale)
+			if got < 64 || got%64 != 0 {
+				t.Fatalf("trips(%d, %v) = %d, want ≥64 and 64-aligned", base, scale, got)
+			}
+		}
+	}
+}
+
+func TestIntraRunSlacksExist(t *testing.T) {
+	// apsi's time steps read what the previous step wrote: there must be
+	// reads whose WriterSlot ≥ 0.
+	p := APSI(0.05)
+	res, err := compiler.Compile(p, compiler.DefaultOptions(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	withWriter := 0
+	for _, s := range res.Slacks {
+		if s.WriterSlot >= 0 {
+			withWriter++
+		}
+	}
+	if withWriter == 0 {
+		t.Fatal("apsi has no producer-consumer slacks")
+	}
+}
+
+func TestFileSizesExceedStorageCache(t *testing.T) {
+	// The data sets must not fit in the aggregate storage cache (8 nodes ×
+	// 64 MB), or the disks go silent after the first pass.
+	const aggregateCache = 8 * 64 << 20
+	for _, s := range All() {
+		var total int64
+		for _, f := range s.Build(1.0).Files {
+			total += f.Size
+		}
+		if total < 2*aggregateCache {
+			t.Errorf("%s: total data %d B too small vs aggregate cache %d B", s.Name, total, aggregateCache)
+		}
+	}
+}
+
+func TestIOIsSparseInSlotSpace(t *testing.T) {
+	// The scheduler needs room: on average well under one read per process
+	// per slot (the dense limit admits no reordering).
+	for _, s := range All() {
+		p := s.Build(0.1)
+		procs := 8
+		slots := p.Slots(procs)
+		reads := 0
+		for _, inst := range p.Instances(procs) {
+			if inst.Kind == loop.StmtRead {
+				reads++
+			}
+		}
+		density := float64(reads) / float64(slots*procs)
+		if density > 0.6 {
+			t.Errorf("%s: read density %.2f per proc-slot too high for scheduling", s.Name, density)
+		}
+	}
+}
