@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: ci vet build test race smoke bench
+
+ci: vet build race smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race instrumentation slows the full-scale cluster simulations well past
+# the default 10m per-package test timeout; give them room.
+race:
+	$(GO) test -race -timeout 90m ./...
+
+# A tiny end-to-end sddstables run: plans, simulates and renders every
+# experiment at 5% scale on two apps through the parallel session engine.
+smoke:
+	$(GO) run ./cmd/sddstables -scale 0.05 -apps sar,madbench2 -progress=false
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...

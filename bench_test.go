@@ -8,8 +8,10 @@
 package sdds_test
 
 import (
+	"context"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 
 	"sdds/internal/cluster"
@@ -200,6 +202,66 @@ func BenchmarkAblations(b *testing.B) {
 		}
 	}
 }
+
+// sessionBenchIDs is the sddstables-equivalent batch the worker-scaling
+// benchmarks regenerate: the four policy figures, 18 distinct cluster
+// configurations over the two bench apps.
+var sessionBenchIDs = []string{"fig12c", "fig12d", "fig13a", "fig13b"}
+
+// sessionBenchRef pins the first rendered output of the batch; every later
+// iteration — any worker count — must match it byte for byte, so the
+// speedup benchmarks double as a parallel-determinism check.
+var sessionBenchRef struct {
+	sync.Mutex
+	out string
+}
+
+// benchmarkSessionWorkers regenerates the batch on a fresh session per
+// iteration (nothing cached across iterations) with the given worker
+// bound. Comparing the workers=1 and workers=4 timings measures how the
+// parallel experiment engine scales; the paper tables themselves are
+// asserted identical across worker counts.
+func benchmarkSessionWorkers(b *testing.B, workers int) {
+	exps := make([]harness.Experiment, 0, len(sessionBenchIDs))
+	for _, id := range sessionBenchIDs {
+		e, err := harness.ByID(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exps = append(exps, e)
+	}
+	cfg := harness.Config{Scale: benchScale, Apps: benchApps, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		s := harness.NewSession(harness.SessionOptions{Workers: workers})
+		results, err := s.RunAll(context.Background(), exps, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out strings.Builder
+		for _, r := range results {
+			out.WriteString(r.Render())
+		}
+		sessionBenchRef.Lock()
+		if sessionBenchRef.out == "" {
+			sessionBenchRef.out = out.String()
+		} else if out.String() != sessionBenchRef.out {
+			sessionBenchRef.Unlock()
+			b.Fatalf("workers=%d produced different tables than the reference run", workers)
+		}
+		sessionBenchRef.Unlock()
+		if i == b.N-1 {
+			simulated, _ := s.Stats()
+			b.ReportMetric(float64(simulated), "distinct_runs")
+		}
+	}
+}
+
+// BenchmarkSessionWorkers1 is the serial baseline of the batch.
+func BenchmarkSessionWorkers1(b *testing.B) { benchmarkSessionWorkers(b, 1) }
+
+// BenchmarkSessionWorkers4 is the same batch fanned out over four workers
+// (expected ≥2× faster than BenchmarkSessionWorkers1 on ≥4 cores).
+func BenchmarkSessionWorkers4(b *testing.B) { benchmarkSessionWorkers(b, 4) }
 
 // BenchmarkEndToEndScheduledRun measures one full scheduled cluster run
 // (compile + execute) — the system's overall throughput.

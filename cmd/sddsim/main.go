@@ -5,9 +5,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"sdds/internal/cluster"
 	"sdds/internal/metrics"
@@ -16,13 +19,18 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := runCtx(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "sddsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// run is the signal-free entry point used by tests.
+func run(args []string) error { return runCtx(context.Background(), args) }
+
+func runCtx(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("sddsim", flag.ContinueOnError)
 	var (
 		app        = fs.String("app", "hf", "application (hf, sar, astro, apsi, madbench2, wupwise)")
@@ -66,7 +74,7 @@ func run(args []string) error {
 	cfg.Compiler.Theta = *theta
 	cfg.Seed = *seed
 
-	res, err := cluster.Run(prog, cfg)
+	res, err := cluster.RunContext(ctx, prog, cfg)
 	if err != nil {
 		return err
 	}

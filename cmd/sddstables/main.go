@@ -2,32 +2,51 @@
 // evaluation section. With no flags it runs every experiment at full scale;
 // use --experiment to run one (table2, table3, fig12a..fig14b, cachesens,
 // compile, ablations) and --scale to shrink the workloads for a quick pass.
+//
+// The cluster simulations an experiment needs are planned up front and
+// fanned out over a bounded worker pool (--workers, default GOMAXPROCS);
+// distinct configurations are simulated once and cached for the whole
+// invocation. A live status line on stderr (--progress) reports runs
+// completed/planned, cache hits, and per-run timing. SIGINT cancels queued
+// and in-flight simulations promptly, keeping whatever output had already
+// been rendered.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"sdds/internal/harness"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := runCtx(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "sddstables:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// run is the signal-free entry point used by tests.
+func run(args []string) error { return runCtx(context.Background(), args) }
+
+func runCtx(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("sddstables", flag.ContinueOnError)
 	var (
 		experiment = fs.String("experiment", "", "experiment id to run (default: all)")
 		scale      = fs.Float64("scale", 1.0, "workload scale factor")
 		apps       = fs.String("apps", "", "comma-separated application subset (default: all six)")
 		seed       = fs.Int64("seed", 1, "simulation seed")
+		workers    = fs.Int("workers", 0, "concurrent cluster simulations (0 = GOMAXPROCS)")
+		progress   = fs.Bool("progress", stderrIsTerminal(), "render a live run-progress line on stderr")
 		list       = fs.Bool("list", false, "list experiment ids and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -39,11 +58,19 @@ func run(args []string) error {
 		}
 		return nil
 	}
+
+	// Validate every name-shaped flag before simulating anything: an
+	// unknown app or experiment must fail here, not minutes into a run.
 	cfg := harness.Config{Scale: *scale, Seed: *seed}
 	if *apps != "" {
 		cfg.Apps = strings.Split(*apps, ",")
+		for i := range cfg.Apps {
+			cfg.Apps[i] = strings.TrimSpace(cfg.Apps[i])
+		}
 	}
-
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
 	experiments := harness.All()
 	if *experiment != "" {
 		e, err := harness.ByID(*experiment)
@@ -52,14 +79,52 @@ func run(args []string) error {
 		}
 		experiments = []harness.Experiment{e}
 	}
-	for _, e := range experiments {
+
+	sess := harness.NewSession(harness.SessionOptions{
+		Workers:  *workers,
+		Progress: progressLine(*progress),
+	})
+	for i, e := range experiments {
 		start := time.Now()
-		res, err := e.Run(cfg)
+		res, err := sess.Run(ctx, e, cfg)
 		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+			if errors.Is(err, context.Canceled) {
+				return fmt.Errorf("interrupted after %d/%d experiments (partial output above)",
+					i, len(experiments))
+			}
+			return err
 		}
 		fmt.Print(res.Render())
 		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+	simulated, hits := sess.Stats()
+	if *progress {
+		fmt.Fprintf(os.Stderr, "%d distinct configurations simulated, %d reads served from cache, %d workers\n",
+			simulated, hits, sess.Workers())
+	}
 	return nil
+}
+
+// progressLine renders session progress as a single rewritten stderr line.
+func progressLine(enabled bool) harness.ProgressFunc {
+	if !enabled {
+		return nil
+	}
+	return func(p harness.Progress) {
+		if p.Err != nil {
+			return // the run loop reports errors
+		}
+		fmt.Fprintf(os.Stderr, "\r\x1b[K[%d/%d] %d hits | %s (%v)",
+			p.Done, p.Total, p.Hits, p.Key, p.Elapsed.Round(time.Millisecond))
+		if p.Done == p.Total {
+			fmt.Fprint(os.Stderr, "\r\x1b[K")
+		}
+	}
+}
+
+// stderrIsTerminal reports whether stderr looks like an interactive
+// terminal (the default for showing the progress line).
+func stderrIsTerminal() bool {
+	fi, err := os.Stderr.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
 }

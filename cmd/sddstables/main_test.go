@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
 
 func TestRunList(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
@@ -11,6 +16,25 @@ func TestRunList(t *testing.T) {
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-experiment", "fig99"}); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunUnknownExperimentSuggests(t *testing.T) {
+	err := run([]string{"-experiment", "fig12e"})
+	if err == nil || !strings.Contains(err.Error(), "did you mean") {
+		t.Fatalf("err = %v, want a did-you-mean suggestion", err)
+	}
+}
+
+func TestRunUnknownAppFailsAtParseTime(t *testing.T) {
+	// Validation must reject the bad app before any simulation starts —
+	// even at full scale this returns immediately.
+	err := run([]string{"-apps", "sar,madbench", "-experiment", "table3"})
+	if err == nil {
+		t.Fatal("unknown application accepted")
+	}
+	if !strings.Contains(err.Error(), "did you mean") || !strings.Contains(err.Error(), "madbench2") {
+		t.Fatalf("err = %v, want a did-you-mean suggestion naming madbench2", err)
 	}
 }
 
@@ -26,11 +50,32 @@ func TestRunTable2(t *testing.T) {
 	}
 }
 
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := runCtx(ctx, []string{"-experiment", "table3", "-scale", "0.02", "-apps", "sar"})
+	if err == nil {
+		t.Fatal("cancelled context accepted")
+	}
+	if !strings.Contains(err.Error(), "interrupted") && !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want interruption", err)
+	}
+}
+
 func TestRunTinyExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cluster runs")
 	}
 	if err := run([]string{"-experiment", "compile", "-scale", "0.02", "-apps", "sar"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTinyParallelWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster runs")
+	}
+	if err := run([]string{"-experiment", "fig12c", "-scale", "0.02", "-apps", "sar,madbench2", "-workers", "4"}); err != nil {
 		t.Fatal(err)
 	}
 }

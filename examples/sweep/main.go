@@ -1,58 +1,98 @@
 // Sweep runs the δ and θ sensitivity analyses of §V-D on one application
 // and emits CSV, mirroring Fig. 13(d) and Fig. 14(a)/(b) for custom
-// parameter ranges.
+// parameter ranges. The sweep points are independent cluster runs, so they
+// are fanned out over a bounded worker pool; rows are still emitted in
+// sweep order, and Ctrl-C cancels the remaining runs.
 //
-//	go run ./examples/sweep -app sar -scale 0.25
+//	go run ./examples/sweep -app sar -scale 0.25 -workers 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"runtime"
+	"sync"
+	"syscall"
 
 	"sdds/internal/cluster"
 	"sdds/internal/power"
 	"sdds/internal/workloads"
 )
 
+type point struct {
+	param        string
+	value        int
+	delta, theta int
+}
+
 func main() {
 	app := flag.String("app", "sar", "application to sweep")
 	scale := flag.Float64("scale", 0.25, "workload scale")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent cluster runs")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	spec, err := workloads.ByName(*app)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	run := func(scheduling bool, delta, theta int) *cluster.Result {
+	run := func(scheduling bool, delta, theta int) (*cluster.Result, error) {
 		cfg := cluster.DefaultConfig()
 		cfg.Policy = power.Config{Kind: power.KindHistory}
 		cfg.Scheduling = scheduling
 		cfg.Compiler.Delta = delta
 		cfg.Compiler.Theta = theta
-		res, err := cluster.Run(spec.Build(*scale), cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		return res
+		return cluster.RunContext(ctx, spec.Build(*scale), cfg)
 	}
 
-	base := run(false, 20, 4)
+	base, err := run(false, 20, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var points []point
+	for _, d := range []int{5, 10, 20, 40, 80} {
+		points = append(points, point{"delta", d, d, 4})
+	}
+	for _, th := range []int{2, 4, 6, 8} {
+		points = append(points, point{"theta", th, 20, th})
+	}
+
+	// Fan the sweep points out over the worker pool; results land in their
+	// slot so the CSV stays in sweep order regardless of completion order.
+	results := make([]*cluster.Result, len(points))
+	errs := make([]error, len(points))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, max(1, *workers))
+	for i, p := range points {
+		wg.Add(1)
+		go func(i int, p point) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = run(true, p.delta, p.theta)
+		}(i, p)
+	}
+	wg.Wait()
+
 	w := os.Stdout
 	fmt.Fprintf(w, "# %s at scale %.2f: history-based policy, scheme on, vs scheme off\n", *app, *scale)
 	fmt.Fprintln(w, "param,value,energy_joule,exec_seconds,energy_saving_pct,degradation_pct")
-	emit := func(param string, value int, r *cluster.Result) {
+	for i, p := range points {
+		if errs[i] != nil {
+			log.Fatal(errs[i])
+		}
+		r := results[i]
 		fmt.Fprintf(w, "%s,%d,%.1f,%.2f,%.2f,%.2f\n",
-			param, value, r.EnergyJ, r.ExecTime.Seconds(),
+			p.param, p.value, r.EnergyJ, r.ExecTime.Seconds(),
 			100*(1-r.EnergyJ/base.EnergyJ),
 			100*(r.ExecTime.Seconds()-base.ExecTime.Seconds())/base.ExecTime.Seconds())
-	}
-	for _, d := range []int{5, 10, 20, 40, 80} {
-		emit("delta", d, run(true, d, 4))
-	}
-	for _, th := range []int{2, 4, 6, 8} {
-		emit("theta", th, run(true, 20, th))
 	}
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 
 	"sdds/internal/compiler"
@@ -57,6 +58,13 @@ type psKey struct{ proc, slot int }
 // Run executes prog on the configured cluster and returns the
 // measurements.
 func Run(prog *loop.Program, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), prog, cfg)
+}
+
+// RunContext executes prog like Run but aborts promptly (returning ctx's
+// error) when ctx is cancelled, both during the compiler pass and inside
+// the discrete-event loop.
+func RunContext(ctx context.Context, prog *loop.Program, cfg Config) (*Result, error) {
 	cfg = cfg.normalized()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -128,7 +136,7 @@ func Run(prog *loop.Program, cfg Config) (*Result, error) {
 
 	// The framework: compile and stand up the runtime scheduler.
 	if cfg.Scheduling {
-		comp, err := compiler.Compile(prog, cfg.Compiler)
+		comp, err := compiler.CompileContext(ctx, prog, cfg.Compiler)
 		if err != nil {
 			return nil, err
 		}
@@ -160,7 +168,10 @@ func Run(prog *loop.Program, cfg Config) (*Result, error) {
 		p := p
 		eng.Schedule(0, "cluster.start", func(now sim.Time) { ex.beginSlot(p, 0, now) })
 	}
-	end := eng.Run()
+	end, err := eng.RunContext(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: run aborted at %v: %w", end, err)
+	}
 	if !ex.allDone() {
 		return nil, fmt.Errorf("cluster: run stalled at %v with processes unfinished", end)
 	}

@@ -7,6 +7,7 @@
 package compiler
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -114,11 +115,21 @@ type Result struct {
 
 // Compile runs the full pass.
 func Compile(p *loop.Program, opts Options) (*Result, error) {
+	return CompileContext(context.Background(), p, opts)
+}
+
+// CompileContext runs the full pass, honouring cancellation at the phase
+// boundaries (before slack analysis and before scheduling — the two
+// dominant costs of the pass).
+func CompileContext(ctx context.Context, p *loop.Program, opts Options) (*Result, error) {
 	start := time.Now()
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
@@ -176,6 +187,9 @@ func Compile(p *loop.Program, opts Options) (*Result, error) {
 		byInst[instKey{s.Inst.Proc, s.Inst.Slot, s.Inst.Nest, s.Inst.Stmt}] = i
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	params := core.Params{
 		NumSlots:   coalesced,
 		NumNodes:   opts.Layout.NumNodes,

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -15,8 +16,8 @@ import (
 	"sdds/internal/workloads"
 )
 
-// Table2 dumps the default configuration, mirroring Table II.
-func Table2(c Config) (*Result, error) {
+// table2 dumps the default configuration, mirroring Table II.
+func table2(ctx context.Context, s *Session, c Config) (*Result, error) {
 	cfg := cluster.DefaultConfig()
 	p := cfg.Node.DiskParams
 	rows := [][]string{
@@ -45,12 +46,11 @@ func Table2(c Config) (*Result, error) {
 		Headers: []string{"Parameter", "Value"}, Rows: rows}, nil
 }
 
-// Table3 reports per-application execution time and disk energy under the
+// table3 reports per-application execution time and disk energy under the
 // Default Scheme (no power management) — the baseline every other number is
 // normalized against.
-func Table3(c Config) (*Result, error) {
-	c = c.withDefaults()
-	base, err := runBaselines(c)
+func table3(ctx context.Context, s *Session, c Config) (*Result, error) {
+	base, err := runBaselines(ctx, s, c)
 	if err != nil {
 		return nil, err
 	}
@@ -70,13 +70,12 @@ func Table3(c Config) (*Result, error) {
 }
 
 // cdfResult renders per-app idle CDFs at the paper's bucket bounds.
-func cdfResult(id, title string, c Config, scheduling bool) (*Result, error) {
-	c = c.withDefaults()
+func cdfResult(ctx context.Context, s *Session, id, title string, c Config, scheduling bool) (*Result, error) {
 	headers := []string{"Idleness (msec)"}
 	headers = append(headers, c.Apps...)
 	hists := make([]*metrics.IdleHistogram, len(c.Apps))
 	for i, app := range c.Apps {
-		res, err := runOne(c, app, power.KindDefault, scheduling)
+		res, err := runOne(ctx, s, c, app, power.KindDefault, scheduling)
 		if err != nil {
 			return nil, err
 		}
@@ -100,20 +99,17 @@ func cdfResult(id, title string, c Config, scheduling bool) (*Result, error) {
 	return &Result{ID: id, Title: title, Headers: headers, Rows: rows, Notes: notes}, nil
 }
 
-// Fig12a is the idle-period CDF without the scheme.
-func Fig12a(c Config) (*Result, error) {
-	return cdfResult("fig12a", "CDF of idle periods without the scheme", c, false)
+func fig12a(ctx context.Context, s *Session, c Config) (*Result, error) {
+	return cdfResult(ctx, s, "fig12a", "CDF of idle periods without the scheme", c, false)
 }
 
-// Fig12b is the idle-period CDF with the scheme.
-func Fig12b(c Config) (*Result, error) {
-	return cdfResult("fig12b", "CDF of idle periods with the scheme", c, true)
+func fig12b(ctx context.Context, s *Session, c Config) (*Result, error) {
+	return cdfResult(ctx, s, "fig12b", "CDF of idle periods with the scheme", c, true)
 }
 
 // energyResult renders normalized energy per app × policy.
-func energyResult(id, title string, c Config, scheduling bool) (*Result, error) {
-	c = c.withDefaults()
-	base, err := runBaselines(c)
+func energyResult(ctx context.Context, s *Session, id, title string, c Config, scheduling bool) (*Result, error) {
+	base, err := runBaselines(ctx, s, c)
 	if err != nil {
 		return nil, err
 	}
@@ -129,7 +125,7 @@ func energyResult(id, title string, c Config, scheduling bool) (*Result, error) 
 		row := []string{app}
 		vals := make([]float64, 0, len(kinds))
 		for ki, k := range kinds {
-			res, err := runOne(c, app, k, scheduling)
+			res, err := runOne(ctx, s, c, app, k, scheduling)
 			if err != nil {
 				return nil, err
 			}
@@ -158,20 +154,17 @@ func energyResult(id, title string, c Config, scheduling bool) (*Result, error) 
 		Notes: []string{note, paper}, Chart: chart}, nil
 }
 
-// Fig12c is normalized energy per policy without the scheme.
-func Fig12c(c Config) (*Result, error) {
-	return energyResult("fig12c", "Normalized energy consumption without the scheme", c, false)
+func fig12c(ctx context.Context, s *Session, c Config) (*Result, error) {
+	return energyResult(ctx, s, "fig12c", "Normalized energy consumption without the scheme", c, false)
 }
 
-// Fig12d is normalized energy per policy with the scheme.
-func Fig12d(c Config) (*Result, error) {
-	return energyResult("fig12d", "Normalized energy consumption with the scheme", c, true)
+func fig12d(ctx context.Context, s *Session, c Config) (*Result, error) {
+	return energyResult(ctx, s, "fig12d", "Normalized energy consumption with the scheme", c, true)
 }
 
 // degradationResult renders performance degradation per app × policy.
-func degradationResult(id, title string, c Config, scheduling bool) (*Result, error) {
-	c = c.withDefaults()
-	base, err := runBaselines(c)
+func degradationResult(ctx context.Context, s *Session, id, title string, c Config, scheduling bool) (*Result, error) {
+	base, err := runBaselines(ctx, s, c)
 	if err != nil {
 		return nil, err
 	}
@@ -185,7 +178,7 @@ func degradationResult(id, title string, c Config, scheduling bool) (*Result, er
 	for _, app := range c.Apps {
 		row := []string{app}
 		for ki, k := range kinds {
-			res, err := runOne(c, app, k, scheduling)
+			res, err := runOne(ctx, s, c, app, k, scheduling)
 			if err != nil {
 				return nil, err
 			}
@@ -202,137 +195,150 @@ func degradationResult(id, title string, c Config, scheduling bool) (*Result, er
 	return &Result{ID: id, Title: title, Headers: headers, Rows: rows, Notes: []string{note}}, nil
 }
 
-// Fig13a is performance degradation without the scheme.
-func Fig13a(c Config) (*Result, error) {
-	return degradationResult("fig13a", "Performance degradation without the scheme", c, false)
+func fig13a(ctx context.Context, s *Session, c Config) (*Result, error) {
+	return degradationResult(ctx, s, "fig13a", "Performance degradation without the scheme", c, false)
 }
 
-// Fig13b is performance degradation with the scheme.
-func Fig13b(c Config) (*Result, error) {
-	return degradationResult("fig13b", "Performance degradation with the scheme", c, true)
+func fig13b(ctx context.Context, s *Session, c Config) (*Result, error) {
+	return degradationResult(ctx, s, "fig13b", "Performance degradation with the scheme", c, true)
 }
 
 // extraSavings computes the additional energy reduction the scheme brings
-// over the history-based policy alone, for one app under a modified
-// cluster config.
-func extraSavings(c Config, app string, mutate func(*cluster.Config)) (float64, error) {
-	spec, err := workloads.ByName(app)
+// over the history-based policy alone, for one app under a tagged cluster
+// config variant. Both runs resolve through the session cache.
+func extraSavings(ctx context.Context, s *Session, c Config, app, tag string, mutate func(*cluster.Config)) (float64, error) {
+	without, _, err := s.run(ctx, c, variantSpec(app, power.KindHistory, false, tag, mutate))
 	if err != nil {
 		return 0, err
 	}
-	run := func(scheduling bool) (*cluster.Result, error) {
-		prog := spec.Build(c.Scale)
-		cfg := cluster.DefaultConfig()
-		cfg.Seed = c.Seed
-		cfg.Policy = power.Config{Kind: power.KindHistory}
-		cfg.Scheduling = scheduling
-		if mutate != nil {
-			mutate(&cfg)
-		}
-		return cluster.Run(prog, cfg)
-	}
-	without, err := run(false)
-	if err != nil {
-		return 0, err
-	}
-	with, err := run(true)
+	with, _, err := s.run(ctx, c, variantSpec(app, power.KindHistory, true, tag, mutate))
 	if err != nil {
 		return 0, err
 	}
 	return metrics.EnergySaving(with.EnergyJ, without.EnergyJ), nil
 }
 
-// sweepResult renders the extra savings of the scheme (over history-based)
-// across a parameter sweep, averaged over the configured apps.
-func sweepResult(id, title, param string, values []string, c Config, mutate func(*cluster.Config, int)) (*Result, error) {
-	c = c.withDefaults()
-	headers := append([]string{"App"}, values...)
+// sweepDef declares a parameter sweep once, so its run plan and its
+// rendering derive from the same table: the extra savings of the scheme
+// (over history-based) across the values, averaged over the apps.
+type sweepDef struct {
+	id, title, param string
+	values           []string
+	mutate           func(cfg *cluster.Config, vi int)
+}
+
+// tagOf canonically names one sweep point (shared across experiments:
+// fig14a and fig14b both tag "theta=N").
+func (d sweepDef) tagOf(vi int) string { return d.param + "=" + d.values[vi] }
+
+// specs plans both scheme-off and scheme-on runs of every sweep point.
+func (d sweepDef) specs(c Config) []runSpec {
+	out := make([]runSpec, 0, 2*len(c.Apps)*len(d.values))
+	for _, app := range c.Apps {
+		for vi := range d.values {
+			vi := vi
+			m := func(cfg *cluster.Config) { d.mutate(cfg, vi) }
+			out = append(out,
+				variantSpec(app, power.KindHistory, false, d.tagOf(vi), m),
+				variantSpec(app, power.KindHistory, true, d.tagOf(vi), m))
+		}
+	}
+	return out
+}
+
+// run renders the sweep table.
+func (d sweepDef) run(ctx context.Context, s *Session, c Config) (*Result, error) {
+	headers := append([]string{"App"}, d.values...)
 	rows := make([][]string, 0, len(c.Apps))
-	avg := make([]float64, len(values))
+	avg := make([]float64, len(d.values))
 	for _, app := range c.Apps {
 		row := []string{app}
-		for vi := range values {
+		for vi := range d.values {
 			vi := vi
-			s, err := extraSavings(c, app, func(cfg *cluster.Config) { mutate(cfg, vi) })
+			sav, err := extraSavings(ctx, s, c, app, d.tagOf(vi),
+				func(cfg *cluster.Config) { d.mutate(cfg, vi) })
 			if err != nil {
 				return nil, err
 			}
-			avg[vi] += s
-			row = append(row, metrics.Pct(s))
+			avg[vi] += sav
+			row = append(row, metrics.Pct(sav))
 		}
 		rows = append(rows, row)
 	}
-	note := fmt.Sprintf("average extra reduction by %s:", param)
-	for vi, v := range values {
-		note += fmt.Sprintf(" %s=%s %s", param, v, metrics.Pct(avg[vi]/float64(len(c.Apps))))
+	note := fmt.Sprintf("average extra reduction by %s:", d.param)
+	for vi, v := range d.values {
+		note += fmt.Sprintf(" %s=%s %s", d.param, v, metrics.Pct(avg[vi]/float64(len(c.Apps))))
 	}
-	return &Result{ID: id, Title: title, Headers: headers, Rows: rows, Notes: []string{note}}, nil
+	return &Result{ID: d.id, Title: d.title, Headers: headers, Rows: rows, Notes: []string{note}}, nil
 }
 
-// Fig13c sweeps the number of I/O nodes.
-func Fig13c(c Config) (*Result, error) {
-	nodes := []int{2, 4, 8, 16, 32}
-	values := make([]string, len(nodes))
-	for i, n := range nodes {
-		values[i] = fmt.Sprintf("%d", n)
-	}
-	return sweepResult("fig13c", "Energy reduction as the number of I/O nodes varies", "nodes", values, c,
-		func(cfg *cluster.Config, vi int) {
-			cfg.Layout = stripe.Layout{NumNodes: nodes[vi], StripeSize: cfg.Layout.StripeSize}
-			cfg.Net.NumNodes = nodes[vi]
-		})
+var fig13cNodes = []int{2, 4, 8, 16, 32}
+
+var fig13cDef = sweepDef{
+	id: "fig13c", title: "Energy reduction as the number of I/O nodes varies",
+	param: "nodes", values: []string{"2", "4", "8", "16", "32"},
+	mutate: func(cfg *cluster.Config, vi int) {
+		cfg.Layout = stripe.Layout{NumNodes: fig13cNodes[vi], StripeSize: cfg.Layout.StripeSize}
+		cfg.Net.NumNodes = fig13cNodes[vi]
+	},
 }
 
-// Fig13d sweeps the vertical reuse range δ.
-func Fig13d(c Config) (*Result, error) {
-	deltas := []int{5, 10, 20, 40, 80}
-	values := make([]string, len(deltas))
-	for i, d := range deltas {
-		values[i] = fmt.Sprintf("%d", d)
-	}
-	return sweepResult("fig13d", "Energy reduction as the value of delta varies", "delta", values, c,
-		func(cfg *cluster.Config, vi int) { cfg.Compiler.Delta = deltas[vi] })
+var fig13dDeltas = []int{5, 10, 20, 40, 80}
+
+var fig13dDef = sweepDef{
+	id: "fig13d", title: "Energy reduction as the value of delta varies",
+	param: "delta", values: []string{"5", "10", "20", "40", "80"},
+	mutate: func(cfg *cluster.Config, vi int) { cfg.Compiler.Delta = fig13dDeltas[vi] },
 }
 
-// Fig14a sweeps θ for energy.
-func Fig14a(c Config) (*Result, error) {
-	thetas := []int{2, 4, 6, 8}
-	values := make([]string, len(thetas))
-	for i, th := range thetas {
-		values[i] = fmt.Sprintf("%d", th)
-	}
-	return sweepResult("fig14a", "Energy reduction as the value of theta varies", "theta", values, c,
-		func(cfg *cluster.Config, vi int) { cfg.Compiler.Theta = thetas[vi] })
+var fig14aThetas = []int{2, 4, 6, 8}
+
+var fig14aDef = sweepDef{
+	id: "fig14a", title: "Energy reduction as the value of theta varies",
+	param: "theta", values: []string{"2", "4", "6", "8"},
+	mutate: func(cfg *cluster.Config, vi int) { cfg.Compiler.Theta = fig14aThetas[vi] },
 }
 
-// Fig14b sweeps θ for performance improvement of raising θ relative to the
+var cacheSensCaps = []int64{32 << 20, 64 << 20, 256 << 20}
+
+var cacheSensDef = sweepDef{
+	id: "cachesens", title: "Extra energy reduction vs storage-cache capacity",
+	param: "cache", values: []string{"32MB", "64MB", "256MB"},
+	mutate: func(cfg *cluster.Config, vi int) { cfg.Node.CacheBytes = cacheSensCaps[vi] },
+}
+
+// planFig14b plans the scheme-on θ sweep points; they share tags (and thus
+// cached runs) with fig14a's sweep.
+func planFig14b(c Config) []runSpec {
+	out := make([]runSpec, 0, len(c.Apps)*len(fig14aThetas))
+	for _, app := range c.Apps {
+		for vi := range fig14aDef.values {
+			vi := vi
+			out = append(out, variantSpec(app, power.KindHistory, true, fig14aDef.tagOf(vi),
+				func(cfg *cluster.Config) { fig14aDef.mutate(cfg, vi) }))
+		}
+	}
+	return out
+}
+
+// fig14b sweeps θ for performance improvement of raising θ relative to the
 // most constrained setting (θ=2), with the scheme on.
-func Fig14b(c Config) (*Result, error) {
-	c = c.withDefaults()
-	thetas := []int{2, 4, 6, 8}
+func fig14b(ctx context.Context, s *Session, c Config) (*Result, error) {
 	headers := []string{"App"}
-	for _, th := range thetas {
+	for _, th := range fig14aThetas {
 		headers = append(headers, fmt.Sprintf("%d", th))
 	}
 	rows := make([][]string, 0, len(c.Apps))
 	for _, app := range c.Apps {
-		spec, err := workloads.ByName(app)
-		if err != nil {
-			return nil, err
-		}
-		times := make([]float64, len(thetas))
-		for ti, th := range thetas {
-			prog := spec.Build(c.Scale)
-			cfg := cluster.DefaultConfig()
-			cfg.Seed = c.Seed
-			cfg.Policy = power.Config{Kind: power.KindHistory}
-			cfg.Scheduling = true
-			cfg.Compiler.Theta = th
-			res, err := cluster.Run(prog, cfg)
+		times := make([]float64, len(fig14aThetas))
+		for vi := range fig14aThetas {
+			vi := vi
+			res, _, err := s.run(ctx, c, variantSpec(app, power.KindHistory, true, fig14aDef.tagOf(vi),
+				func(cfg *cluster.Config) { fig14aDef.mutate(cfg, vi) }))
 			if err != nil {
 				return nil, err
 			}
-			times[ti] = res.ExecTime.Seconds()
+			times[vi] = res.ExecTime.Seconds()
 		}
 		row := []string{app}
 		for _, t := range times {
@@ -344,19 +350,9 @@ func Fig14b(c Config) (*Result, error) {
 		Headers: headers, Rows: rows}, nil
 }
 
-// CacheSens varies the per-node storage-cache capacity (§V-D: 32 MB raises
-// the scheme's relative benefit, 256 MB lowers it).
-func CacheSens(c Config) (*Result, error) {
-	caps := []int64{32 << 20, 64 << 20, 256 << 20}
-	values := []string{"32MB", "64MB", "256MB"}
-	return sweepResult("cachesens", "Extra energy reduction vs storage-cache capacity", "cache", values, c,
-		func(cfg *cluster.Config, vi int) { cfg.Node.CacheBytes = caps[vi] })
-}
-
-// CompileCost measures the wall-clock cost of the compiler pass per app
+// compileCost measures the wall-clock cost of the compiler pass per app
 // (the paper reports ~1.4 s worst case, ~40% over the baseline compile).
-func CompileCost(c Config) (*Result, error) {
-	c = c.withDefaults()
+func compileCost(ctx context.Context, s *Session, c Config) (*Result, error) {
 	rows := make([][]string, 0, len(c.Apps))
 	for _, app := range c.Apps {
 		spec, err := workloads.ByName(app)
@@ -365,7 +361,7 @@ func CompileCost(c Config) (*Result, error) {
 		}
 		prog := spec.Build(c.Scale)
 		start := time.Now()
-		res, err := compiler.Compile(prog, compiler.DefaultOptions(32))
+		res, err := compiler.CompileContext(ctx, prog, compiler.DefaultOptions(32))
 		if err != nil {
 			return nil, err
 		}
@@ -383,12 +379,11 @@ func CompileCost(c Config) (*Result, error) {
 		Rows:    rows}, nil
 }
 
-// Ablations quantifies the design choices of §IV-B on the scheduling
+// ablations quantifies the design choices of §IV-B on the scheduling
 // algorithm itself (no cluster simulation): processing order, σ weights,
 // and the vertical reuse range, measured by packed node-slot activations
 // (lower = tighter grouping).
-func Ablations(c Config) (*Result, error) {
-	c = c.withDefaults()
+func ablations(ctx context.Context, s *Session, c Config) (*Result, error) {
 	type variant struct {
 		name   string
 		mutate func(*compiler.Options)
@@ -416,7 +411,7 @@ func Ablations(c Config) (*Result, error) {
 			if v.mutate != nil {
 				v.mutate(&opts)
 			}
-			res, err := compiler.Compile(prog, opts)
+			res, err := compiler.CompileContext(ctx, prog, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -428,11 +423,22 @@ func Ablations(c Config) (*Result, error) {
 		Headers: headers, Rows: rows}, nil
 }
 
-// Oracle compares the history-based policy against an oracle multi-speed
+// planOracle plans the history-based pass of the oracle comparison (its
+// trace-recording and replay passes are stateful and run inline).
+func planOracle(c Config) []runSpec {
+	out := make([]runSpec, 0, len(c.Apps))
+	for _, app := range c.Apps {
+		out = append(out, defaultSpec(app, power.KindHistory, false))
+	}
+	return out
+}
+
+// oracle compares the history-based policy against an oracle multi-speed
 // policy fed the true idle lengths recorded in a first pass — an upper
 // bound on what better prediction could buy (ablation beyond the paper).
-func Oracle(c Config) (*Result, error) {
-	c = c.withDefaults()
+// The trace-recording and replay passes are coupled through shared state,
+// so they bypass the run cache and execute inline.
+func oracle(ctx context.Context, s *Session, c Config) (*Result, error) {
 	headers := []string{"App", "default (J)", "history (J)", "oracle (J)", "history saving", "oracle saving"}
 	rows := make([][]string, 0, len(c.Apps))
 	for _, app := range c.Apps {
@@ -453,15 +459,12 @@ func Oracle(c Config) (*Result, error) {
 			return power.New(eng, power.Config{Kind: power.KindDefault})
 		}
 		cfg.ExtraIdleRecorder = traceHolder{&trace}
-		base, err := cluster.Run(spec.Build(c.Scale), cfg)
+		base, err := cluster.RunContext(ctx, spec.Build(c.Scale), cfg)
 		if err != nil {
 			return nil, err
 		}
-		// Pass 2a: history.
-		cfgH := cluster.DefaultConfig()
-		cfgH.Seed = c.Seed
-		cfgH.Policy = power.Config{Kind: power.KindHistory}
-		hist, err := cluster.Run(spec.Build(c.Scale), cfgH)
+		// Pass 2a: history (cache-resolved; also in the experiment plan).
+		hist, err := runOne(ctx, s, c, app, power.KindHistory, false)
 		if err != nil {
 			return nil, err
 		}
@@ -471,7 +474,7 @@ func Oracle(c Config) (*Result, error) {
 		cfgO.PolicyFactory = func(eng *sim.Engine) (power.Policy, error) {
 			return power.NewOracle(eng, power.Config{}, trace), nil
 		}
-		orc, err := cluster.Run(spec.Build(c.Scale), cfgO)
+		orc, err := cluster.RunContext(ctx, spec.Build(c.Scale), cfgO)
 		if err != nil {
 			return nil, err
 		}
@@ -498,31 +501,34 @@ func (h traceHolder) RecordIdle(d *disk.Disk, gap sim.Duration) {
 	}
 }
 
-// PALRUCache compares the plain LRU storage cache against the power-aware
+// palruMutate turns on the power-aware storage-cache replacement.
+func palruMutate(cfg *cluster.Config) { cfg.Node.PowerAwareCache = true }
+
+// planPALRU plans the LRU (default config) and PA-LRU (variant) runs under
+// the simple spin-down policy.
+func planPALRU(c Config) []runSpec {
+	out := make([]runSpec, 0, 2*len(c.Apps))
+	for _, app := range c.Apps {
+		out = append(out,
+			defaultSpec(app, power.KindSimple, false),
+			variantSpec(app, power.KindSimple, false, "pacache", palruMutate))
+	}
+	return out
+}
+
+// palruCache compares the plain LRU storage cache against the power-aware
 // PA-LRU variant (eviction avoids blocks whose disk sleeps) under the
 // simple spin-down policy — the related-work direction (§VI) implemented
 // as an extension.
-func PALRUCache(c Config) (*Result, error) {
-	c = c.withDefaults()
+func palruCache(ctx context.Context, s *Session, c Config) (*Result, error) {
 	headers := []string{"App", "LRU (J)", "PA-LRU (J)", "delta"}
 	rows := make([][]string, 0, len(c.Apps))
 	for _, app := range c.Apps {
-		spec, err := workloads.ByName(app)
+		lru, err := runOne(ctx, s, c, app, power.KindSimple, false)
 		if err != nil {
 			return nil, err
 		}
-		run := func(powerAware bool) (*cluster.Result, error) {
-			cfg := cluster.DefaultConfig()
-			cfg.Seed = c.Seed
-			cfg.Policy = power.Config{Kind: power.KindSimple}
-			cfg.Node.PowerAwareCache = powerAware
-			return cluster.Run(spec.Build(c.Scale), cfg)
-		}
-		lru, err := run(false)
-		if err != nil {
-			return nil, err
-		}
-		pal, err := run(true)
+		pal, _, err := s.run(ctx, c, variantSpec(app, power.KindSimple, false, "pacache", palruMutate))
 		if err != nil {
 			return nil, err
 		}

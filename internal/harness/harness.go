@@ -3,20 +3,28 @@
 // of Fig. 12(a)/(b), the normalized-energy bars of Fig. 12(c)/(d), the
 // performance-degradation bars of Fig. 13(a)/(b), and the sensitivity
 // sweeps of Fig. 13(c)/(d), Fig. 14(a)/(b) and the storage-cache paragraph
-// of §V-D. Each experiment is a named, self-contained function from a
-// Config to printable rows, shared by cmd/sddstables and the benchmark
-// harness in bench_test.go.
+// of §V-D. Each experiment is a named, self-contained artifact shared by
+// cmd/sddstables and the benchmark harness in bench_test.go.
+//
+// Execution goes through a Session: the session derives the complete set
+// of distinct cluster configurations an experiment batch needs (its run
+// plan), fans the simulations out over a bounded worker pool, and caches
+// every result so overlapping experiments never simulate the same
+// configuration twice. Experiment.Run and the exported per-experiment
+// functions (Table3, Fig12a, ...) are thin wrappers over a process-wide
+// DefaultSession.
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
 	"sdds/internal/cluster"
 	"sdds/internal/metrics"
 	"sdds/internal/power"
+	"sdds/internal/strutil"
 	"sdds/internal/workloads"
 )
 
@@ -45,6 +53,21 @@ func (c Config) withDefaults() Config {
 		c.Apps = workloads.Names()
 	}
 	return c
+}
+
+// Validate reports the first problem with the config (unknown application
+// names, with suggestions), or nil. The zero value is valid (defaults
+// apply).
+func (c Config) Validate() error {
+	if c.Scale < 0 {
+		return fmt.Errorf("harness: scale %v must be positive", c.Scale)
+	}
+	for _, app := range c.Apps {
+		if _, err := workloads.ByName(app); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Result of one experiment: a title, column headers and rows, pre-rendered
@@ -77,34 +100,61 @@ func (r *Result) Render() string {
 	return b.String()
 }
 
-// Experiment is a runnable paper artifact.
+// Experiment is a runnable paper artifact. Its run function renders the
+// result from a Session's cache; its plan function enumerates the cluster
+// configurations the run needs, letting the session execute them in
+// parallel before rendering.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(Config) (*Result, error)
+	run   func(ctx context.Context, s *Session, c Config) (*Result, error)
+	plan  func(c Config) []runSpec
+}
+
+// Run executes the experiment on the process-wide default session.
+// It is a compatibility wrapper around RunContext.
+func (e Experiment) Run(c Config) (*Result, error) {
+	return e.RunContext(context.Background(), c)
+}
+
+// RunContext executes the experiment on the process-wide default session,
+// honouring cancellation. For an isolated cache or a custom worker bound
+// use Session.Run instead.
+func (e Experiment) RunContext(ctx context.Context, c Config) (*Result, error) {
+	return DefaultSession().Run(ctx, e, c)
 }
 
 // All returns every experiment in paper order.
 func All() []Experiment {
 	return []Experiment{
-		{ID: "table2", Title: "Table II: main experimental parameters", Run: Table2},
-		{ID: "table3", Title: "Table III: application programs (Default Scheme baseline)", Run: Table3},
-		{ID: "fig12a", Title: "Fig. 12(a): CDF of idle periods without the scheme", Run: Fig12a},
-		{ID: "fig12b", Title: "Fig. 12(b): CDF of idle periods with the scheme", Run: Fig12b},
-		{ID: "fig12c", Title: "Fig. 12(c): normalized energy without the scheme", Run: Fig12c},
-		{ID: "fig12d", Title: "Fig. 12(d): normalized energy with the scheme", Run: Fig12d},
-		{ID: "fig13a", Title: "Fig. 13(a): performance degradation without the scheme", Run: Fig13a},
-		{ID: "fig13b", Title: "Fig. 13(b): performance degradation with the scheme", Run: Fig13b},
-		{ID: "fig13c", Title: "Fig. 13(c): energy reduction vs number of I/O nodes", Run: Fig13c},
-		{ID: "fig13d", Title: "Fig. 13(d): energy reduction vs delta", Run: Fig13d},
-		{ID: "fig14a", Title: "Fig. 14(a): energy reduction vs theta", Run: Fig14a},
-		{ID: "fig14b", Title: "Fig. 14(b): performance improvement vs theta", Run: Fig14b},
-		{ID: "cachesens", Title: "Sec. V-D: storage-cache capacity sensitivity", Run: CacheSens},
-		{ID: "compile", Title: "Sec. V-A: compilation (scheduling pass) cost", Run: CompileCost},
-		{ID: "oracle", Title: "Oracle prediction upper bound (ablation)", Run: Oracle},
-		{ID: "palru", Title: "Power-aware storage-cache replacement (extension)", Run: PALRUCache},
-		{ID: "ablations", Title: "Design ablations (ordering, weights, vertical range)", Run: Ablations},
+		{ID: "table2", Title: "Table II: main experimental parameters", run: table2},
+		{ID: "table3", Title: "Table III: application programs (Default Scheme baseline)", run: table3, plan: planBaselines},
+		{ID: "fig12a", Title: "Fig. 12(a): CDF of idle periods without the scheme", run: fig12a, plan: planCDF(false)},
+		{ID: "fig12b", Title: "Fig. 12(b): CDF of idle periods with the scheme", run: fig12b, plan: planCDF(true)},
+		{ID: "fig12c", Title: "Fig. 12(c): normalized energy without the scheme", run: fig12c, plan: planPolicies(false)},
+		{ID: "fig12d", Title: "Fig. 12(d): normalized energy with the scheme", run: fig12d, plan: planPolicies(true)},
+		{ID: "fig13a", Title: "Fig. 13(a): performance degradation without the scheme", run: fig13a, plan: planPolicies(false)},
+		{ID: "fig13b", Title: "Fig. 13(b): performance degradation with the scheme", run: fig13b, plan: planPolicies(true)},
+		{ID: "fig13c", Title: "Fig. 13(c): energy reduction vs number of I/O nodes", run: fig13cDef.run, plan: fig13cDef.specs},
+		{ID: "fig13d", Title: "Fig. 13(d): energy reduction vs delta", run: fig13dDef.run, plan: fig13dDef.specs},
+		{ID: "fig14a", Title: "Fig. 14(a): energy reduction vs theta", run: fig14aDef.run, plan: fig14aDef.specs},
+		{ID: "fig14b", Title: "Fig. 14(b): performance improvement vs theta", run: fig14b, plan: planFig14b},
+		{ID: "cachesens", Title: "Sec. V-D: storage-cache capacity sensitivity", run: cacheSensDef.run, plan: cacheSensDef.specs},
+		{ID: "compile", Title: "Sec. V-A: compilation (scheduling pass) cost", run: compileCost},
+		{ID: "oracle", Title: "Oracle prediction upper bound (ablation)", run: oracle, plan: planOracle},
+		{ID: "palru", Title: "Power-aware storage-cache replacement (extension)", run: palruCache, plan: planPALRU},
+		{ID: "ablations", Title: "Design ablations (ordering, weights, vertical range)", run: ablations},
 	}
+}
+
+// IDs returns every experiment id in paper order.
+func IDs() []string {
+	exps := All()
+	out := make([]string, len(exps))
+	for i, e := range exps {
+		out[i] = e.ID
+	}
+	return out
 }
 
 // ByID finds an experiment.
@@ -114,77 +164,37 @@ func ByID(id string) (Experiment, error) {
 			return e, nil
 		}
 	}
-	ids := make([]string, 0, len(All()))
-	for _, e := range All() {
-		ids = append(ids, e.ID)
-	}
+	ids := IDs()
 	sort.Strings(ids)
+	if sug := strutil.Suggest(id, ids); len(sug) > 0 {
+		return Experiment{}, fmt.Errorf("harness: unknown experiment %q (did you mean %s?)",
+			id, strings.Join(sug, " or "))
+	}
 	return Experiment{}, fmt.Errorf("harness: unknown experiment %q (have %v)", id, ids)
 }
 
-// runKey memoizes default-configuration runs across experiments within one
-// process: fig13a reuses fig12c's runs, every experiment reuses the
-// baselines, and a full `sddstables` pass does each configuration once.
-type runKey struct {
-	app        string
-	kind       power.Kind
-	scheduling bool
-	scale      float64
-	seed       int64
+// MemoSize reports how many distinct configurations the default session
+// has simulated in this process.
+//
+// Deprecated: use Session.MemoSize on an explicit session.
+func MemoSize() int { return DefaultSession().MemoSize() }
+
+// runOne resolves one (app × policy × scheme) configuration under the
+// default cluster config through the session cache.
+func runOne(ctx context.Context, s *Session, c Config, app string, kind power.Kind, scheduling bool) (*cluster.Result, error) {
+	res, _, err := s.run(ctx, c, defaultSpec(app, kind, scheduling))
+	return res, err
 }
 
-var (
-	runMu   sync.Mutex
-	runMemo = map[runKey]*cluster.Result{}
-)
-
-// MemoSize reports how many distinct configurations have been simulated in
-// this process (diagnostics for long sddstables runs).
-func MemoSize() int {
-	runMu.Lock()
-	defer runMu.Unlock()
-	return len(runMemo)
-}
-
-// runOne executes one (app × policy × scheme) configuration under the
-// default cluster config, memoizing the result.
-func runOne(c Config, app string, kind power.Kind, scheduling bool) (*cluster.Result, error) {
-	key := runKey{app, kind, scheduling, c.Scale, c.Seed}
-	runMu.Lock()
-	if res, ok := runMemo[key]; ok {
-		runMu.Unlock()
-		return res, nil
-	}
-	runMu.Unlock()
-	spec, err := workloads.ByName(app)
-	if err != nil {
-		return nil, err
-	}
-	prog := spec.Build(c.Scale)
-	cfg := cluster.DefaultConfig()
-	cfg.Seed = c.Seed
-	cfg.Policy = power.Config{Kind: kind}
-	cfg.Scheduling = scheduling
-	res, err := cluster.Run(prog, cfg)
-	if err != nil {
-		return nil, err
-	}
-	runMu.Lock()
-	runMemo[key] = res
-	runMu.Unlock()
-	return res, nil
-}
-
-// baselines runs the Default Scheme for every app once and caches the
-// results within one harness invocation.
+// baselineSet caches the Default Scheme run for every app.
 type baselineSet struct {
 	byApp map[string]*cluster.Result
 }
 
-func runBaselines(c Config) (*baselineSet, error) {
+func runBaselines(ctx context.Context, s *Session, c Config) (*baselineSet, error) {
 	out := &baselineSet{byApp: make(map[string]*cluster.Result, len(c.Apps))}
 	for _, app := range c.Apps {
-		res, err := runOne(c, app, power.KindDefault, false)
+		res, err := runOne(ctx, s, c, app, power.KindDefault, false)
 		if err != nil {
 			return nil, err
 		}
@@ -192,3 +202,100 @@ func runBaselines(c Config) (*baselineSet, error) {
 	}
 	return out, nil
 }
+
+// planBaselines plans the Default Scheme run for every app.
+func planBaselines(c Config) []runSpec {
+	out := make([]runSpec, 0, len(c.Apps))
+	for _, app := range c.Apps {
+		out = append(out, defaultSpec(app, power.KindDefault, false))
+	}
+	return out
+}
+
+// planCDF plans the default-policy runs of the idle CDFs.
+func planCDF(scheduling bool) func(Config) []runSpec {
+	return func(c Config) []runSpec {
+		out := make([]runSpec, 0, len(c.Apps))
+		for _, app := range c.Apps {
+			out = append(out, defaultSpec(app, power.KindDefault, scheduling))
+		}
+		return out
+	}
+}
+
+// planPolicies plans the baselines plus every managed policy at the given
+// scheduling mode (the energy and degradation figures).
+func planPolicies(scheduling bool) func(Config) []runSpec {
+	return func(c Config) []runSpec {
+		out := planBaselines(c)
+		for _, app := range c.Apps {
+			for _, k := range power.ManagedKinds() {
+				out = append(out, defaultSpec(app, k, scheduling))
+			}
+		}
+		return out
+	}
+}
+
+// Compatibility wrappers: each exported experiment function delegates to
+// the default session (parallel execution included).
+
+func runCompat(id string, c Config) (*Result, error) {
+	e, err := ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return DefaultSession().Run(context.Background(), e, c)
+}
+
+// Table2 dumps the default configuration, mirroring Table II.
+func Table2(c Config) (*Result, error) { return runCompat("table2", c) }
+
+// Table3 reports the per-application Default Scheme baseline.
+func Table3(c Config) (*Result, error) { return runCompat("table3", c) }
+
+// Fig12a is the idle-period CDF without the scheme.
+func Fig12a(c Config) (*Result, error) { return runCompat("fig12a", c) }
+
+// Fig12b is the idle-period CDF with the scheme.
+func Fig12b(c Config) (*Result, error) { return runCompat("fig12b", c) }
+
+// Fig12c is normalized energy per policy without the scheme.
+func Fig12c(c Config) (*Result, error) { return runCompat("fig12c", c) }
+
+// Fig12d is normalized energy per policy with the scheme.
+func Fig12d(c Config) (*Result, error) { return runCompat("fig12d", c) }
+
+// Fig13a is performance degradation without the scheme.
+func Fig13a(c Config) (*Result, error) { return runCompat("fig13a", c) }
+
+// Fig13b is performance degradation with the scheme.
+func Fig13b(c Config) (*Result, error) { return runCompat("fig13b", c) }
+
+// Fig13c sweeps the number of I/O nodes.
+func Fig13c(c Config) (*Result, error) { return runCompat("fig13c", c) }
+
+// Fig13d sweeps the vertical reuse range δ.
+func Fig13d(c Config) (*Result, error) { return runCompat("fig13d", c) }
+
+// Fig14a sweeps θ for energy.
+func Fig14a(c Config) (*Result, error) { return runCompat("fig14a", c) }
+
+// Fig14b sweeps θ for performance improvement over θ=2.
+func Fig14b(c Config) (*Result, error) { return runCompat("fig14b", c) }
+
+// CacheSens varies the per-node storage-cache capacity (§V-D).
+func CacheSens(c Config) (*Result, error) { return runCompat("cachesens", c) }
+
+// CompileCost measures the wall-clock cost of the compiler pass per app.
+func CompileCost(c Config) (*Result, error) { return runCompat("compile", c) }
+
+// Oracle compares history-based prediction against an oracle fed true idle
+// lengths (ablation).
+func Oracle(c Config) (*Result, error) { return runCompat("oracle", c) }
+
+// PALRUCache compares plain LRU against the power-aware PA-LRU variant.
+func PALRUCache(c Config) (*Result, error) { return runCompat("palru", c) }
+
+// Ablations quantifies the §IV-B design choices on the scheduler itself.
+func Ablations(c Config) (*Result, error) { return runCompat("ablations", c) }

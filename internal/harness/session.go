@@ -1,0 +1,376 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdds/internal/cluster"
+	"sdds/internal/power"
+	"sdds/internal/workloads"
+)
+
+// runKey identifies one cluster simulation configuration. Two runs with
+// equal keys are guaranteed identical (the simulator is deterministic in
+// its seed), so the session executes each distinct key exactly once.
+type runKey struct {
+	app        string
+	kind       power.Kind
+	scheduling bool
+	scale      float64
+	seed       int64
+	// variant tags a deviation from the default cluster config ("" = the
+	// Table II defaults). Tags are canonical: a given tag must always denote
+	// the same config mutation, which is what lets experiments share runs
+	// (fig14a and fig14b both use "theta=N").
+	variant string
+}
+
+// runSpec couples a key with the config mutation it denotes.
+type runSpec struct {
+	app        string
+	kind       power.Kind
+	scheduling bool
+	variant    string
+	mutate     func(*cluster.Config)
+}
+
+// defaultSpec is a run under the unmodified Table II cluster config.
+func defaultSpec(app string, kind power.Kind, scheduling bool) runSpec {
+	return runSpec{app: app, kind: kind, scheduling: scheduling}
+}
+
+// variantSpec is a run under a mutated cluster config; tag canonically
+// names the mutation (e.g. "nodes=16", "delta=40", "cache=32MB").
+func variantSpec(app string, kind power.Kind, scheduling bool, tag string, mutate func(*cluster.Config)) runSpec {
+	return runSpec{app: app, kind: kind, scheduling: scheduling, variant: tag, mutate: mutate}
+}
+
+func (sp runSpec) key(c Config) runKey {
+	return runKey{sp.app, sp.kind, sp.scheduling, c.Scale, c.Seed, sp.variant}
+}
+
+// tag renders the spec for progress lines: "sar/history+sched (theta=4)".
+func (sp runSpec) tag() string {
+	s := sp.app + "/" + sp.kind.String()
+	if sp.scheduling {
+		s += "+sched"
+	}
+	if sp.variant != "" {
+		s += " (" + sp.variant + ")"
+	}
+	return s
+}
+
+// simulate builds and executes the spec's cluster run.
+func (sp runSpec) simulate(ctx context.Context, c Config) (*cluster.Result, error) {
+	spec, err := workloads.ByName(sp.app)
+	if err != nil {
+		return nil, err
+	}
+	prog := spec.Build(c.Scale)
+	cfg := cluster.DefaultConfig()
+	cfg.Seed = c.Seed
+	cfg.Policy = power.Config{Kind: sp.kind}
+	cfg.Scheduling = sp.scheduling
+	if sp.mutate != nil {
+		sp.mutate(&cfg)
+	}
+	return cluster.RunContext(ctx, prog, cfg)
+}
+
+// Progress is one run-level progress event, delivered after each planned
+// run of a Prime/Run/RunAll call resolves.
+type Progress struct {
+	// Done and Total count resolved vs. planned runs of the current call.
+	Done, Total int
+	// Hits counts runs of the current call resolved from the session cache
+	// (including waits on a run another experiment had in flight).
+	Hits int
+	// Key names the run, e.g. "sar/history+sched (theta=4)".
+	Key string
+	// Elapsed is the wall-clock duration of this run (≈0 on a cache hit).
+	Elapsed time.Duration
+	// Hit reports whether this run was a cache hit.
+	Hit bool
+	// Err is the run's error, if it failed (cancellation included).
+	Err error
+}
+
+// ProgressFunc observes session progress. Calls are serialized; the
+// callback must not invoke Prime/Run/RunAll on the same session.
+type ProgressFunc func(Progress)
+
+// SessionOptions configures NewSession.
+type SessionOptions struct {
+	// Workers bounds concurrent cluster simulations; ≤0 means GOMAXPROCS.
+	Workers int
+	// Progress, when non-nil, receives a run-level event stream.
+	Progress ProgressFunc
+}
+
+// Session owns a run cache and a bounded worker pool for executing
+// experiments. Methods are safe for concurrent use: overlapping
+// Run/RunAll calls share the cache, and singleflight deduplication
+// guarantees each distinct configuration is simulated at most once per
+// session regardless of interleaving.
+//
+// A Session replaces the former package-global run memo; create one per
+// logical batch of experiments (or use DefaultSession for the
+// compatibility entry points).
+type Session struct {
+	workers  int
+	progress ProgressFunc
+	sem      chan struct{} // worker-pool slots; len == workers
+
+	mu   sync.Mutex
+	memo map[runKey]*memoEntry
+
+	simulated atomic.Int64 // cluster runs actually executed
+	hits      atomic.Int64 // cache hits (completed or in-flight)
+}
+
+// memoEntry is a singleflight cell: the first goroutine to claim a key
+// simulates it; everyone else waits on done.
+type memoEntry struct {
+	done chan struct{}
+	res  *cluster.Result
+	err  error
+}
+
+// errAbandoned marks an entry whose owner was cancelled before the
+// simulation ran; waiters retry (and re-claim) instead of inheriting the
+// owner's cancellation.
+var errAbandoned = errors.New("harness: run abandoned by cancelled owner")
+
+// NewSession returns a Session with its own empty run cache.
+func NewSession(o SessionOptions) *Session {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Session{
+		workers:  w,
+		progress: o.Progress,
+		sem:      make(chan struct{}, w),
+		memo:     make(map[runKey]*memoEntry),
+	}
+}
+
+var (
+	defaultOnce sync.Once
+	defaultSess *Session
+)
+
+// DefaultSession returns the lazily-created process-wide session backing
+// the compatibility entry points (Experiment.Run, Table3, MemoSize, ...).
+// New code should create its own Session with NewSession.
+func DefaultSession() *Session {
+	defaultOnce.Do(func() { defaultSess = NewSession(SessionOptions{}) })
+	return defaultSess
+}
+
+// Workers reports the worker-pool bound.
+func (s *Session) Workers() int { return s.workers }
+
+// MemoSize reports how many distinct configurations the session has
+// resolved (or has in flight).
+func (s *Session) MemoSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.memo)
+}
+
+// Stats reports lifetime counters: cluster simulations actually executed
+// and cache hits served.
+func (s *Session) Stats() (simulated, hits int64) {
+	return s.simulated.Load(), s.hits.Load()
+}
+
+// run resolves one spec through the cache, simulating it under a worker
+// slot if this call is the first to want it. The bool reports a cache hit.
+func (s *Session) run(ctx context.Context, c Config, sp runSpec) (*cluster.Result, bool, error) {
+	key := sp.key(c)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		s.mu.Lock()
+		if e, ok := s.memo[key]; ok {
+			s.mu.Unlock()
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			if errors.Is(e.err, errAbandoned) {
+				continue // owner cancelled before simulating; re-claim
+			}
+			s.hits.Add(1)
+			return e.res, true, e.err
+		}
+		e := &memoEntry{done: make(chan struct{})}
+		s.memo[key] = e
+		s.mu.Unlock()
+		res, err := s.execute(ctx, c, sp, key, e)
+		return res, false, err
+	}
+}
+
+// execute runs a claimed entry under a worker-pool slot.
+func (s *Session) execute(ctx context.Context, c Config, sp runSpec, key runKey, e *memoEntry) (*cluster.Result, error) {
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.abandon(key, e)
+		return nil, ctx.Err()
+	}
+	defer func() { <-s.sem }()
+	if err := ctx.Err(); err != nil {
+		s.abandon(key, e)
+		return nil, err
+	}
+	res, err := sp.simulate(ctx, c)
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		// Cancellation is a property of this call's context, not of the
+		// configuration; don't poison the cache with it.
+		s.abandon(key, e)
+		return nil, err
+	}
+	e.res, e.err = res, err
+	close(e.done)
+	s.simulated.Add(1)
+	return res, err
+}
+
+// abandon releases a claimed-but-unsimulated entry so other waiters can
+// re-claim the key under their own contexts.
+func (s *Session) abandon(key runKey, e *memoEntry) {
+	s.mu.Lock()
+	delete(s.memo, key)
+	s.mu.Unlock()
+	e.err = errAbandoned
+	close(e.done)
+}
+
+// planFor derives the complete distinct run plan the experiments need, in
+// deterministic order (first experiment to need a key wins its slot).
+func planFor(exps []Experiment, c Config) []runSpec {
+	seen := make(map[runKey]bool)
+	var out []runSpec
+	for _, e := range exps {
+		if e.plan == nil {
+			continue
+		}
+		for _, sp := range e.plan(c) {
+			k := sp.key(c)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// Prime derives the run plan for the experiments and executes it over the
+// worker pool, warming the session cache so the experiments themselves
+// resolve from memory. It returns the first run error (cancellation
+// included); the cache keeps whatever completed.
+func (s *Session) Prime(ctx context.Context, exps []Experiment, c Config) error {
+	c = c.withDefaults()
+	specs := planFor(exps, c)
+	if len(specs) == 0 {
+		return ctx.Err()
+	}
+	var (
+		pmu      sync.Mutex
+		done     int
+		hits     int
+		firstErr error
+	)
+	total := len(specs)
+	work := make(chan runSpec)
+	var wg sync.WaitGroup
+	n := s.workers
+	if n > total {
+		n = total
+	}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sp := range work {
+				start := time.Now()
+				_, hit, err := s.run(ctx, c, sp)
+				pmu.Lock()
+				done++
+				if hit {
+					hits++
+				}
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				if s.progress != nil {
+					s.progress(Progress{
+						Done: done, Total: total, Hits: hits,
+						Key: sp.tag(), Elapsed: time.Since(start),
+						Hit: hit, Err: err,
+					})
+				}
+				pmu.Unlock()
+			}
+		}()
+	}
+feed:
+	for _, sp := range specs {
+		select {
+		case work <- sp:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// Run executes one experiment: it primes the experiment's run plan in
+// parallel, then renders the result (which resolves from the cache).
+func (s *Session) Run(ctx context.Context, e Experiment, c Config) (*Result, error) {
+	if e.run == nil {
+		return nil, fmt.Errorf("harness: experiment %q has no run function", e.ID)
+	}
+	c = c.withDefaults()
+	if err := s.Prime(ctx, []Experiment{e}, c); err != nil {
+		return nil, fmt.Errorf("%s: %w", e.ID, err)
+	}
+	return e.run(ctx, s, c)
+}
+
+// RunAll derives the union plan of all the experiments up front, executes
+// it over the worker pool, then renders each experiment in order. On error
+// it returns the results completed so far alongside the error.
+func (s *Session) RunAll(ctx context.Context, exps []Experiment, c Config) ([]*Result, error) {
+	c = c.withDefaults()
+	if err := s.Prime(ctx, exps, c); err != nil {
+		return nil, err
+	}
+	out := make([]*Result, 0, len(exps))
+	for _, e := range exps {
+		r, err := e.run(ctx, s, c)
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

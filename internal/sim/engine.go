@@ -8,6 +8,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -164,6 +165,34 @@ func (e *Engine) Run() Time {
 	for e.Step() {
 	}
 	return e.now
+}
+
+// interruptStride is how many events fire between context checks in
+// RunContext. Large enough that the check is free relative to handler work,
+// small enough that cancellation lands within microseconds of wall time.
+const interruptStride = 1024
+
+// RunContext executes events like Run but polls ctx every interruptStride
+// events, returning ctx's error (and the clock at the abort point) if the
+// context is cancelled before the queue drains. A run that drains its queue
+// returns a nil error even if ctx was cancelled concurrently.
+func (e *Engine) RunContext(ctx context.Context) (Time, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return e.Run(), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return e.now, err
+	}
+	n := 0
+	for e.Step() {
+		n++
+		if n%interruptStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return e.now, err
+			}
+		}
+	}
+	return e.now, nil
 }
 
 // RunUntil executes events with timestamps <= deadline, then advances the

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"testing"
@@ -293,5 +294,46 @@ func TestRandDeterministicPerSeed(t *testing.T) {
 	}
 	if same {
 		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	// A self-perpetuating event chain never drains the queue; only the
+	// context check can stop it.
+	e := NewEngine(1)
+	var reschedule Handler
+	reschedule = func(now Time) { e.Schedule(1, "tick", reschedule) }
+	e.Schedule(0, "tick", reschedule)
+	ctx, cancel := context.WithCancel(context.Background())
+	go cancel()
+	if _, err := e.RunContext(ctx); err == nil {
+		t.Fatal("RunContext returned nil error under cancellation")
+	}
+	if e.EventsFired() == 0 {
+		t.Fatal("no events fired before cancellation check")
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	e.Schedule(0, "x", func(now Time) { fired = true })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.RunContext(ctx); err == nil {
+		t.Fatal("pre-cancelled context accepted")
+	}
+	if fired {
+		t.Fatal("event fired despite pre-cancelled context")
+	}
+}
+
+func TestRunContextDrainsWithBackground(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	e.Schedule(5, "x", func(now Time) { n++ })
+	end, err := e.RunContext(context.Background())
+	if err != nil || n != 1 || end != 5 {
+		t.Fatalf("RunContext = %v, %v (n=%d)", end, err, n)
 	}
 }

@@ -1,0 +1,95 @@
+// Package strutil provides small string helpers shared by the CLIs and the
+// harness: edit distance and "did you mean" suggestion lists for
+// user-supplied names (application names, experiment ids, flag values).
+package strutil
+
+import "sort"
+
+// Levenshtein returns the edit distance between a and b (unit-cost
+// insert/delete/substitute), computed with a rolling single-row table.
+func Levenshtein(a, b string) int {
+	if a == b {
+		return 0
+	}
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur := prev[0]
+		prev[0] = i
+		for j := 1; j <= len(rb); j++ {
+			sub := cur
+			if ra[i-1] != rb[j-1] {
+				sub++
+			}
+			cur = prev[j]
+			del := prev[j] + 1
+			ins := prev[j-1] + 1
+			m := sub
+			if del < m {
+				m = del
+			}
+			if ins < m {
+				m = ins
+			}
+			prev[j] = m
+		}
+	}
+	return prev[len(rb)]
+}
+
+// suggestMaxDistance bounds how far a candidate may be from the input to
+// count as a plausible typo.
+const suggestMaxDistance = 2
+
+// suggestMaxResults caps the list: past a few names a suggestion stops
+// being a correction and becomes a listing (e.g. "fig12e" is within
+// distance 2 of ten experiment ids).
+const suggestMaxResults = 3
+
+// Suggest returns the candidates that plausibly correct name — within edit
+// distance 2, or sharing name as a strict prefix — ordered closest first
+// (ties alphabetical), at most three of them. It returns nil when nothing
+// is close, so callers can fall back to listing everything.
+func Suggest(name string, candidates []string) []string {
+	type scored struct {
+		s string
+		d int
+	}
+	var hits []scored
+	for _, c := range candidates {
+		if c == name {
+			continue
+		}
+		d := Levenshtein(name, c)
+		if d > suggestMaxDistance && !(len(name) >= 2 && len(c) > len(name) && c[:len(name)] == name) {
+			continue
+		}
+		hits = append(hits, scored{c, d})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].d != hits[j].d {
+			return hits[i].d < hits[j].d
+		}
+		return hits[i].s < hits[j].s
+	})
+	if len(hits) == 0 {
+		return nil
+	}
+	if len(hits) > suggestMaxResults {
+		hits = hits[:suggestMaxResults]
+	}
+	out := make([]string, 0, len(hits))
+	for _, h := range hits {
+		out = append(out, h.s)
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package strutil
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "", 3},
+		{"", "xy", 2},
+		{"kitten", "sitting", 3},
+		{"sar", "sarr", 1},
+		{"madbench", "madbench2", 1},
+		{"fig12c", "fig12d", 1},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSuggest(t *testing.T) {
+	apps := []string{"hf", "sar", "astro", "apsi", "madbench2", "wupwise"}
+	if got := Suggest("sarr", apps); len(got) == 0 || got[0] != "sar" {
+		t.Fatalf("Suggest(sarr) = %v", got)
+	}
+	if got := Suggest("madbench", apps); len(got) == 0 || got[0] != "madbench2" {
+		t.Fatalf("Suggest(madbench) = %v", got)
+	}
+	if got := Suggest("zzzzzz", apps); got != nil {
+		t.Fatalf("Suggest(zzzzzz) = %v, want nil", got)
+	}
+	// Prefix match beyond distance 2.
+	ids := []string{"fig12a", "fig12b", "cachesens"}
+	if got := Suggest("cache", ids); len(got) == 0 || got[0] != "cachesens" {
+		t.Fatalf("Suggest(cache) = %v", got)
+	}
+	// Exact match is not a suggestion.
+	if got := Suggest("sar", apps); len(got) != 0 && got[0] == "sar" {
+		t.Fatalf("Suggest(sar) includes the exact match: %v", got)
+	}
+}
+
+func TestSuggestOrdersByDistance(t *testing.T) {
+	got := Suggest("fig12c", []string{"fig13c", "fig12d", "fig12a"})
+	want := []string{"fig12a", "fig12d", "fig13c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Suggest = %v, want %v", got, want)
+	}
+}
+
+func TestSuggestCapsResults(t *testing.T) {
+	ids := []string{"fig12a", "fig12b", "fig12c", "fig12d", "fig13a", "fig13b", "fig13c", "fig13d", "fig14a", "fig14b"}
+	got := Suggest("fig12e", ids)
+	if len(got) != suggestMaxResults {
+		t.Fatalf("Suggest(fig12e) returned %d candidates (%v), want %d", len(got), got, suggestMaxResults)
+	}
+	if got[0] != "fig12a" {
+		t.Fatalf("Suggest(fig12e) = %v, want fig12a first", got)
+	}
+}

@@ -15,9 +15,11 @@ package workloads
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"sdds/internal/loop"
 	"sdds/internal/sim"
+	"sdds/internal/strutil"
 )
 
 // Spec describes one application.
@@ -62,6 +64,10 @@ func ByName(name string) (Spec, error) {
 	}
 	names := Names()
 	sort.Strings(names)
+	if sug := strutil.Suggest(name, names); len(sug) > 0 {
+		return Spec{}, fmt.Errorf("workloads: unknown application %q (did you mean %s?)",
+			name, strings.Join(sug, " or "))
+	}
 	return Spec{}, fmt.Errorf("workloads: unknown application %q (have %v)", name, names)
 }
 

@@ -30,6 +30,7 @@
 package sdds
 
 import (
+	"context"
 	"io"
 
 	"sdds/internal/cluster"
@@ -99,6 +100,24 @@ type (
 	Experiment = harness.Experiment
 	// HarnessConfig scopes a harness run.
 	HarnessConfig = harness.Config
+	// ExperimentResult is one experiment's rendered table.
+	ExperimentResult = harness.Result
+)
+
+// Parallel experiment execution (the Session API).
+type (
+	// Session owns a run cache and a bounded worker pool: it plans every
+	// distinct cluster configuration an experiment batch needs, simulates
+	// each exactly once (concurrent callers share in-flight runs), and
+	// reports progress. Create one per batch with NewSession, or rely on
+	// the process-wide default behind Experiment.Run.
+	Session = harness.Session
+	// SessionOptions configures NewSession (worker bound, progress hook).
+	SessionOptions = harness.SessionOptions
+	// Progress is one run-level progress event.
+	Progress = harness.Progress
+	// ProgressFunc observes session progress.
+	ProgressFunc = harness.ProgressFunc
 )
 
 // Power policy kinds (§II).
@@ -128,6 +147,12 @@ func Compile(p *Program, opts CompileOptions) (*CompileResult, error) {
 	return compiler.Compile(p, opts)
 }
 
+// CompileContext is Compile with cancellation at the pass's phase
+// boundaries.
+func CompileContext(ctx context.Context, p *Program, opts CompileOptions) (*CompileResult, error) {
+	return compiler.CompileContext(ctx, p, opts)
+}
+
 // DefaultCompileOptions returns Table II algorithm parameters over the
 // default layout for the given process count.
 func DefaultCompileOptions(procs int) CompileOptions { return compiler.DefaultOptions(procs) }
@@ -137,6 +162,16 @@ func ReadTables(r io.Reader) (*TableFile, error) { return compiler.ReadTables(r)
 
 // Run executes a program on the simulated cluster.
 func Run(p *Program, cfg ClusterConfig) (*RunResult, error) { return cluster.Run(p, cfg) }
+
+// RunContext is Run with prompt cancellation: the discrete-event loop
+// polls ctx and aborts with its error when cancelled.
+func RunContext(ctx context.Context, p *Program, cfg ClusterConfig) (*RunResult, error) {
+	return cluster.RunContext(ctx, p, cfg)
+}
+
+// NewSession returns a parallel experiment engine with its own run cache.
+// A zero SessionOptions uses GOMAXPROCS workers and no progress hook.
+func NewSession(o SessionOptions) *Session { return harness.NewSession(o) }
 
 // DefaultClusterConfig returns the Table II system configuration.
 func DefaultClusterConfig() ClusterConfig { return cluster.DefaultConfig() }

@@ -1,6 +1,8 @@
 package sdds_test
 
 import (
+	"context"
+	"sync"
 	"testing"
 
 	"sdds"
@@ -92,5 +94,68 @@ func TestPublicFacadeRegistries(t *testing.T) {
 			t.Fatalf("duplicate policy kind %v", k)
 		}
 		seen[k] = true
+	}
+}
+
+// TestPublicFacadeSession exercises the parallel experiment engine through
+// the public API: an explicit session, a worker bound, a progress stream,
+// and context-aware cancellation.
+func TestPublicFacadeSession(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster runs")
+	}
+	var events int
+	var mu sync.Mutex
+	s := sdds.NewSession(sdds.SessionOptions{Workers: 2, Progress: func(p sdds.Progress) {
+		mu.Lock()
+		events++
+		mu.Unlock()
+	}})
+	e, err := sdds.ExperimentByID("table3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sdds.HarnessConfig{Scale: 0.02, Apps: []string{"sar", "madbench2"}, Seed: 1}
+	res, err := s.Run(context.Background(), e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if s.MemoSize() == 0 || events == 0 {
+		t.Fatalf("memo = %d, events = %d; want both positive", s.MemoSize(), events)
+	}
+
+	// Cancellation through the facade.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Run(ctx, e, cfg); err == nil {
+		t.Fatal("cancelled context accepted")
+	}
+	w, err := sdds.WorkloadByName("madbench2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sdds.RunContext(ctx, w.Build(0.02), sdds.DefaultClusterConfig()); err == nil {
+		t.Fatal("RunContext accepted a cancelled context")
+	}
+	if _, err := sdds.CompileContext(ctx, w.Build(0.02), sdds.DefaultCompileOptions(8)); err == nil {
+		t.Fatal("CompileContext accepted a cancelled context")
+	}
+}
+
+// TestPublicFacadeExperimentRunContext checks the compatibility surface:
+// Experiment.Run and Experiment.RunContext share the default session.
+func TestPublicFacadeExperimentRunContext(t *testing.T) {
+	e, err := sdds.ExperimentByID("table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(sdds.HarnessConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunContext(context.Background(), sdds.HarnessConfig{}); err != nil {
+		t.Fatal(err)
 	}
 }
