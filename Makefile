@@ -23,5 +23,13 @@ race:
 smoke:
 	$(GO) run ./cmd/sddstables -scale 0.05 -apps sar,madbench2 -progress=false
 
+# Perf trajectory: engine microbenchmarks (steady-state schedule+fire, the
+# container/heap baseline they are measured against) plus a fig12c-shape
+# experiment and a full scheduled cluster run, all with -benchmem, written
+# as BENCH_sim.json (benchmark name → ns/op, B/op, allocs/op, custom
+# virtual_* metrics) so future PRs can diff ns/event and allocs/event.
 bench:
-	$(GO) test -bench . -benchtime 1x ./...
+	{ $(GO) test -bench . -benchmem -run '^$$' ./internal/sim && \
+	  $(GO) test -bench '^(BenchmarkFig12c|BenchmarkEndToEndScheduledRun)$$' \
+	    -benchmem -benchtime 1x -run '^$$' . ; } | $(GO) run ./cmd/benchjson > BENCH_sim.json
+	@cat BENCH_sim.json

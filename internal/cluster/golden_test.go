@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"testing"
+
+	"sdds/internal/power"
+	"sdds/internal/workloads"
+)
+
+// goldenUpdate regenerates testdata/golden.json from the current simulator.
+// The committed file was produced by the pre-refactor (container/heap,
+// closure-scheduling, O(Procs)-scan) executor; the event-core rewrite must
+// reproduce it bit for bit.
+var goldenUpdate = flag.Bool("update", false, "rewrite cluster golden results")
+
+// goldenScale keeps the 24-run matrix (six apps × {Default,History} ×
+// {scheduling off,on}) fast enough for every `go test` invocation while
+// still exercising barriers, prefetch agents, RPM shifts and spin-downs.
+const goldenScale = 0.05
+
+const goldenSeed = 42
+
+// goldenFingerprint flattens a Result into an ordered, exact string form.
+// Floats are rendered as hex (%x) so the comparison is bit-exact, not
+// round-trip-formatted.
+func goldenFingerprint(res *Result) []string {
+	hex := func(f float64) string { return strconv.FormatFloat(f, 'x', -1, 64) }
+	fp := []string{
+		"exec=" + strconv.FormatInt(int64(res.ExecTime), 10),
+		"energy=" + hex(res.EnergyJ),
+		"bufhits=" + strconv.FormatInt(res.BufferHits, 10),
+		"bufmiss=" + strconv.FormatInt(res.BufferMisses, 10),
+		"prefetch=" + strconv.FormatInt(res.PrefetchIssued, 10),
+		"schits=" + strconv.FormatInt(res.StorageCacheHits, 10),
+		"scmiss=" + strconv.FormatInt(res.StorageCacheMisses, 10),
+		"agmoved=" + strconv.FormatInt(res.AgentMoved, 10),
+		"agissued=" + strconv.FormatInt(res.AgentIssued, 10),
+		"agblocked=" + strconv.FormatInt(res.AgentBlocked, 10),
+		"agdeferred=" + strconv.FormatInt(res.AgentDeferred, 10),
+		"diskreq=" + strconv.FormatInt(res.DiskRequests, 10),
+		"spinups=" + strconv.FormatInt(res.SpinUps, 10),
+		"rpmshifts=" + strconv.FormatInt(res.RPMShifts, 10),
+		"idlecount=" + strconv.FormatInt(res.Idle.Count(), 10),
+		"idlemax=" + strconv.FormatInt(int64(res.Idle.Max()), 10),
+		"idlemean=" + strconv.FormatInt(int64(res.Idle.Mean()), 10),
+	}
+	for i, j := range res.NodeEnergyJ {
+		fp = append(fp, fmt.Sprintf("node%d=%s", i, hex(j)))
+	}
+	return fp
+}
+
+func goldenKey(app string, kind power.Kind, scheduling bool) string {
+	return fmt.Sprintf("%s/%s/sched=%v", app, kind, scheduling)
+}
+
+// TestGoldenResultsStable asserts same-seed bit-identical Results across
+// the event-core refactor for all six apps × {Default, History} ×
+// {scheduling off, on}.
+func TestGoldenResultsStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden matrix")
+	}
+	path := filepath.Join("testdata", "golden.json")
+	got := make(map[string][]string)
+	for _, spec := range workloads.All() {
+		prog := spec.Build(goldenScale)
+		for _, kind := range []power.Kind{power.KindDefault, power.KindHistory} {
+			for _, scheduling := range []bool{false, true} {
+				cfg := DefaultConfig()
+				cfg.Seed = goldenSeed
+				cfg.Policy = power.Config{Kind: kind}
+				cfg.Scheduling = scheduling
+				res, err := Run(prog, cfg)
+				if err != nil {
+					t.Fatalf("%s/%v/sched=%v: %v", spec.Name, kind, scheduling, err)
+				}
+				got[goldenKey(spec.Name, kind, scheduling)] = goldenFingerprint(res)
+			}
+		}
+	}
+	if *goldenUpdate {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden fingerprints to %s", len(got), path)
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	want := make(map[string][]string)
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 0, len(want))
+	for k := range want {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if len(got) != len(want) {
+		t.Errorf("have %d configurations, golden file has %d", len(got), len(want))
+	}
+	for _, k := range keys {
+		g, ok := got[k]
+		if !ok {
+			t.Errorf("%s: missing from this run", k)
+			continue
+		}
+		w := want[k]
+		if len(g) != len(w) {
+			t.Errorf("%s: %d fields vs golden %d", k, len(g), len(w))
+			continue
+		}
+		for i := range w {
+			if g[i] != w[i] {
+				t.Errorf("%s: field %q, golden %q", k, g[i], w[i])
+			}
+		}
+	}
+}

@@ -52,9 +52,6 @@ type Result struct {
 	RPMShifts    int64
 }
 
-// psKey indexes per-process per-slot instance lists.
-type psKey struct{ proc, slot int }
-
 // Run executes prog on the configured cluster and returns the
 // measurements.
 func Run(prog *loop.Program, cfg Config) (*Result, error) {
@@ -124,15 +121,12 @@ func RunContext(ctx context.Context, prog *loop.Program, cfg Config) (*Result, e
 		mw:     mw,
 		nodes:  nodes,
 		slots:  prog.Slots(cfg.Procs),
-		ioBy:   make(map[psKey][]loop.IOInstance),
 		procAt: make([]int, cfg.Procs),
 		finish: make([]sim.Time, cfg.Procs),
 	}
-	for _, inst := range prog.Instances(cfg.Procs) {
-		k := psKey{inst.Proc, inst.Slot}
-		ex.ioBy[k] = append(ex.ioBy[k], inst)
-	}
+	ex.prepareIOIndex(prog.Instances(cfg.Procs))
 	ex.prepareSlotMeta()
+	ex.prepareProcState()
 
 	// The framework: compile and stand up the runtime scheduler.
 	if cfg.Scheduling {
@@ -166,7 +160,7 @@ func RunContext(ctx context.Context, prog *loop.Program, cfg Config) (*Result, e
 	// Launch all processes at t=0 and run to completion.
 	for p := 0; p < cfg.Procs; p++ {
 		p := p
-		eng.Schedule(0, "cluster.start", func(now sim.Time) { ex.beginSlot(p, 0, now) })
+		eng.ScheduleFunc(0, "cluster.start", func(now sim.Time) { ex.beginSlot(p, 0, now) })
 	}
 	end, err := eng.RunContext(ctx)
 	if err != nil {
@@ -226,19 +220,44 @@ type executor struct {
 	nodes []*ionode.Node
 
 	slots  int
-	ioBy   map[psKey][]loop.IOInstance
 	procAt []int // current slot per process
 	finish []sim.Time
 	done   int
 
-	// Slot metadata: nest index and per-iteration compute cost.
-	slotNest []int
-	slotLoc  []int
+	// Flat I/O-instance index: the instances of (proc p, slot s) are
+	// ioFlat[ioOff[p*slots+s]:ioOff[p*slots+s+1]], in statement order —
+	// one slice header away instead of a map lookup per slot.
+	ioFlat []loop.IOInstance
+	ioOff  []int32
 
-	// Barrier between nests.
+	// Incremental MinSlot: slotCount[s] processes currently sit at slot s
+	// (slot == slots means finished); minSlot is the lowest occupied rung.
+	// Processes only move forward, so minSlot advances O(slots) total per
+	// run instead of an O(Procs) scan per query.
+	slotCount []int32
+	minSlot   int
+
+	// Per-process continuation state: the slot chain (compute → I/O →
+	// I/O → next slot) runs through handlers bound once at startup, with
+	// ioIdx[p] the next instance index within the current slot.
+	ioIdx     []int32
+	computeFn []sim.Handler
+	nextFn    []sim.Handler
+	bufHitFn  []sim.Handler
+	releaseFn []sim.Handler
+	waitFn    []func()
+
+	// Slot metadata: nest index, slot-within-nest, per-nest body cost.
+	slotNest     []int
+	slotLoc      []int
+	nestBodyCost []sim.Duration
+
+	// Barrier between nests: arrival-ordered waiting processes and the
+	// slot each resumes at.
 	barrierNest  int
 	barrierCount int
-	barrierWait  []func(now sim.Time)
+	barrierWait  []int
+	pendSlot     []int
 
 	// Framework state.
 	comp   *compiler.Result
@@ -246,21 +265,92 @@ type executor struct {
 	agents []*sched.Agent
 }
 
+// prepareIOIndex builds the flat instance index with a counting sort keyed
+// by (proc, slot); Instances' statement order within a (proc, slot) pair is
+// preserved.
+func (ex *executor) prepareIOIndex(insts []loop.IOInstance) {
+	cells := ex.cfg.Procs * ex.slots
+	ex.ioOff = make([]int32, cells+1)
+	for _, in := range insts {
+		ex.ioOff[in.Proc*ex.slots+in.Slot+1]++
+	}
+	for k := 0; k < cells; k++ {
+		ex.ioOff[k+1] += ex.ioOff[k]
+	}
+	ex.ioFlat = make([]loop.IOInstance, len(insts))
+	cur := make([]int32, cells)
+	for _, in := range insts {
+		k := in.Proc*ex.slots + in.Slot
+		ex.ioFlat[ex.ioOff[k]+cur[k]] = in
+		cur[k]++
+	}
+}
+
+// prepareProcState binds the per-process continuation handlers and seeds
+// the MinSlot ladder (all processes start at slot 0).
+func (ex *executor) prepareProcState() {
+	procs := ex.cfg.Procs
+	ex.slotCount = make([]int32, ex.slots+1)
+	ex.slotCount[0] = int32(procs)
+	ex.minSlot = 0
+	ex.ioIdx = make([]int32, procs)
+	ex.computeFn = make([]sim.Handler, procs)
+	ex.nextFn = make([]sim.Handler, procs)
+	ex.bufHitFn = make([]sim.Handler, procs)
+	ex.releaseFn = make([]sim.Handler, procs)
+	ex.waitFn = make([]func(), procs)
+	ex.pendSlot = make([]int, procs)
+	for p := 0; p < procs; p++ {
+		p := p
+		ex.computeFn[p] = func(t sim.Time) {
+			ex.ioIdx[p] = 0
+			ex.stepIO(p, t)
+		}
+		ex.nextFn[p] = func(t sim.Time) {
+			ex.ioIdx[p]++
+			ex.stepIO(p, t)
+		}
+		ex.bufHitFn[p] = func(t sim.Time) {
+			ex.pumpAgents(t)
+			ex.ioIdx[p]++
+			ex.stepIO(p, t)
+		}
+		ex.releaseFn[p] = func(t sim.Time) {
+			ex.runSlot(p, ex.pendSlot[p], t)
+		}
+		ex.waitFn[p] = func() {
+			ex.eng.ScheduleFunc(ex.cfg.BufferHitTime, "cluster.buffer-hit", ex.bufHitFn[p])
+		}
+	}
+}
+
+// setProcAt moves process p to slot s and maintains the MinSlot ladder.
+func (ex *executor) setProcAt(p, s int) {
+	old := ex.procAt[p]
+	if old == s {
+		return
+	}
+	ex.procAt[p] = s
+	ex.slotCount[old]--
+	ex.slotCount[s]++
+	if s < ex.minSlot {
+		ex.minSlot = s
+		return
+	}
+	for ex.minSlot < ex.slots && ex.slotCount[ex.minSlot] == 0 {
+		ex.minSlot++
+	}
+}
+
 // Fetch implements sched.Fetcher on top of the middleware.
 func (ex *executor) Fetch(file int, offset, length int64, done func(now sim.Time)) error {
 	return ex.mw.Read(file, offset, length, done)
 }
 
-// MinSlot implements sched.LocalClock.
-func (ex *executor) MinSlot() int {
-	min := ex.slots
-	for _, s := range ex.procAt {
-		if s < min {
-			min = s
-		}
-	}
-	return min
-}
+// MinSlot implements sched.LocalClock. The value is maintained
+// incrementally by setProcAt, so the per-event queries the agents make are
+// O(1) instead of an O(Procs) scan.
+func (ex *executor) MinSlot() int { return ex.minSlot }
 
 func (ex *executor) prepareSlotMeta() {
 	ex.slotNest = make([]int, ex.slots)
@@ -277,23 +367,28 @@ func (ex *executor) prepareSlotMeta() {
 			ex.slotLoc[s] = s - base
 		}
 	}
+	// The compute cost of a nest body never varies per iteration: sum it
+	// once here instead of walking n.Body on every (proc, slot).
+	ex.nestBodyCost = make([]sim.Duration, len(ex.prog.Nests))
+	for ni, n := range ex.prog.Nests {
+		var c sim.Duration
+		for _, st := range n.Body {
+			if st.Kind == loop.StmtCompute {
+				c += st.Cost
+			}
+		}
+		ex.nestBodyCost[ni] = c
+	}
 }
 
 // computeCost returns the computation time of one slot for a process.
 func (ex *executor) computeCost(proc, slot int) sim.Duration {
 	ni := ex.slotNest[slot]
 	n := ex.prog.Nests[ni]
-	iter, ok := ex.prog.IterOf(ex.cfg.Procs, ni, proc, ex.slotLoc[slot])
-	if !ok {
+	if _, ok := ex.prog.IterOf(ex.cfg.Procs, ni, proc, ex.slotLoc[slot]); !ok {
 		return 0
 	}
-	cost := n.IterCost
-	for _, st := range n.Body {
-		if st.Kind == loop.StmtCompute {
-			_ = iter
-			cost += st.Cost
-		}
-	}
+	cost := n.IterCost + ex.nestBodyCost[ni]
 	if j := ex.cfg.ComputeJitter; j > 0 && cost > 0 {
 		// Deterministic per (seed, proc, slot) multiplier in [1−j, 1+j].
 		u := hash01(ex.cfg.Seed, proc, slot)
@@ -315,8 +410,13 @@ func hash01(seed int64, proc, slot int) float64 {
 }
 
 // pumpAgents lets every scheduler agent retry deferred/blocked fetches.
+// Agents with nothing left to issue are skipped — Pump is a pure no-op for
+// them, so the skip cannot change behaviour, only save the call.
 func (ex *executor) pumpAgents(now sim.Time) {
 	for _, a := range ex.agents {
+		if a.PendingEntries() == 0 {
+			continue
+		}
 		a.Pump(now)
 	}
 }
@@ -327,7 +427,7 @@ func (ex *executor) beginSlot(p, s int, now sim.Time) {
 	if s >= ex.slots {
 		ex.finish[p] = now
 		ex.done++
-		ex.procAt[p] = ex.slots
+		ex.setProcAt(p, ex.slots)
 		ex.pumpAgents(now)
 		return
 	}
@@ -335,15 +435,15 @@ func (ex *executor) beginSlot(p, s int, now sim.Time) {
 	ni := ex.slotNest[s]
 	if ni > ex.barrierNest && ex.slotLoc[s] == 0 {
 		ex.barrierCount++
-		ex.barrierWait = append(ex.barrierWait, func(t sim.Time) { ex.runSlot(p, s, t) })
+		ex.pendSlot[p] = s
+		ex.barrierWait = append(ex.barrierWait, p)
 		if ex.barrierCount == ex.cfg.Procs {
 			ex.barrierNest = ni
 			ex.barrierCount = 0
 			waiters := ex.barrierWait
 			ex.barrierWait = nil
 			for _, w := range waiters {
-				w := w
-				ex.eng.Schedule(0, "cluster.barrier-release", w)
+				ex.eng.ScheduleFunc(0, "cluster.barrier-release", ex.releaseFn[w])
 			}
 		}
 		return
@@ -352,30 +452,34 @@ func (ex *executor) beginSlot(p, s int, now sim.Time) {
 }
 
 func (ex *executor) runSlot(p, s int, now sim.Time) {
-	ex.procAt[p] = s
+	ex.setProcAt(p, s)
 	if len(ex.agents) > 0 {
 		ex.agents[p].AdvanceTo(s, now)
 		ex.pumpAgents(now)
 	}
 	cost := ex.computeCost(p, s)
-	ex.eng.Schedule(cost, "cluster.compute", func(t sim.Time) {
-		ex.runIO(p, s, 0, t)
-	})
+	ex.eng.ScheduleFunc(cost, "cluster.compute", ex.computeFn[p])
 }
 
-// runIO executes the i-th I/O instance of (p, s), then advances.
-func (ex *executor) runIO(p, s, i int, now sim.Time) {
-	insts := ex.ioBy[psKey{p, s}]
+// stepIO executes I/O instance ioIdx[p] of process p's current slot, then
+// advances. The continuation is the pre-bound nextFn[p] — no closure per
+// I/O — with the (slot, index) cursor carried in executor state: the
+// process is blocked on this chain, so nothing else moves it.
+func (ex *executor) stepIO(p int, now sim.Time) {
+	s := ex.procAt[p]
+	k := p*ex.slots + s
+	insts := ex.ioFlat[ex.ioOff[k]:ex.ioOff[k+1]]
+	i := int(ex.ioIdx[p])
 	if i >= len(insts) {
 		ex.beginSlot(p, s+1, now)
 		return
 	}
 	inst := insts[i]
-	next := func(t sim.Time) { ex.runIO(p, s, i+1, t) }
+	next := ex.nextFn[p]
 	switch inst.Kind {
 	case loop.StmtWrite:
 		if err := ex.mw.Write(inst.File, inst.Offset, inst.Length, next); err != nil {
-			ex.eng.Schedule(0, "cluster.io-err", next)
+			ex.eng.ScheduleFunc(0, "cluster.io-err", next)
 		}
 	case loop.StmtRead:
 		if ex.comp != nil {
@@ -383,22 +487,16 @@ func (ex *executor) runIO(p, s, i int, now sim.Time) {
 				// Resident data is a hit; an in-flight prefetch makes the
 				// read wait for the delivery instead of duplicating the
 				// disk access.
-				hit := ex.buf.WaitConsume(id, func() {
-					ex.eng.Schedule(ex.cfg.BufferHitTime, "cluster.buffer-hit", func(t sim.Time) {
-						ex.pumpAgents(t)
-						next(t)
-					})
-				})
-				if hit {
+				if ex.buf.WaitConsume(id, ex.waitFn[p]) {
 					return
 				}
 			}
 		}
 		if err := ex.mw.Read(inst.File, inst.Offset, inst.Length, next); err != nil {
-			ex.eng.Schedule(0, "cluster.io-err", next)
+			ex.eng.ScheduleFunc(0, "cluster.io-err", next)
 		}
 	default:
-		ex.eng.Schedule(0, "cluster.io-skip", next)
+		ex.eng.ScheduleFunc(0, "cluster.io-skip", next)
 	}
 }
 

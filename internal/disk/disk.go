@@ -41,6 +41,7 @@ type Request struct {
 	Start    sim.Time // service start (seek begin)
 	Finish   sim.Time // media transfer end
 	cylinder int64
+	media    sim.Duration // transfer duration, fixed at service start
 }
 
 // QueueDelay returns how long the request waited before service began.
@@ -116,6 +117,15 @@ type Disk struct {
 	transStart   sim.Time   // start of the in-flight spin transition
 	transEvent   *sim.Event // completion event of the in-flight transition
 	upSince      sim.Time   // when an upward RPM target became pending
+	shiftTo      int        // speed the in-flight shift lands on
+
+	// Callbacks bound once at construction so the service path schedules
+	// without allocating a closure per event.
+	transferCb sim.ArgHandler
+	completeCb sim.ArgHandler
+	spunUpFn   sim.Handler
+	shiftedFn  sim.Handler
+	standbyFn  sim.Handler
 
 	stats Stats
 }
@@ -135,6 +145,11 @@ func New(eng *sim.Engine, id int, p Params) (*Disk, error) {
 		queue:     newElevator(),
 	}
 	d.account = NewEnergyAccount(eng.Now(), StateIdle, p.IdlePowerAt(d.rpm))
+	d.transferCb = d.onTransfer
+	d.completeCb = d.onComplete
+	d.spunUpFn = d.onSpunUp
+	d.shiftedFn = d.onShifted
+	d.standbyFn = d.onStandby
 	d.openIdleGap(eng.Now())
 	return d, nil
 }
@@ -292,15 +307,23 @@ func (d *Disk) beginRequest(now sim.Time) {
 	if bus > media {
 		media = bus // bus-limited transfer
 	}
+	r.media = media
 	d.headCyl = r.cylinder
 
 	d.setState(now, StateSeeking, d.params.SeekPowerAt(d.rpm))
-	d.eng.Schedule(seek+rot, "disk.transfer", func(t sim.Time) {
-		d.setState(t, StateTransferring, d.params.ActivePowerAt(d.rpm))
-		d.eng.Schedule(media, "disk.complete", func(t2 sim.Time) {
-			d.completeRequest(t2, r)
-		})
-	})
+	d.eng.ScheduleArg(seek+rot, "disk.transfer", d.transferCb, r)
+}
+
+// onTransfer fires when seek+rotation finish: the media transfer begins at
+// the power draw of the speed the disk is spinning at now.
+func (d *Disk) onTransfer(t sim.Time, arg any) {
+	r := arg.(*Request)
+	d.setState(t, StateTransferring, d.params.ActivePowerAt(d.rpm))
+	d.eng.ScheduleArg(r.media, "disk.complete", d.completeCb, r)
+}
+
+func (d *Disk) onComplete(t sim.Time, arg any) {
+	d.completeRequest(t, arg.(*Request))
 }
 
 func (d *Disk) completeRequest(now sim.Time, r *Request) {
@@ -346,15 +369,17 @@ func (d *Disk) SpinDown() error {
 	d.wantUp = false
 	d.transStart = now
 	d.setState(now, StateSpinningDown, d.params.SpinDownPowerW)
-	d.transEvent = d.eng.Schedule(d.params.SpinDownTime, "disk.standby", func(t sim.Time) {
-		d.transEvent = nil
-		d.setState(t, StateStandby, d.params.StandbyPowerW)
-		d.rpm = 0
-		if d.wantUp || d.queue.Len() > 0 {
-			d.beginSpinUp(t)
-		}
-	})
+	d.transEvent = d.eng.Schedule(d.params.SpinDownTime, "disk.standby", d.standbyFn)
 	return nil
+}
+
+func (d *Disk) onStandby(t sim.Time) {
+	d.transEvent = nil
+	d.setState(t, StateStandby, d.params.StandbyPowerW)
+	d.rpm = 0
+	if d.wantUp || d.queue.Len() > 0 {
+		d.beginSpinUp(t)
+	}
 }
 
 // abortSpinDown reverses an in-flight spin-down: the spin-up time is
@@ -382,12 +407,16 @@ func (d *Disk) abortSpinDown(now sim.Time) {
 	d.stats.SpinUps++
 	d.wantUp = false
 	d.setState(now, StateSpinningUp, d.params.SpinUpPowerW)
-	d.eng.Schedule(up, "disk.abort-up", func(t sim.Time) {
-		d.rpm = d.params.MaxRPM
-		d.targetRPM = d.params.MaxRPM
-		d.setState(t, StateIdle, d.params.IdlePowerAt(d.rpm))
-		d.tryService(t)
-	})
+	d.eng.ScheduleFunc(up, "disk.abort-up", d.spunUpFn)
+}
+
+// onSpunUp completes both a normal spin-up and an aborted spin-down: the
+// spindle lands at full speed, ready to serve.
+func (d *Disk) onSpunUp(t sim.Time) {
+	d.rpm = d.params.MaxRPM
+	d.targetRPM = d.params.MaxRPM
+	d.setState(t, StateIdle, d.params.IdlePowerAt(d.rpm))
+	d.tryService(t)
 }
 
 // SpinUp starts acceleration back to full speed. In standby it begins
@@ -410,12 +439,7 @@ func (d *Disk) beginSpinUp(now sim.Time) {
 	d.stats.SpinUps++
 	d.wantUp = false
 	d.setState(now, StateSpinningUp, d.params.SpinUpPowerW)
-	d.eng.Schedule(d.params.SpinUpTime, "disk.spunup", func(t sim.Time) {
-		d.rpm = d.params.MaxRPM
-		d.targetRPM = d.params.MaxRPM
-		d.setState(t, StateIdle, d.params.IdlePowerAt(d.rpm))
-		d.tryService(t)
-	})
+	d.eng.ScheduleFunc(d.params.SpinUpTime, "disk.spunup", d.spunUpFn)
 }
 
 // SetTargetRPM commands a rotational-speed change. rampFirst makes the disk
@@ -455,16 +479,20 @@ func (d *Disk) beginShift(now sim.Time) {
 	// the two speeds (DRPM's transition model): deceleration is nearly
 	// free, acceleration costs the differential kinetic energy.
 	d.setState(now, StateShiftingRPM, 1.2*d.params.IdlePowerAt(hi))
-	d.eng.Schedule(d.params.RPMShiftTime(from, to), "disk.shifted", func(t sim.Time) {
-		// Land on the speed this shift was computed for; a target that
-		// moved mid-shift is handled by the tryService below.
-		d.rpm = to
-		d.setState(t, StateIdle, d.params.IdlePowerAt(d.rpm))
-		// The target may have moved again while shifting (staggered
-		// step-down interrupted by a ramp command) — tryService handles
-		// both another shift and pending work.
-		d.tryService(t)
-	})
+	d.shiftTo = to
+	d.eng.ScheduleFunc(d.params.RPMShiftTime(from, to), "disk.shifted", d.shiftedFn)
+}
+
+// onShifted lands on the speed the in-flight shift was computed for
+// (d.shiftTo — only one shift is ever in flight); a target that moved
+// mid-shift is handled by tryService.
+func (d *Disk) onShifted(t sim.Time) {
+	d.rpm = d.shiftTo
+	d.setState(t, StateIdle, d.params.IdlePowerAt(d.rpm))
+	// The target may have moved again while shifting (staggered step-down
+	// interrupted by a ramp command) — tryService handles both another
+	// shift and pending work.
+	d.tryService(t)
 }
 
 // FlushIdleGap closes a trailing open idle gap at end-of-run so the final

@@ -217,7 +217,7 @@ func (n *Node) Read(file int, unit, offset, length int64, done func(now sim.Time
 	key := cache.Key{File: file, Block: unit}
 	if _, ok := n.cache.Get(key); ok {
 		n.stats.CacheHits++
-		n.eng.Schedule(n.cfg.CacheHitTime, "ionode.hit", done)
+		n.eng.ScheduleFunc(n.cfg.CacheHitTime, "ionode.hit", done)
 		n.prefetch(file, unit)
 		return nil
 	}
@@ -261,7 +261,7 @@ func (n *Node) Write(file int, unit, offset, length int64, done func(now sim.Tim
 			n.dirty[key] = length
 		}
 		n.armFlush()
-		n.eng.Schedule(n.cfg.CacheHitTime, "ionode.wb-ack", done)
+		n.eng.ScheduleFunc(n.cfg.CacheHitTime, "ionode.wb-ack", done)
 		return nil
 	}
 	ios, err := raidMap(n.cfg.Level, n.cfg.Members, unit, offset, length, true,
@@ -278,7 +278,7 @@ func (n *Node) armFlush() {
 		return
 	}
 	n.flushTimer = true
-	n.eng.Schedule(n.cfg.FlushEpoch, "ionode.flush", func(now sim.Time) {
+	n.eng.ScheduleFunc(n.cfg.FlushEpoch, "ionode.flush", func(now sim.Time) {
 		n.flushTimer = false
 		n.Flush(now)
 		if len(n.dirty) > 0 {
@@ -326,7 +326,7 @@ func (n *Node) fetchUnit(file int, unit int64, done func(now sim.Time)) error {
 func (n *Node) issue(ios []diskIO, done func(now sim.Time)) error {
 	remaining := len(ios)
 	if remaining == 0 {
-		n.eng.Schedule(0, "ionode.noop", done)
+		n.eng.ScheduleFunc(0, "ionode.noop", done)
 		return nil
 	}
 	for _, io := range ios {

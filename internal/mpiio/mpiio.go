@@ -96,7 +96,7 @@ func (m *Middleware) Read(file int, offset, length int64, done func(now sim.Time
 			if err := m.net.Transfer(c.Node, c.Length, chunkDone); err != nil {
 				// Transfer setup errors are programming errors; complete
 				// the chunk so callers don't hang.
-				m.eng.Schedule(0, "mpiio.read-err", chunkDone)
+				m.eng.ScheduleFunc(0, "mpiio.read-err", chunkDone)
 			}
 		})
 	}, done)
@@ -113,7 +113,7 @@ func (m *Middleware) Write(file int, offset, length int64, done func(now sim.Tim
 		node := m.nodes[c.Node]
 		return m.net.Transfer(c.Node, c.Length, func(sim.Time) {
 			if err := node.Write(file, c.Unit, c.Offset, c.Length, chunkDone); err != nil {
-				m.eng.Schedule(0, "mpiio.write-err", chunkDone)
+				m.eng.ScheduleFunc(0, "mpiio.write-err", chunkDone)
 			}
 		})
 	}, done)

@@ -91,7 +91,7 @@ func (n *Network) Transfer(node int, bytes int64, done func(now sim.Time)) error
 	delivery := start + occupancy + n.cfg.LatencyOneWay
 	n.transfers++
 	n.bytes += bytes
-	n.eng.Schedule(delivery-now, "net.deliver", done)
+	n.eng.ScheduleFunc(delivery-now, "net.deliver", done)
 	return nil
 }
 

@@ -199,12 +199,18 @@ type simplePolicy struct {
 	eng           *sim.Engine
 	cfg           Config
 	timer         *sim.Event
+	timeoutFn     sim.Handler // bound once at Attach
 	cooldownUntil sim.Time
 }
 
 func (p *simplePolicy) Kind() Kind { return KindSimple }
 
 func (p *simplePolicy) Attach(d *disk.Disk) {
+	p.timeoutFn = func(sim.Time) {
+		// The disk may have become busy at exactly the firing timestamp;
+		// SpinDown refuses and we simply re-arm on the next idle start.
+		_ = d.SpinDown()
+	}
 	d.SetListener(p)
 	engageIfIdle(p, d, p.eng)
 }
@@ -214,11 +220,7 @@ func (p *simplePolicy) IdleStarted(d *disk.Disk, now sim.Time) {
 		return
 	}
 	p.cancelTimer()
-	p.timer = p.eng.Schedule(p.cfg.Timeout, "power.simple.timeout", func(sim.Time) {
-		// The disk may have become busy at exactly the firing timestamp;
-		// SpinDown refuses and we simply re-arm on the next idle start.
-		_ = d.SpinDown()
-	})
+	p.timer = p.eng.Schedule(p.cfg.Timeout, "power.simple.timeout", p.timeoutFn)
 }
 
 func (p *simplePolicy) RequestArrived(d *disk.Disk, now sim.Time) {
@@ -250,6 +252,7 @@ type predictivePolicy struct {
 	idleStart     sim.Time
 	idling        bool
 	wakeTimer     *sim.Event
+	wakeFn        sim.Handler // bound once at Attach
 	lastGap       sim.Duration
 	cooldownUntil sim.Time
 }
@@ -257,6 +260,9 @@ type predictivePolicy struct {
 func (p *predictivePolicy) Kind() Kind { return KindPredictive }
 
 func (p *predictivePolicy) Attach(d *disk.Disk) {
+	p.wakeFn = func(sim.Time) {
+		_ = d.SpinUp() // no-op error if a request already woke it
+	}
 	d.SetListener(p)
 	engageIfIdle(p, d, p.eng)
 }
@@ -300,9 +306,7 @@ func (p *predictivePolicy) IdleStarted(d *disk.Disk, now sim.Time) {
 		wake = d.Params().SpinDownTime
 	}
 	p.cancelWake()
-	p.wakeTimer = p.eng.Schedule(wake, "power.predictive.wake", func(sim.Time) {
-		_ = d.SpinUp() // no-op error if a request already woke it
-	})
+	p.wakeTimer = p.eng.Schedule(wake, "power.predictive.wake", p.wakeFn)
 }
 
 func (p *predictivePolicy) RequestArrived(d *disk.Disk, now sim.Time) {
@@ -341,11 +345,21 @@ type historyPolicy struct {
 	idleStart sim.Time
 	idling    bool
 	rampTimer *sim.Event
+	reviseFn  sim.Handler // bound once at Attach; shared by ramp and revise
 }
 
 func (p *historyPolicy) Kind() Kind { return KindHistory }
 
 func (p *historyPolicy) Attach(d *disk.Disk) {
+	p.reviseFn = func(now sim.Time) {
+		if d.Busy() || d.QueueLen() > 0 {
+			return
+		}
+		// Still idle when the timer fires: the idle period is provably
+		// longer than the working prediction, so revise upward instead of
+		// surfacing to full speed for the rest of a long gap.
+		p.engage(d, 2*(now-p.idleStart))
+	}
 	d.SetListener(p)
 	engageIfIdle(p, d, p.eng)
 }
@@ -416,14 +430,7 @@ func (p *historyPolicy) engage(d *disk.Disk, pred sim.Duration) {
 		lead = elapsed + down
 	}
 	p.cancelRamp()
-	p.rampTimer = p.eng.Schedule(lead-elapsed, "power.history.ramp", func(now sim.Time) {
-		if d.Busy() || d.QueueLen() > 0 {
-			return
-		}
-		// Still idle at 85% of the prediction: revise upward instead of
-		// surfacing to full speed for the rest of a long gap.
-		p.engage(d, 2*(now-p.idleStart))
-	})
+	p.rampTimer = p.eng.Schedule(lead-elapsed, "power.history.ramp", p.reviseFn)
 }
 
 // armRevision re-checks an unengaged idle period after the predicted
@@ -438,12 +445,7 @@ func (p *historyPolicy) armRevision(d *disk.Disk, pred sim.Duration) {
 		return
 	}
 	p.cancelRamp()
-	p.rampTimer = p.eng.Schedule(pred, "power.history.revise", func(now sim.Time) {
-		if d.Busy() || d.QueueLen() > 0 {
-			return
-		}
-		p.engage(d, 2*(now-p.idleStart))
-	})
+	p.rampTimer = p.eng.Schedule(pred, "power.history.revise", p.reviseFn)
 }
 
 func (p *historyPolicy) RequestArrived(d *disk.Disk, now sim.Time) {
@@ -473,14 +475,16 @@ func (p *historyPolicy) cancelRamp() {
 // on the next request, ramp back to the fastest speed before serving.
 
 type staggeredPolicy struct {
-	eng   *sim.Engine
-	cfg   Config
-	timer *sim.Event
+	eng    *sim.Engine
+	cfg    Config
+	timer  *sim.Event
+	stepFn sim.Handler // bound once at Attach
 }
 
 func (p *staggeredPolicy) Kind() Kind { return KindStaggered }
 
 func (p *staggeredPolicy) Attach(d *disk.Disk) {
+	p.stepFn = func(sim.Time) { p.stepDown(d) }
 	d.SetListener(p)
 	engageIfIdle(p, d, p.eng)
 }
@@ -489,9 +493,7 @@ func (p *staggeredPolicy) IdleStarted(d *disk.Disk, _ sim.Time) {
 	// The first step fires only once idleness persists for the detection
 	// timeout; each further step needs another x1 of continued idleness.
 	p.cancelTimer()
-	p.timer = p.eng.Schedule(p.cfg.Timeout, "power.staggered.first", func(sim.Time) {
-		p.stepDown(d)
-	})
+	p.timer = p.eng.Schedule(p.cfg.Timeout, "power.staggered.first", p.stepFn)
 }
 
 // stepDown lowers the target one level and arms the next step.
@@ -505,9 +507,7 @@ func (p *staggeredPolicy) stepDown(d *disk.Disk) {
 		return
 	}
 	p.cancelTimer()
-	p.timer = p.eng.Schedule(p.cfg.Timeout, "power.staggered.step", func(sim.Time) {
-		p.stepDown(d)
-	})
+	p.timer = p.eng.Schedule(p.cfg.Timeout, "power.staggered.step", p.stepFn)
 }
 
 func (p *staggeredPolicy) RequestArrived(d *disk.Disk, _ sim.Time) {
@@ -547,6 +547,7 @@ type Oracle struct {
 	cfg    Config
 	hints  HintSource
 	margin float64
+	rampFn sim.Handler // bound once at Attach
 }
 
 // NewOracle returns an oracle policy using hints for idle lengths.
@@ -561,6 +562,9 @@ func (o *Oracle) Kind() Kind { return KindHistory }
 
 // Attach installs the oracle as the disk's listener.
 func (o *Oracle) Attach(d *disk.Disk) {
+	o.rampFn = func(sim.Time) {
+		_ = d.SetTargetRPM(d.Params().MaxRPM, false)
+	}
 	d.SetListener(o)
 	engageIfIdle(o, d, o.eng)
 }
@@ -590,9 +594,7 @@ func (o *Oracle) IdleStarted(d *disk.Disk, now sim.Time) {
 	if lead < 0 {
 		lead = 0
 	}
-	o.eng.Schedule(lead, "power.oracle.ramp", func(sim.Time) {
-		_ = d.SetTargetRPM(params.MaxRPM, false)
-	})
+	o.eng.ScheduleFunc(lead, "power.oracle.ramp", o.rampFn)
 }
 
 // RequestArrived restores full speed if a hint was wrong (should not happen

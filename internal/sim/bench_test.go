@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+)
+
+// BenchmarkScheduleFireRecycled is the steady-state hot path: one event in
+// flight, rescheduled through ScheduleArg on every fire. The acceptance bar
+// is 0 allocs/op — the event comes off the free list and the callback is a
+// pre-bound ArgHandler, so nothing escapes.
+func BenchmarkScheduleFireRecycled(b *testing.B) {
+	e := NewEngine(1)
+	var cb ArgHandler = func(now Time, arg any) {}
+	e.ScheduleArg(1, "prime", cb, e)
+	e.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleArg(1, "steady", cb, e)
+		e.Step()
+	}
+}
+
+// BenchmarkScheduleFireDepth1000 measures schedule+fire with a standing
+// queue of 1000 events, the depth a busy cluster run sustains; ns/op here is
+// the engine's per-event cost including realistic heap sift depth.
+func BenchmarkScheduleFireDepth1000(b *testing.B) {
+	e := NewEngine(1)
+	var cb ArgHandler = func(now Time, arg any) {}
+	for j := 0; j < 1000; j++ {
+		e.ScheduleArg(Duration(j%97+1), "fill", cb, e)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleArg(Duration(i%97+1), "steady", cb, e)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineScheduleRunArg is BenchmarkEngineScheduleRun on the
+// de-closured path: 1000 events scheduled then drained per iteration.
+func BenchmarkEngineScheduleRunArg(b *testing.B) {
+	var cb ArgHandler = func(now Time, arg any) {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine(1)
+		for j := 0; j < 1000; j++ {
+			e.ScheduleArg(Duration(j%97), "b", cb, e)
+		}
+		e.Run()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// container/heap baseline: the seed engine's queue, preserved verbatim so
+// BENCH_sim.json keeps an in-tree reference point for the ≥2× ns/event
+// acceptance bar. Events are heap-allocated per schedule and flow through
+// the interface-boxed Push/Pop of container/heap.
+
+type baseEvent struct {
+	at    Time
+	seq   uint64
+	fn    Handler
+	index int
+}
+
+type baseQueue []*baseEvent
+
+func (q baseQueue) Len() int { return len(q) }
+
+func (q baseQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q baseQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *baseQueue) Push(x any) {
+	ev := x.(*baseEvent)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *baseQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+type baseEngine struct {
+	now   Time
+	queue baseQueue
+	seq   uint64
+}
+
+func (e *baseEngine) schedule(delay Duration, fn Handler) {
+	e.seq++
+	heap.Push(&e.queue, &baseEvent{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+func (e *baseEngine) step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*baseEvent)
+	e.now = ev.at
+	ev.fn(e.now)
+	return true
+}
+
+// BenchmarkContainerHeapRecycled is the baseline for
+// BenchmarkScheduleFireRecycled: one event in flight, allocated per
+// schedule and boxed through container/heap.
+func BenchmarkContainerHeapRecycled(b *testing.B) {
+	e := &baseEngine{}
+	fn := func(Time) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.schedule(1, fn)
+		e.step()
+	}
+}
+
+// BenchmarkContainerHeapScheduleFire is the baseline for
+// BenchmarkScheduleFireDepth1000: same standing depth, same workload, seed
+// binary-heap queue with per-event allocation.
+func BenchmarkContainerHeapScheduleFire(b *testing.B) {
+	e := &baseEngine{}
+	fn := func(Time) {}
+	for j := 0; j < 1000; j++ {
+		e.schedule(Duration(j%97+1), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.schedule(Duration(i%97+1), fn)
+		e.step()
+	}
+}
+
+// BenchmarkContainerHeapScheduleRun is the baseline for
+// BenchmarkEngineScheduleRunArg (and the seed BenchmarkEngineScheduleRun):
+// 1000 events scheduled and drained per iteration.
+func BenchmarkContainerHeapScheduleRun(b *testing.B) {
+	fn := func(Time) {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := &baseEngine{}
+		for j := 0; j < 1000; j++ {
+			e.schedule(Duration(j%97), fn)
+		}
+		for e.step() {
+		}
+	}
+}

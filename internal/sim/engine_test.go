@@ -261,6 +261,186 @@ func BenchmarkEngineScheduleRun(b *testing.B) {
 	}
 }
 
+func TestPendingExcludesCancelled(t *testing.T) {
+	e := NewEngine(1)
+	evs := make([]*Event, 5)
+	for i := range evs {
+		evs[i] = e.Schedule(Duration(10+i), "p", func(Time) {})
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("Pending = %d, want 5", e.Pending())
+	}
+	evs[1].Cancel()
+	evs[3].Cancel()
+	if e.Pending() != 3 {
+		t.Fatalf("Pending after 2 cancels = %d, want 3", e.Pending())
+	}
+	// Double-cancel must not double-count.
+	evs[1].Cancel()
+	if e.Pending() != 3 {
+		t.Fatalf("Pending after re-cancel = %d, want 3", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", e.Pending())
+	}
+	if e.EventsFired() != 3 {
+		t.Fatalf("fired %d events, want 3", e.EventsFired())
+	}
+	// Cancelling after the run (handles outlive firing) stays a no-op.
+	evs[0].Cancel()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after post-run cancel = %d, want 0", e.Pending())
+	}
+}
+
+func TestRunUntilCancelledHead(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	head := e.Schedule(5, "head", func(now Time) { fired = append(fired, now) })
+	e.Schedule(10, "live", func(now Time) { fired = append(fired, now) })
+	e.Schedule(30, "late", func(now Time) { fired = append(fired, now) })
+	head.Cancel()
+	if now := e.RunUntil(20); now != 20 {
+		t.Fatalf("RunUntil = %v, want 20", now)
+	}
+	if len(fired) != 1 || fired[0] != 10 {
+		t.Fatalf("fired = %v, want [10] (cancelled head skipped)", fired)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 2 || fired[1] != 30 {
+		t.Fatalf("fired = %v, want [10 30]", fired)
+	}
+}
+
+func TestScheduleAtExactlyNowTieBreak(t *testing.T) {
+	// An event scheduled at exactly the current time from inside a handler
+	// must fire after the in-flight handler returns and interleave with
+	// other same-time events in scheduling order.
+	e := NewEngine(1)
+	var order []string
+	e.Schedule(10, "outer", func(now Time) {
+		order = append(order, "outer")
+		if _, err := e.ScheduleAt(now, "at-now-1", func(Time) { order = append(order, "at-now-1") }); err != nil {
+			t.Fatalf("ScheduleAt(now): %v", err)
+		}
+		e.Schedule(0, "zero-delay", func(Time) { order = append(order, "zero-delay") })
+		if _, err := e.ScheduleAt(now, "at-now-2", func(Time) { order = append(order, "at-now-2") }); err != nil {
+			t.Fatalf("ScheduleAt(now): %v", err)
+		}
+	})
+	end := e.Run()
+	want := []string{"outer", "at-now-1", "zero-delay", "at-now-2"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if end != 10 {
+		t.Fatalf("Run = %v, want 10 (at-now events must not advance the clock)", end)
+	}
+}
+
+func TestScheduleFuncAndArgFire(t *testing.T) {
+	e := NewEngine(1)
+	var got []string
+	e.ScheduleFunc(20, "f", func(now Time) { got = append(got, "func") })
+	cb := func(now Time, arg any) { got = append(got, arg.(string)) }
+	e.ScheduleArg(10, "a", cb, "arg")
+	e.Run()
+	if len(got) != 2 || got[0] != "arg" || got[1] != "func" {
+		t.Fatalf("got = %v, want [arg func]", got)
+	}
+	if e.EventsFired() != 2 || e.EventsScheduled() != 2 {
+		t.Fatalf("fired=%d scheduled=%d", e.EventsFired(), e.EventsScheduled())
+	}
+}
+
+func TestFreeListRecyclesFiredEvents(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	var tick ArgHandler
+	tick = func(now Time, arg any) {
+		n++
+		if n < 100 {
+			e.ScheduleArg(1, "tick", tick, arg)
+		}
+	}
+	e.ScheduleArg(1, "tick", tick, &n)
+	e.Run()
+	if n != 100 {
+		t.Fatalf("fired %d, want 100", n)
+	}
+	// A self-perpetuating chain needs exactly one event object: each fire
+	// recycles into the free list and the reschedule takes it back out.
+	if e.FreeListLen() != 1 {
+		t.Fatalf("free list holds %d events, want 1", e.FreeListLen())
+	}
+}
+
+func TestSteadyStateScheduleFireDoesNotAllocate(t *testing.T) {
+	e := NewEngine(1)
+	var cb ArgHandler
+	cb = func(now Time, arg any) {}
+	// Prime: first pass may grow the heap slice and seed the free list.
+	e.ScheduleArg(1, "prime", cb, e)
+	e.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.ScheduleArg(1, "steady", cb, e)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule+fire allocates %v objects/op, want 0", allocs)
+	}
+}
+
+func TestLazyCancelCompaction(t *testing.T) {
+	e := NewEngine(1)
+	var live []*Event
+	var cancelled []*Event
+	for i := 0; i < 400; i++ {
+		ev := e.Schedule(Duration(1000+i), "c", func(Time) {})
+		if i%4 == 0 {
+			live = append(live, ev)
+		} else {
+			cancelled = append(cancelled, ev)
+		}
+	}
+	for _, ev := range cancelled {
+		ev.Cancel()
+	}
+	// Compaction must have dropped the bulk of the dead entries from the
+	// queue itself (cancels after the last compaction may linger below the
+	// half-queue threshold), not just fixed the Pending accounting.
+	if len(e.queue) > len(live)+len(cancelled)/2 {
+		t.Fatalf("queue holds %d events after cancelling %d of %d — compaction never ran",
+			len(e.queue), len(cancelled), len(live)+len(cancelled))
+	}
+	if e.Pending() != len(live) {
+		t.Fatalf("Pending = %d, want %d", e.Pending(), len(live))
+	}
+	var fired []Time
+	e.Schedule(2000, "end", func(now Time) { fired = append(fired, now) })
+	prev := Time(-1)
+	count := 0
+	for e.Step() {
+		if e.Now() < prev {
+			t.Fatalf("time went backwards after compaction: %v < %v", e.Now(), prev)
+		}
+		prev = e.Now()
+		count++
+	}
+	if count != len(live)+1 {
+		t.Fatalf("fired %d events, want %d", count, len(live)+1)
+	}
+}
+
 func TestEventAccessors(t *testing.T) {
 	e := NewEngine(1)
 	ev := e.Schedule(42, "x", func(Time) {})
