@@ -44,7 +44,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	os.Stdout.Write(out)
+	if _, err := os.Stdout.Write(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
 }
 
 // parseLine extracts one benchmark result. The format is the fixed testing

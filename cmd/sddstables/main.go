@@ -123,8 +123,15 @@ func runCtx(ctx context.Context, args []string) error {
 			}
 			return err
 		}
-		fmt.Print(res.Render())
-		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		// The rendered tables are the deliverable: surface a failed stdout
+		// write (closed pipe, full disk) instead of exiting 0 with output
+		// missing.
+		if _, err := fmt.Print(res.Render()); err != nil {
+			return fmt.Errorf("writing %s: %w", e.ID, err)
+		}
+		if _, err := fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond)); err != nil {
+			return fmt.Errorf("writing %s: %w", e.ID, err)
+		}
 	}
 	simulated, hits := sess.Stats()
 	if *progress {

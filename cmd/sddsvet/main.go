@@ -1,0 +1,79 @@
+// Command sddsvet is the project's multichecker: it statically enforces the
+// simulator's determinism and hot-path contracts over the given package
+// patterns (default ./...). It ships four analyzers:
+//
+//	simdet       nondeterminism sources in simulation packages
+//	hotalloc     per-event allocations on the annotated hot path
+//	eventretain  retention of free-list-recycled *sim.Event values
+//	floatorder   order-dependent float reductions feeding golden output
+//
+// Exit status is 1 when findings are reported, 2 on load/usage errors, 0
+// otherwise. Suppress individual findings with
+// //sddsvet:ignore <analyzer> -- <reason>; see DESIGN.md §9.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sdds/internal/analysis"
+	"sdds/internal/analysis/all"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("sddsvet", flag.ContinueOnError)
+	var (
+		only = fs.String("run", "", "comma-separated analyzer subset (default: all)")
+		list = fs.Bool("list", false, "list analyzers and exit")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: sddsvet [-run analyzer,...] [package pattern ...]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range all.Analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers := all.Analyzers
+	if *only != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a := all.ByName(name)
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "sddsvet: unknown analyzer %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sddsvet:", err)
+		return 2
+	}
+	n, err := analysis.Run(os.Stdout, root, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sddsvet:", err)
+		return 2
+	}
+	if n > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,29 @@
+// Package all registers the complete sddsvet analyzer suite, giving the
+// multichecker binary and the integration tests one shared list.
+package all
+
+import (
+	"sdds/internal/analysis"
+	"sdds/internal/analysis/eventretain"
+	"sdds/internal/analysis/floatorder"
+	"sdds/internal/analysis/hotalloc"
+	"sdds/internal/analysis/simdet"
+)
+
+// Analyzers is the full suite in reporting order.
+var Analyzers = []*analysis.Analyzer{
+	simdet.Analyzer,
+	hotalloc.Analyzer,
+	eventretain.Analyzer,
+	floatorder.Analyzer,
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *analysis.Analyzer {
+	for _, a := range Analyzers {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+// Package analysis is a small, dependency-free analogue of
+// golang.org/x/tools/go/analysis: it loads packages from source with full
+// type information and runs analyzer passes over them. It exists because the
+// simulator's two load-bearing contracts — bit-identical virtual results
+// from a fixed seed, and an allocation-free event hot path — are enforced at
+// runtime only by slow tests (the 24-config golden test, the -benchmem
+// allocation assertions). The analyzers in the subdirectories check the
+// whole *class* of regressions at compile time, before the 90-minute race
+// tier ever runs.
+//
+// Two source-comment conventions drive the suite (see DESIGN.md §9):
+//
+//	//sddsvet:hotpath
+//	    on a function declaration marks it as part of the steady-state
+//	    event path; the hotalloc analyzer reports per-call allocations
+//	    (capturing closures, new, make, composite literals) inside it.
+//
+//	//sddsvet:ignore <analyzer>[,<analyzer>...] -- <reason>
+//	    suppresses diagnostics of the named analyzers on the comment's
+//	    line and the line below it. The reason is mandatory by
+//	    convention and should say why the flagged pattern is safe.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one static check. Run is invoked once per loaded package and
+// reports findings through the Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //sddsvet:ignore comments.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run executes the check over one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files is the package's parsed syntax (non-test files).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// PkgPath is the package's import path ("sdds/internal/disk").
+	PkgPath string
+	// TypesInfo holds the type-checker's results for Files.
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// ---------------------------------------------------------------------------
+// Shared type/AST helpers used by several analyzers.
+
+// CalleeFunc resolves the *types.Func a call expression invokes, or nil for
+// builtins, conversions, and calls of function-typed values.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsMethodOn reports whether fn is a method with the named receiver type
+// (possibly behind a pointer) declared in the package with import path
+// pkgPath.
+func IsMethodOn(fn *types.Func, pkgPath, typeName string) bool {
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// IsNamedType reports whether t (possibly behind a pointer) is the named
+// type pkgPath.typeName.
+func IsNamedType(t types.Type, pkgPath, typeName string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// IsPointerTo reports whether t is *pkgPath.typeName exactly (not the bare
+// named type).
+func IsPointerTo(t types.Type, pkgPath, typeName string) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return IsNamedType(ptr.Elem(), pkgPath, typeName)
+}
+
+// ObjOf returns the object an identifier denotes (use or definition).
+func ObjOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// RootIdent walks to the base identifier of an lvalue expression:
+// x, x.f.g, x[i], *x all root at x. It returns nil for rootless
+// expressions (calls, literals).
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// DeclaredOutside reports whether the object behind id is a variable
+// declared outside the [lo, hi] position interval (a closure capture, or a
+// loop-external accumulator). Package-level variables are reported too —
+// callers that only care about closure captures should additionally check
+// the object's parent scope.
+func DeclaredOutside(info *types.Info, id *ast.Ident, lo, hi token.Pos) bool {
+	obj := ObjOf(info, id)
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	return v.Pos() < lo || v.Pos() > hi
+}
+
+// Captures reports whether the function literal references at least one
+// variable declared outside it (excluding package-level variables, which do
+// not force a closure allocation on their own).
+func Captures(info *types.Info, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true // package-level: not a capture
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// HotpathDirective is the doc-comment marker for hot-path functions.
+const HotpathDirective = "//sddsvet:hotpath"
+
+// IsHotpath reports whether the function declaration carries the
+// //sddsvet:hotpath directive in its doc comment.
+func IsHotpath(decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if c.Text == HotpathDirective || len(c.Text) > len(HotpathDirective) &&
+			c.Text[:len(HotpathDirective)+1] == HotpathDirective+" " {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,133 @@
+// Package analysistest runs an analyzer over a fixture package and checks
+// its diagnostics against // want comments in the fixture source, mirroring
+// golang.org/x/tools/go/analysis/analysistest:
+//
+//	rand.Intn(6) // want `global math/rand`
+//
+// Each `// want "regexp"` (quoted or backquoted) on a line demands at least
+// one diagnostic on that line matching the regexp; diagnostics on lines
+// without a want, and wants without a diagnostic, fail the test.
+// Suppression is part of what is under test: a fixture line carrying
+// //sddsvet:ignore for the analyzer must produce no diagnostic (so it must
+// carry no want either).
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"sdds/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile("//\\s*want\\s+(?:\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`)")
+
+// moduleRoot walks up from the current directory to the directory holding
+// go.mod, so fixtures can import real module packages (sdds/internal/sim).
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("analysistest: no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+// Run loads the single package in dir (relative to the calling test's
+// directory), applies the analyzer with //sddsvet:ignore filtering, and
+// matches the findings against the fixture's want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := moduleRoot(t)
+	pkgs, err := analysis.Load(root, abs)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages from %s, want 1", len(pkgs), dir)
+	}
+	pkg := pkgs[0]
+	diags, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		filename := pkg.Fset.Position(f.Pos()).Filename
+		data, err := os.ReadFile(filename)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			pat := m[1]
+			if pat == "" {
+				pat = m[2]
+			} else {
+				pat = strings.ReplaceAll(pat, `\"`, `"`)
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %q: %v", filename, i+1, pat, err)
+			}
+			wants[key{filename, i + 1}] = append(wants[key{filename, i + 1}], re)
+		}
+	}
+
+	matched := make(map[key][]bool)
+	for k, res := range wants {
+		matched[k] = make([]bool, len(res))
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		found := false
+		for i, re := range wants[k] {
+			if !matched[k][i] && re.MatchString(d.Message) {
+				matched[k][i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", relName(root, pos.Filename), pos.Line, d.Message)
+		}
+	}
+	for k, res := range wants {
+		for i, re := range res {
+			if !matched[k][i] {
+				t.Errorf("%s:%d: no diagnostic matching %q", relName(root, k.file), k.line, re)
+			}
+		}
+	}
+}
+
+func relName(root, name string) string {
+	if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return name
+}

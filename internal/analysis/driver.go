@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// RunAnalyzers executes every analyzer over one loaded package, applying
+// //sddsvet:ignore suppression, and returns the surviving diagnostics
+// sorted by position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	idx := buildIgnoreIndex(pkg)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			PkgPath:   pkg.PkgPath,
+			TypesInfo: pkg.Info,
+			report: func(d Diagnostic) {
+				if !idx.suppressed(d.Analyzer, d.Pos) {
+					diags = append(diags, d)
+				}
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Analyzer < diags[j].Analyzer // two analyzers, one line
+	})
+	return diags, nil
+}
+
+// Run loads the packages selected by patterns under root, runs every
+// analyzer over each, and writes one "file:line:col: analyzer: message"
+// line per finding to w (paths relative to root when possible). It returns
+// the number of findings.
+func Run(w io.Writer, root string, patterns []string, analyzers []*Analyzer) (int, error) {
+	pkgs, err := Load(root, patterns...)
+	if err != nil {
+		return 0, err
+	}
+	// Positions carry absolute filenames; relativize against the absolute root.
+	if abs, err := filepath.Abs(root); err == nil {
+		root = abs
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		diags, err := RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			return total, err
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			name := pos.Filename
+			if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+			fmt.Fprintf(w, "%s:%d:%d: %s: %s\n", name, pos.Line, pos.Column, d.Analyzer, d.Message)
+			total++
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,83 @@
+package analysis_test
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+
+	"sdds/internal/analysis"
+	"sdds/internal/analysis/all"
+	"sdds/internal/analysis/floatorder"
+	"sdds/internal/analysis/simdet"
+)
+
+// TestMulticheckerOnKnownBad runs the full analyzer suite — exactly as
+// cmd/sddsvet does — over a fixture carrying one violation per analyzer plus
+// one suppressed line, and checks the count, the output format, and that
+// every analyzer contributed.
+func TestMulticheckerOnKnownBad(t *testing.T) {
+	defer override(t, regexp.MustCompile(`.`))()
+
+	var buf bytes.Buffer
+	n, err := analysis.Run(&buf, "../..", []string{"internal/analysis/testdata/src/knownbad"}, all.Analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// stamp (simdet), arm (hotalloc), keep (eventretain), reduce (simdet and
+	// floatorder share the line); the suppressed function contributes nothing.
+	if n != 5 {
+		t.Fatalf("got %d findings, want 5:\n%s", n, out)
+	}
+	for _, a := range all.Analyzers {
+		if !strings.Contains(out, ": "+a.Name+": ") {
+			t.Errorf("no finding from %s in output:\n%s", a.Name, out)
+		}
+	}
+	lineRE := regexp.MustCompile(`(?m)^internal/analysis/testdata/src/knownbad/knownbad\.go:\d+:\d+: \w+: .+$`)
+	if got := len(lineRE.FindAllString(out, -1)); got != 5 {
+		t.Errorf("%d lines match the file:line:col: analyzer: message format, want 5:\n%s", got, out)
+	}
+	if strings.Contains(out, "suppression") {
+		t.Errorf("suppressed finding leaked into output:\n%s", out)
+	}
+}
+
+// TestLoadSkipsTestdata proves ./... never descends into analyzer fixtures:
+// they are violation-dense by design and must not pollute real runs.
+func TestLoadSkipsTestdata(t *testing.T) {
+	pkgs, err := analysis.Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("Load(./...) found no packages")
+	}
+	for _, p := range pkgs {
+		if strings.Contains(p.PkgPath, "testdata") {
+			t.Errorf("Load(./...) descended into %s", p.PkgPath)
+		}
+	}
+}
+
+// TestSuiteCleanOnRepo is the self-test the Makefile lint target relies on:
+// the shipped analyzer suite, at its default scopes, reports nothing on the
+// repository itself.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := analysis.Run(&buf, "../..", []string{"./..."}, all.Analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("analyzer suite reports %d findings on the repo, want 0:\n%s", n, buf.String())
+	}
+}
+
+func override(t *testing.T, re *regexp.Regexp) func() {
+	t.Helper()
+	oldSim, oldGold := simdet.SimPackages, floatorder.GoldenPackages
+	simdet.SimPackages, floatorder.GoldenPackages = re, re
+	return func() { simdet.SimPackages, floatorder.GoldenPackages = oldSim, oldGold }
+}

@@ -1,0 +1,179 @@
+// Package eventretain implements the sddsvet analyzer guarding the event
+// free list. Events scheduled through the fire-and-forget paths
+// (ScheduleFunc/ScheduleArg) are recycled the moment they fire, so a
+// *sim.Event that escapes into longer-lived storage can be reinitialized
+// under the holder's feet — the use-after-recycle bug class the free list
+// introduced. Only the handles returned by Schedule/ScheduleAt are marked
+// retained (never recycled) and are safe to keep.
+//
+// The analyzer flags any store of a *sim.Event into a struct field, slice
+// or map element, or package-level variable whose source is not provably a
+// retained handle: nil, a direct Schedule/ScheduleAt call, or a local
+// variable assigned only from such calls.
+package eventretain
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sdds/internal/analysis"
+)
+
+const simPkg = "sdds/internal/sim"
+
+// retainedMethods return handles that the engine never recycles.
+var retainedMethods = map[string]bool{"Schedule": true, "ScheduleAt": true}
+
+// Analyzer reports retention of possibly-recycled *sim.Event values.
+var Analyzer = &analysis.Analyzer{
+	Name: "eventretain",
+	Doc: "flags storing *sim.Event into fields, elements, or globals unless the " +
+		"value is a retained handle from Schedule/ScheduleAt — anything else may " +
+		"be recycled by the engine's free list while still referenced",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.PkgPath == simPkg {
+		return nil // the engine's own queue/free list legitimately holds events
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkFunc flags event-retaining stores in one function, allowing values
+// that provably trace back to handle-returning schedule calls.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	safe := safeLocals(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break // multi-value assignment from one call
+				}
+				checkStore(pass, safe, lhs, n.Rhs[i], n.Tok)
+			}
+		case *ast.CallExpr:
+			// append(retainer, ev): storing into a slice that outlives the
+			// handler is retention all the same.
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" &&
+				analysis.CalleeFunc(pass.TypesInfo, n) == nil {
+				for _, arg := range n.Args[1:] {
+					if isEvent(pass, arg) && !isSafeSource(pass, safe, arg) {
+						pass.Reportf(arg.Pos(), "appending a possibly-recycled *sim.Event to a slice retains it past handler scope; only handles from Schedule/ScheduleAt are safe to hold")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkStore flags `x.f = ev`, `s[i] = ev`, and `global = ev` when ev is
+// not a provably retained handle.
+func checkStore(pass *analysis.Pass, safe map[types.Object]bool, lhs, rhs ast.Expr, tok token.Token) {
+	if !isEvent(pass, rhs) || isSafeSource(pass, safe, rhs) {
+		return
+	}
+	var kind string
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		kind = "struct field"
+	case *ast.IndexExpr:
+		kind = "container element"
+	case *ast.Ident:
+		if tok == token.DEFINE {
+			return
+		}
+		obj := analysis.ObjOf(pass.TypesInfo, l)
+		if v, ok := obj.(*types.Var); ok && v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			kind = "package-level variable"
+		} else {
+			return // plain local copy: dies with the handler
+		}
+	default:
+		return
+	}
+	pass.Reportf(lhs.Pos(), "storing a possibly-recycled *sim.Event in a %s retains it past handler scope; only handles from Schedule/ScheduleAt are safe to hold", kind)
+}
+
+// isEvent reports whether e has type *sim.Event.
+func isEvent(pass *analysis.Pass, e ast.Expr) bool {
+	t, ok := pass.TypesInfo.Types[e]
+	if !ok || t.IsNil() {
+		return false
+	}
+	return analysis.IsPointerTo(t.Type, simPkg, "Event")
+}
+
+// isSafeSource reports whether e is a retained handle: a direct
+// Schedule/ScheduleAt call or a local known to hold one.
+func isSafeSource(pass *analysis.Pass, safe map[types.Object]bool, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		return isRetainedCall(pass, e)
+	case *ast.Ident:
+		return safe[analysis.ObjOf(pass.TypesInfo, e)]
+	}
+	return false
+}
+
+func isRetainedCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	return fn != nil && retainedMethods[fn.Name()] && analysis.IsMethodOn(fn, simPkg, "Engine")
+}
+
+// safeLocals collects local variables every assignment of which is a
+// handle-returning schedule call, so `ev := eng.Schedule(...); p.t = ev`
+// passes without an ignore.
+func safeLocals(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	safe := make(map[types.Object]bool)
+	unsafe := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := analysis.ObjOf(pass.TypesInfo, id)
+			if obj == nil || !analysis.IsPointerTo(obj.Type(), simPkg, "Event") {
+				continue
+			}
+			ok = false
+			if len(as.Rhs) == len(as.Lhs) {
+				if call, isCall := ast.Unparen(as.Rhs[i]).(*ast.CallExpr); isCall && isRetainedCall(pass, call) {
+					ok = true
+				}
+			} else if len(as.Rhs) == 1 {
+				// ev, err := eng.ScheduleAt(...)
+				if call, isCall := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); isCall && isRetainedCall(pass, call) {
+					ok = true
+				}
+			}
+			if ok {
+				safe[obj] = true
+			} else {
+				unsafe[obj] = true
+			}
+		}
+		return true
+	})
+	for obj := range unsafe {
+		delete(safe, obj)
+	}
+	return safe
+}

@@ -1,0 +1,33 @@
+package eventretain_test
+
+import (
+	"testing"
+
+	"sdds/internal/analysis"
+	"sdds/internal/analysis/analysistest"
+	"sdds/internal/analysis/eventretain"
+)
+
+// TestEventretain covers every retention kind (field, global, element,
+// append), the retained-handle and safe-local allowed paths, local-taint
+// tracking, and the //sddsvet:ignore suppression path.
+func TestEventretain(t *testing.T) {
+	analysistest.Run(t, "testdata/src/eventretainbad", eventretain.Analyzer)
+}
+
+// TestEventretainSkipsEnginePackage proves the engine's own package is out
+// of scope: its queue and free list legitimately hold events, and the
+// analyzer must not flag its internals.
+func TestEventretainSkipsEnginePackage(t *testing.T) {
+	pkgs, err := analysis.Load("../../..", "internal/sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs[0], []*analysis.Analyzer{eventretain.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("internal/sim produced %d diagnostics, want 0: %v", len(diags), diags)
+	}
+}

@@ -1,0 +1,51 @@
+// Package eventretainbad is the eventretain analyzer fixture. Events arrive
+// as parameters (the analyzer cannot prove they are retained handles), and
+// the allowed paths show every shape of provably-retained storage.
+package eventretainbad
+
+import "sdds/internal/sim"
+
+var globalEv *sim.Event
+
+type holder struct {
+	timer *sim.Event
+	evs   []*sim.Event
+	byID  map[int]*sim.Event
+}
+
+func retainParam(h *holder, ev *sim.Event) {
+	h.timer = ev              // want `storing a possibly-recycled \*sim\.Event in a struct field`
+	globalEv = ev             // want `storing a possibly-recycled \*sim\.Event in a package-level variable`
+	h.byID[0] = ev            // want `storing a possibly-recycled \*sim\.Event in a container element`
+	h.evs = append(h.evs, ev) // want `appending a possibly-recycled \*sim\.Event to a slice`
+}
+
+func retainedHandles(h *holder, eng *sim.Engine) {
+	// Direct handle-returning calls and locals fed only by them are safe.
+	h.timer = eng.Schedule(1, "t", func(now sim.Time) {})
+	ev := eng.Schedule(2, "t", func(now sim.Time) {})
+	h.timer = ev
+	ev2, err := eng.ScheduleAt(3, "t", func(now sim.Time) {})
+	_ = err
+	h.timer = ev2
+	h.evs = append(h.evs, ev2)
+	h.timer = nil // clearing a field: allowed
+}
+
+func localCopy(ev *sim.Event) {
+	// Plain locals die with the handler; copying is not retention.
+	tmp := ev
+	tmp2 := tmp
+	_ = tmp2
+}
+
+func taintedLocal(h *holder, eng *sim.Engine, ev *sim.Event) {
+	t := eng.Schedule(1, "t", func(now sim.Time) {})
+	t = ev      // reassignment from a parameter taints the local
+	h.timer = t // want `storing a possibly-recycled \*sim\.Event in a struct field`
+}
+
+func ignoredRetention(h *holder, ev *sim.Event) {
+	//sddsvet:ignore eventretain -- fixture: holder provably outlives the event here
+	h.timer = ev
+}

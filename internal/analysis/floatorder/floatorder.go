@@ -1,0 +1,130 @@
+// Package floatorder implements the sddsvet analyzer protecting the golden
+// test's hex-exact float comparisons. Floating-point addition is not
+// associative, so a reduction whose accumulation order is decided by Go's
+// randomized map iteration or by goroutine interleaving produces results
+// that drift in the last bits between runs — enough to break bit-identical
+// virtual energy/time totals even when every individual term is identical.
+package floatorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"sdds/internal/analysis"
+)
+
+// GoldenPackages selects the packages whose floats reach golden-compared
+// output (the cluster results, energy accounting, metrics reports, compiler
+// statistics). Tests may override it.
+var GoldenPackages = regexp.MustCompile(`^sdds/internal/(cluster|metrics|disk|power|core|compiler|harness)$`)
+
+// Analyzer flags float reductions whose order depends on map iteration or
+// goroutine scheduling.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatorder",
+	Doc: "flags float accumulations ordered by map iteration or goroutine " +
+		"interleaving in packages that produce golden-compared floats",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !GoldenPackages.MatchString(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			case *ast.GoStmt:
+				checkGoStmt(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// compoundOps are the accumulation operators whose float results depend on
+// evaluation order.
+var compoundOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true,
+	token.MUL_ASSIGN: true, token.QUO_ASSIGN: true,
+}
+
+// checkMapRange flags float compound assignments to loop-external state
+// inside a map iteration, except per-key map slots indexed by the loop key
+// (each key visited exactly once — order-free).
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	t, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := t.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	keyIdent, _ := rng.Key.(*ast.Ident)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || !compoundOps[as.Tok] {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if !floatAccumulatesOutside(pass, lhs, rng.Pos(), rng.End()) {
+				continue
+			}
+			if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && keyIdent != nil {
+				if bt, ok := pass.TypesInfo.Types[idx.X]; ok {
+					if _, isMap := bt.Type.Underlying().(*types.Map); isMap {
+						ko := analysis.ObjOf(pass.TypesInfo, keyIdent)
+						if id, ok := ast.Unparen(idx.Index).(*ast.Ident); ok && ko != nil &&
+							analysis.ObjOf(pass.TypesInfo, id) == ko {
+							continue
+						}
+					}
+				}
+			}
+			pass.Reportf(as.Pos(), "float accumulation ordered by map iteration: rounding differs between runs; reduce over sorted keys or justify with //sddsvet:ignore floatorder")
+		}
+		return true
+	})
+}
+
+// checkGoStmt flags float accumulation into shared state from inside a
+// goroutine: the reduction order follows the scheduler, and the unsynchronized
+// update is a data race besides.
+func checkGoStmt(pass *analysis.Pass, g *ast.GoStmt) {
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || !compoundOps[as.Tok] {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if floatAccumulatesOutside(pass, lhs, lit.Pos(), lit.End()) {
+				pass.Reportf(as.Pos(), "float accumulation into shared state from a goroutine: reduction order follows the scheduler; collect per-goroutine partials and reduce deterministically")
+			}
+		}
+		return true
+	})
+}
+
+// floatAccumulatesOutside reports whether lhs is float-typed and rooted in
+// a variable declared outside [lo, hi].
+func floatAccumulatesOutside(pass *analysis.Pass, lhs ast.Expr, lo, hi token.Pos) bool {
+	t, ok := pass.TypesInfo.Types[lhs]
+	if !ok {
+		return false
+	}
+	b, ok := t.Type.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsFloat == 0 {
+		return false
+	}
+	root := analysis.RootIdent(lhs)
+	return root != nil && analysis.DeclaredOutside(pass.TypesInfo, root, lo, hi)
+}

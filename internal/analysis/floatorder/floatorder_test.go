@@ -1,0 +1,41 @@
+package floatorder_test
+
+import (
+	"regexp"
+	"testing"
+
+	"sdds/internal/analysis"
+	"sdds/internal/analysis/analysistest"
+	"sdds/internal/analysis/floatorder"
+)
+
+// TestFloatorder checks the map-range and goroutine reduction reports, the
+// order-free allowed patterns, and the //sddsvet:ignore suppression path.
+func TestFloatorder(t *testing.T) {
+	defer overridePackages(t, regexp.MustCompile(`.`))()
+	analysistest.Run(t, "testdata/src/floatorderbad", floatorder.Analyzer)
+}
+
+// TestFloatorderScopedToGoldenPackages proves the default package pattern
+// keeps the analyzer off non-golden code: the violation-dense fixture yields
+// zero diagnostics when its package path is out of scope.
+func TestFloatorderScopedToGoldenPackages(t *testing.T) {
+	pkgs, err := analysis.Load("../../..", "internal/analysis/floatorder/testdata/src/floatorderbad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs[0], []*analysis.Analyzer{floatorder.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("out-of-scope package produced %d diagnostics, want 0: %v", len(diags), diags)
+	}
+}
+
+func overridePackages(t *testing.T, re *regexp.Regexp) func() {
+	t.Helper()
+	old := floatorder.GoldenPackages
+	floatorder.GoldenPackages = re
+	return func() { floatorder.GoldenPackages = old }
+}

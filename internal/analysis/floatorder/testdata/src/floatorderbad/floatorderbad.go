@@ -1,0 +1,65 @@
+// Package floatorderbad is the floatorder analyzer fixture: map-ordered and
+// goroutine-ordered float reductions are flagged; per-key slots, integer
+// counters, slice reductions, and ignored lines are not.
+package floatorderbad
+
+type stats struct {
+	total float64
+}
+
+func mapReduce(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation ordered by map iteration`
+	}
+	return sum
+}
+
+func fieldReduce(s *stats, m map[string]float64) {
+	for _, v := range m {
+		s.total += v // want `float accumulation ordered by map iteration`
+	}
+}
+
+func perKeyIsFine(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] += v // per-key slot, each key visited once: order-free
+	}
+	return out
+}
+
+func intCountIsFine(m map[string]float64) int {
+	n := 0
+	for range m {
+		n += 1 // integer accumulation is exact in any order
+	}
+	return n
+}
+
+func sliceReduce(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v // slice order is deterministic: allowed
+	}
+	return sum
+}
+
+func goReduce(xs []float64) float64 {
+	var total float64
+	for _, x := range xs {
+		x := x
+		go func() {
+			total += x // want `float accumulation into shared state from a goroutine`
+		}()
+	}
+	return total
+}
+
+func ignoredReduce(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //sddsvet:ignore floatorder -- fixture: consumer tolerates last-bit drift
+	}
+	return sum
+}

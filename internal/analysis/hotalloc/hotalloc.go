@@ -1,0 +1,120 @@
+// Package hotalloc implements the sddsvet analyzer guarding the
+// allocation-free event hot path. PR 2 removed the per-event closure and
+// boxing allocations by pre-binding handlers (sim.Handler/sim.ArgHandler
+// fields initialized once at construction) and recycling events through the
+// engine's free list; this analyzer keeps those call sites from regressing:
+//
+//   - anywhere in the module, a capturing function literal passed directly
+//     to sim.Engine.ScheduleFunc or ScheduleArg is reported — each such call
+//     allocates a closure per scheduled event, exactly the cost the
+//     de-closuring removed. Startup-only sites may carry
+//     //sddsvet:ignore hotalloc -- <reason>.
+//
+//   - inside functions annotated //sddsvet:hotpath, every per-call heap
+//     allocation is reported: capturing closures (wherever they flow),
+//     new(T), &T{...}, make, and slice/map composite literals.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sdds/internal/analysis"
+)
+
+const simPkg = "sdds/internal/sim"
+
+// scheduleMethods are the fire-and-forget scheduling entry points whose
+// events are free-listed; a closure argument defeats the point.
+var scheduleMethods = map[string]bool{"ScheduleFunc": true, "ScheduleArg": true}
+
+// Analyzer reports hot-path allocations.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "flags capturing closures passed to sim.Engine.ScheduleFunc/ScheduleArg " +
+		"and any per-call allocation inside //sddsvet:hotpath functions",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && analysis.IsHotpath(fd) && fd.Body != nil {
+				checkHotpathBody(pass, fd)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkScheduleCall(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkScheduleCall reports capturing closures handed to the engine's
+// allocation-free scheduling primitives.
+func checkScheduleCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || !scheduleMethods[fn.Name()] || !analysis.IsMethodOn(fn, simPkg, "Engine") {
+		return
+	}
+	for _, arg := range call.Args {
+		lit, ok := ast.Unparen(arg).(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		if analysis.Captures(pass.TypesInfo, lit) {
+			pass.Reportf(lit.Pos(), "capturing closure passed to Engine.%s allocates per scheduled event; pre-bind a sim.Handler/sim.ArgHandler (or //sddsvet:ignore hotalloc for startup-only sites)", fn.Name())
+		}
+	}
+}
+
+// checkHotpathBody reports every per-call allocation inside a
+// //sddsvet:hotpath function.
+func checkHotpathBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if analysis.Captures(pass.TypesInfo, n) {
+				pass.Reportf(n.Pos(), "capturing closure in hotpath function %s allocates per call", name)
+			}
+			return true
+		case *ast.CallExpr:
+			id, ok := ast.Unparen(n.Fun).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if analysis.CalleeFunc(pass.TypesInfo, n) != nil {
+				return true // a real function named new/make shadowing the builtin
+			}
+			switch id.Name {
+			case "new":
+				pass.Reportf(n.Pos(), "new(...) in hotpath function %s allocates per call", name)
+			case "make":
+				pass.Reportf(n.Pos(), "make(...) in hotpath function %s allocates per call", name)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&composite literal in hotpath function %s escapes and allocates per call", name)
+					return false // don't double-report the literal itself
+				}
+			}
+		case *ast.CompositeLit:
+			if t, ok := pass.TypesInfo.Types[n]; ok {
+				switch t.Type.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(n.Pos(), "slice/map literal in hotpath function %s allocates per call", name)
+				}
+			}
+		}
+		return true
+	})
+}

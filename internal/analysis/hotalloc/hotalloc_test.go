@@ -1,0 +1,15 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"sdds/internal/analysis/analysistest"
+	"sdds/internal/analysis/hotalloc"
+)
+
+// TestHotalloc covers the schedule-closure check, every hotpath allocation
+// kind, the allowed pre-bound/non-capturing/cold patterns, and the
+// //sddsvet:ignore suppression path.
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, "testdata/src/hotallocbad", hotalloc.Analyzer)
+}

@@ -1,0 +1,70 @@
+// Package hotallocbad is the hotalloc analyzer fixture. It imports the real
+// sim engine so method resolution runs against the actual
+// sdds/internal/sim.Engine type.
+package hotallocbad
+
+import "sdds/internal/sim"
+
+type server struct {
+	eng     *sim.Engine
+	tickFn  sim.Handler
+	pending int
+}
+
+func newServer() *server {
+	s := &server{eng: sim.NewEngine(1)}
+	s.tickFn = s.onTick
+	return s
+}
+
+func (s *server) onTick(now sim.Time) { s.pending-- }
+
+func capturingSchedule(s *server) {
+	s.eng.ScheduleFunc(1, "bad", func(now sim.Time) { // want `capturing closure passed to Engine\.ScheduleFunc`
+		s.pending++
+	})
+	s.eng.ScheduleArg(1, "bad", func(now sim.Time, arg any) { // want `capturing closure passed to Engine\.ScheduleArg`
+		s.pending = int(now)
+	}, nil)
+}
+
+func preBoundSchedule(s *server) {
+	s.eng.ScheduleFunc(1, "ok", s.tickFn)              // pre-bound handler: allowed
+	s.eng.ScheduleFunc(1, "ok", func(now sim.Time) {}) // non-capturing literal: no allocation
+	// Handle-returning Schedule is the cancellable-timer (cold) path; its
+	// closures are not the analyzer's business.
+	s.eng.Schedule(1, "ok", func(now sim.Time) { s.onTick(now) })
+}
+
+func ignoredCapture(s *server) {
+	//sddsvet:ignore hotalloc -- fixture: startup-only site, once per run
+	s.eng.ScheduleFunc(0, "start", func(now sim.Time) { s.pending++ })
+}
+
+//sddsvet:hotpath
+func (s *server) hotServe(now sim.Time) {
+	fn := func(t sim.Time) { s.pending-- } // want `capturing closure in hotpath function hotServe`
+	_ = fn
+	p := new(server) // want `new\(\.\.\.\) in hotpath function hotServe`
+	_ = p
+	q := &server{eng: s.eng} // want `&composite literal in hotpath function hotServe`
+	_ = q
+	buf := make([]int, 4) // want `make\(\.\.\.\) in hotpath function hotServe`
+	_ = buf
+	fns := []sim.Handler{s.tickFn} // want `slice/map literal in hotpath function hotServe`
+	_ = fns
+}
+
+//sddsvet:hotpath
+func (s *server) hotClean(now sim.Time) {
+	s.pending++
+	s.eng.ScheduleFunc(1, "ok", s.tickFn)
+	//sddsvet:ignore hotalloc -- fixture: cold error path inside a hot function
+	msg := []int{1}
+	_ = msg
+}
+
+func coldAllocs() *server {
+	// Not annotated: construction-time allocation is fine.
+	return &server{eng: sim.NewEngine(7)}
+}

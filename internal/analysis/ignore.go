@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression comment:
+//
+//	//sddsvet:ignore simdet -- flush order fixed by sorted keys
+//	//sddsvet:ignore hotalloc,simdet -- startup only, once per run
+//
+// The comma-separated analyzer list may also be "all". The "-- reason" tail
+// is the convention (reviewers should see why the pattern is safe); the
+// suppression works without it so a missing reason never masks a finding
+// the author meant to silence.
+const ignorePrefix = "//sddsvet:ignore"
+
+// ignoreIndex records, per file and line, which analyzers are suppressed.
+type ignoreIndex struct {
+	fset *token.FileSet
+	// byFile maps filename → line → analyzer names ("all" wildcards).
+	byFile map[string]map[int][]string
+}
+
+// buildIgnoreIndex scans every comment in the package for ignore
+// directives. A directive suppresses matching diagnostics on its own line
+// (trailing comment) and on the following line (comment above the flagged
+// statement).
+func buildIgnoreIndex(pkg *Package) *ignoreIndex {
+	idx := &ignoreIndex{fset: pkg.Fset, byFile: make(map[string]map[int][]string)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				names := strings.TrimSpace(rest)
+				if i := strings.Index(names, "--"); i >= 0 {
+					names = strings.TrimSpace(names[:i])
+				}
+				if names == "" {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := idx.byFile[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					idx.byFile[pos.Filename] = lines
+				}
+				for _, n := range strings.Split(names, ",") {
+					n = strings.TrimSpace(n)
+					if n == "" {
+						continue
+					}
+					lines[pos.Line] = append(lines[pos.Line], n)
+					lines[pos.Line+1] = append(lines[pos.Line+1], n)
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether a diagnostic from the named analyzer at pos is
+// covered by an ignore directive.
+func (idx *ignoreIndex) suppressed(analyzer string, pos token.Pos) bool {
+	p := idx.fset.Position(pos)
+	for _, n := range idx.byFile[p.Filename][p.Line] {
+		if n == analyzer || n == "all" {
+			return true
+		}
+	}
+	return false
+}

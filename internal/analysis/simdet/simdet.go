@@ -1,0 +1,194 @@
+// Package simdet implements the sddsvet analyzer that flags sources of
+// nondeterminism inside the simulation packages. The reproduction's headline
+// guarantee — bit-identical virtual results for a fixed seed, asserted
+// hex-exactly by the cluster golden test — holds only if model code never
+// consults wall-clock time, never draws from the globally-seeded RNG, and
+// never lets Go's randomized map iteration order decide what happens next.
+package simdet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"sdds/internal/analysis"
+)
+
+// SimPackages selects the packages the analyzer applies to: the
+// discrete-event engine and every device/executor model whose behaviour
+// feeds the golden-compared results. Tests may override it.
+var SimPackages = regexp.MustCompile(`^sdds/internal/(sim|cluster|disk|power|sched|ionode|mpiio|netsim)$`)
+
+// bannedRandFuncs are the package-level math/rand functions drawing from
+// the global source (randomly seeded since Go 1.20). Deterministic
+// constructors (New, NewSource, NewZipf) stay allowed: model code must use
+// the engine's seeded RNG via sim.Engine.Rand.
+var bannedRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+	// math/rand/v2 additions.
+	"N": true, "IntN": true, "Int32": true, "Int32N": true, "Int64N": true,
+	"Uint": true, "UintN": true, "Uint32N": true, "Uint64N": true,
+}
+
+// Analyzer flags time.Now, global math/rand draws, and order-sensitive map
+// iteration in simulation packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "simdet",
+	Doc: "flags nondeterminism sources in simulation packages: time.Now, " +
+		"the global math/rand source, and ranging over maps where the body " +
+		"calls into sim state, schedules events, or mutates order-sensitive " +
+		"outer state",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !SimPackages.MatchString(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCall reports wall-clock and global-RNG calls.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" && fn.Type().(*types.Signature).Recv() == nil {
+			pass.Reportf(call.Pos(), "time.Now in a simulation package: model code must use the virtual clock (sim.Engine.Now)")
+		}
+	case "math/rand", "math/rand/v2":
+		if bannedRandFuncs[fn.Name()] && fn.Type().(*types.Signature).Recv() == nil {
+			pass.Reportf(call.Pos(), "global math/rand.%s is randomly seeded and breaks run reproducibility: use the engine's seeded RNG (sim.Engine.Rand)", fn.Name())
+		}
+	}
+}
+
+// checkMapRange reports ranging over a map when the loop body does
+// something whose outcome depends on iteration order: calling a function or
+// method (which may schedule events or mutate sim state), appending to an
+// outer slice, or assigning to outer state in a non-commutative way.
+//
+// Commutative updates keyed by the loop key are allowed without an ignore:
+// m2[k] = v and m2[k] += v visit each key exactly once, so iteration order
+// cannot change the result. Integer increments/decrements of outer scalars
+// are likewise exact and order-free.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	t, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := t.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	keyIdent, _ := rng.Key.(*ast.Ident)
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // deferred work: not executed in iteration order here
+		case *ast.CallExpr:
+			if fn := analysis.CalleeFunc(pass.TypesInfo, n); fn != nil {
+				pass.Reportf(n.Pos(), "call to %s inside map iteration runs in random order; iterate sorted keys or justify with //sddsvet:ignore simdet", fn.Name())
+				return false
+			}
+			// Builtins: append into outer state is order-dependent.
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" && len(n.Args) > 0 {
+				if root := analysis.RootIdent(n.Args[0]); root != nil &&
+					analysis.DeclaredOutside(pass.TypesInfo, root, rng.Pos(), rng.End()) {
+					pass.Reportf(n.Pos(), "append to %s inside map iteration produces a randomly-ordered slice; iterate sorted keys", root.Name)
+				}
+			}
+		case *ast.AssignStmt:
+			checkAssign(pass, rng, keyIdent, n)
+		case *ast.IncDecStmt:
+			if isOrderSensitiveStore(pass, rng, keyIdent, n.X, true) {
+				pass.Reportf(n.Pos(), "float update of outer state inside map iteration accumulates in random order")
+			}
+		}
+		return true
+	})
+}
+
+// checkAssign flags order-sensitive stores to loop-external state.
+func checkAssign(pass *analysis.Pass, rng *ast.RangeStmt, keyIdent *ast.Ident, as *ast.AssignStmt) {
+	if as.Tok == token.DEFINE {
+		return
+	}
+	commutative := as.Tok != token.ASSIGN // compound ops: only floats are order-sensitive
+	for i, lhs := range as.Lhs {
+		if i < len(as.Rhs) && isAppendCall(pass, as.Rhs[i]) {
+			continue // s = append(s, ...) is owned by the append check
+		}
+		if isOrderSensitiveStore(pass, rng, keyIdent, lhs, commutative) {
+			what := "assignment to outer state inside map iteration is last-writer-wins in random order"
+			if commutative {
+				what = "float accumulation into outer state inside map iteration rounds in random order"
+			}
+			pass.Reportf(as.Pos(), "%s; iterate sorted keys or justify with //sddsvet:ignore simdet", what)
+		}
+	}
+}
+
+// isAppendCall reports whether e is a call to the builtin append.
+func isAppendCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || analysis.CalleeFunc(pass.TypesInfo, call) != nil {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "append"
+}
+
+// isOrderSensitiveStore decides whether storing through lhs inside the map
+// range can observe iteration order. commutativeOp marks += style updates,
+// which are exact (and therefore allowed) on integers but not on floats.
+func isOrderSensitiveStore(pass *analysis.Pass, rng *ast.RangeStmt, keyIdent *ast.Ident, lhs ast.Expr, commutativeOp bool) bool {
+	root := analysis.RootIdent(lhs)
+	if root == nil || root.Name == "_" {
+		return false
+	}
+	if !analysis.DeclaredOutside(pass.TypesInfo, root, rng.Pos(), rng.End()) {
+		return false
+	}
+	// Per-key stores into an outer map, indexed by the loop key itself,
+	// touch each slot exactly once: order-free for = and for compound ops.
+	if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && keyIdent != nil {
+		if baseT, ok := pass.TypesInfo.Types[idx.X]; ok {
+			if _, isMap := baseT.Type.Underlying().(*types.Map); isMap {
+				ko := analysis.ObjOf(pass.TypesInfo, keyIdent)
+				if id, ok := ast.Unparen(idx.Index).(*ast.Ident); ok && ko != nil &&
+					analysis.ObjOf(pass.TypesInfo, id) == ko {
+					return false
+				}
+			}
+		}
+	}
+	if commutativeOp {
+		// += and friends: only floating-point accumulation drifts with
+		// order (rounding); integer arithmetic is exact.
+		if t, ok := pass.TypesInfo.Types[lhs]; ok {
+			if b, ok := t.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat == 0 {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,41 @@
+package simdet_test
+
+import (
+	"regexp"
+	"testing"
+
+	"sdds/internal/analysis"
+	"sdds/internal/analysis/analysistest"
+	"sdds/internal/analysis/simdet"
+)
+
+// TestSimdet checks every reported pattern, every allowed pattern, and the
+// //sddsvet:ignore suppression path against the fixture's want comments.
+func TestSimdet(t *testing.T) {
+	defer overridePackages(t, regexp.MustCompile(`.`))()
+	analysistest.Run(t, "testdata/src/simdetbad", simdet.Analyzer)
+}
+
+// TestSimdetScopedToSimPackages proves the default package pattern keeps the
+// analyzer away from non-simulation code: the same violation-dense fixture
+// yields zero diagnostics when its package path is out of scope.
+func TestSimdetScopedToSimPackages(t *testing.T) {
+	pkgs, err := analysis.Load("../../..", "internal/analysis/simdet/testdata/src/simdetbad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs[0], []*analysis.Analyzer{simdet.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("out-of-scope package produced %d diagnostics, want 0: %v", len(diags), diags)
+	}
+}
+
+func overridePackages(t *testing.T, re *regexp.Regexp) func() {
+	t.Helper()
+	old := simdet.SimPackages
+	simdet.SimPackages = re
+	return func() { simdet.SimPackages = old }
+}

@@ -160,6 +160,7 @@ func RunContext(ctx context.Context, prog *loop.Program, cfg Config) (*Result, e
 	// Launch all processes at t=0 and run to completion.
 	for p := 0; p < cfg.Procs; p++ {
 		p := p
+		//sddsvet:ignore hotalloc -- startup only: one closure per process, before the event loop runs
 		eng.ScheduleFunc(0, "cluster.start", func(now sim.Time) { ex.beginSlot(p, 0, now) })
 	}
 	end, err := eng.RunContext(ctx)
@@ -412,6 +413,8 @@ func hash01(seed int64, proc, slot int) float64 {
 // pumpAgents lets every scheduler agent retry deferred/blocked fetches.
 // Agents with nothing left to issue are skipped — Pump is a pure no-op for
 // them, so the skip cannot change behaviour, only save the call.
+//
+//sddsvet:hotpath
 func (ex *executor) pumpAgents(now sim.Time) {
 	for _, a := range ex.agents {
 		if a.PendingEntries() == 0 {
@@ -423,6 +426,8 @@ func (ex *executor) pumpAgents(now sim.Time) {
 
 // beginSlot starts process p's execution of slot s: nest barrier, agent
 // notification, compute, then the slot's I/O in order.
+//
+//sddsvet:hotpath
 func (ex *executor) beginSlot(p, s int, now sim.Time) {
 	if s >= ex.slots {
 		ex.finish[p] = now
@@ -451,6 +456,7 @@ func (ex *executor) beginSlot(p, s int, now sim.Time) {
 	ex.runSlot(p, s, now)
 }
 
+//sddsvet:hotpath
 func (ex *executor) runSlot(p, s int, now sim.Time) {
 	ex.setProcAt(p, s)
 	if len(ex.agents) > 0 {
@@ -465,6 +471,8 @@ func (ex *executor) runSlot(p, s int, now sim.Time) {
 // advances. The continuation is the pre-bound nextFn[p] — no closure per
 // I/O — with the (slot, index) cursor carried in executor state: the
 // process is blocked on this chain, so nothing else moves it.
+//
+//sddsvet:hotpath
 func (ex *executor) stepIO(p int, now sim.Time) {
 	s := ex.procAt[p]
 	k := p*ex.slots + s

@@ -286,6 +286,8 @@ func (d *Disk) tryService(now sim.Time) {
 }
 
 // beginRequest pops the elevator and runs seek → rotate → transfer.
+//
+//sddsvet:hotpath
 func (d *Disk) beginRequest(now sim.Time) {
 	r := d.queue.Pop(d.headCyl)
 	if r == nil {
@@ -316,6 +318,8 @@ func (d *Disk) beginRequest(now sim.Time) {
 
 // onTransfer fires when seek+rotation finish: the media transfer begins at
 // the power draw of the speed the disk is spinning at now.
+//
+//sddsvet:hotpath
 func (d *Disk) onTransfer(t sim.Time, arg any) {
 	r := arg.(*Request)
 	d.setState(t, StateTransferring, d.params.ActivePowerAt(d.rpm))
@@ -326,6 +330,7 @@ func (d *Disk) onComplete(t sim.Time, arg any) {
 	d.completeRequest(t, arg.(*Request))
 }
 
+//sddsvet:hotpath
 func (d *Disk) completeRequest(now sim.Time, r *Request) {
 	r.Finish = now
 	d.current = nil
@@ -384,6 +389,8 @@ func (d *Disk) onStandby(t sim.Time) {
 
 // abortSpinDown reverses an in-flight spin-down: the spin-up time is
 // proportional to how far the spindle had decelerated.
+//
+//sddsvet:hotpath
 func (d *Disk) abortSpinDown(now sim.Time) {
 	if d.state != StateSpinningDown {
 		return
@@ -435,6 +442,7 @@ func (d *Disk) SpinUp() error {
 	}
 }
 
+//sddsvet:hotpath
 func (d *Disk) beginSpinUp(now sim.Time) {
 	d.stats.SpinUps++
 	d.wantUp = false
@@ -465,6 +473,7 @@ func (d *Disk) SetTargetRPM(rpm int, rampFirst bool) error {
 	return nil
 }
 
+//sddsvet:hotpath
 func (d *Disk) beginShift(now sim.Time) {
 	from, to := d.rpm, d.targetRPM
 	if from == to {

@@ -2,6 +2,7 @@ package ionode
 
 import (
 	"fmt"
+	"sort"
 
 	"sdds/internal/cache"
 	"sdds/internal/disk"
@@ -278,6 +279,7 @@ func (n *Node) armFlush() {
 		return
 	}
 	n.flushTimer = true
+	//sddsvet:ignore hotalloc -- one closure per flush epoch (seconds apart), not per request
 	n.eng.ScheduleFunc(n.cfg.FlushEpoch, "ionode.flush", func(now sim.Time) {
 		n.flushTimer = false
 		n.Flush(now)
@@ -295,8 +297,22 @@ func (n *Node) Flush(now sim.Time) {
 	}
 	batch := n.dirty
 	n.dirty = make(map[cache.Key]int64)
-	for key, length := range batch {
-		ios, err := raidMap(n.cfg.Level, n.cfg.Members, key.Block, 0, length, true,
+	// Issue in sorted key order: the member disks' queueing — and therefore
+	// seek distances, idle gaps, and energy — depends on arrival order, so
+	// iterating the map directly would leak Go's randomized iteration order
+	// into the golden-compared results.
+	keys := make([]cache.Key, 0, len(batch))
+	for key := range batch {
+		keys = append(keys, key) //sddsvet:ignore simdet -- collect-then-sort: order fixed on the next line
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].File != keys[j].File {
+			return keys[i].File < keys[j].File
+		}
+		return keys[i].Block < keys[j].Block
+	})
+	for _, key := range keys {
+		ios, err := raidMap(n.cfg.Level, n.cfg.Members, key.Block, 0, batch[key], true,
 			int64(n.cfg.DiskParams.SectorSize), n.cfg.UnitBytes)
 		if err != nil {
 			continue

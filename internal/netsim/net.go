@@ -74,6 +74,8 @@ func MustNew(eng *sim.Engine, cfg Config) *Network {
 // done at the delivery time. Transfers on one link serialize; latency
 // overlaps occupancy of other messages but each message pays bandwidth
 // occupancy once.
+//
+//sddsvet:hotpath
 func (n *Network) Transfer(node int, bytes int64, done func(now sim.Time)) error {
 	if node < 0 || node >= n.cfg.NumNodes {
 		return fmt.Errorf("netsim: node %d out of range [0,%d)", node, n.cfg.NumNodes)

@@ -215,6 +215,7 @@ func (p *simplePolicy) Attach(d *disk.Disk) {
 	engageIfIdle(p, d, p.eng)
 }
 
+//sddsvet:hotpath
 func (p *simplePolicy) IdleStarted(d *disk.Disk, now sim.Time) {
 	if now < p.cooldownUntil {
 		return
@@ -267,6 +268,7 @@ func (p *predictivePolicy) Attach(d *disk.Disk) {
 	engageIfIdle(p, d, p.eng)
 }
 
+//sddsvet:hotpath
 func (p *predictivePolicy) IdleStarted(d *disk.Disk, now sim.Time) {
 	p.idleStart = now
 	p.idling = true
@@ -379,6 +381,7 @@ func (p *historyPolicy) chooseRPM(params disk.Params, predicted sim.Duration) in
 	return best
 }
 
+//sddsvet:hotpath
 func (p *historyPolicy) IdleStarted(d *disk.Disk, now sim.Time) {
 	p.idleStart = now
 	p.idling = true
@@ -395,6 +398,8 @@ func (p *historyPolicy) IdleStarted(d *disk.Disk, now sim.Time) {
 // prediction (possibly dropping deeper) rather than ramping up — only a
 // request, or a prediction that proves accurate, brings the disk back to
 // full speed ahead of time.
+//
+//sddsvet:hotpath
 func (p *historyPolicy) engage(d *disk.Disk, pred sim.Duration) {
 	params := d.Params()
 	target := p.chooseRPM(params, pred)
@@ -497,6 +502,8 @@ func (p *staggeredPolicy) IdleStarted(d *disk.Disk, _ sim.Time) {
 }
 
 // stepDown lowers the target one level and arms the next step.
+//
+//sddsvet:hotpath
 func (p *staggeredPolicy) stepDown(d *disk.Disk) {
 	params := d.Params()
 	next := d.TargetRPM() - params.RPMStep
@@ -570,6 +577,8 @@ func (o *Oracle) Attach(d *disk.Disk) {
 }
 
 // IdleStarted drops straight to the best speed the true idle length admits.
+//
+//sddsvet:hotpath
 func (o *Oracle) IdleStarted(d *disk.Disk, now sim.Time) {
 	gap, ok := o.hints.NextIdle(d.ID, now)
 	if !ok {
