@@ -5,9 +5,9 @@ GO ?= go
 # sandboxes, air-gapped machines) skip it with a notice instead of failing.
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: ci lint vet sddsvet staticcheck build test race smoke bench
+.PHONY: ci lint vet sddsvet staticcheck build test race smoke trace-smoke bench
 
-ci: lint build race smoke
+ci: lint build race smoke trace-smoke
 
 # Fast static tier: runs in seconds, ahead of the (90-minute) race tier.
 lint: vet sddsvet staticcheck
@@ -47,6 +47,14 @@ race:
 # experiment at 5% scale on two apps through the parallel session engine.
 smoke:
 	$(GO) run ./cmd/sddstables -scale 0.05 -apps sar,madbench2 -progress=false
+
+# Tracing end to end: a small traced run through sddsim, then tracecheck
+# validates the emitted bytes against the trace-event shape.
+trace-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) run ./cmd/sddsim -app madbench2 -policy history -scheduling \
+		-scale 0.05 -procs 8 -trace "$$tmp/trace.json" >/dev/null && \
+	$(GO) run ./cmd/tracecheck "$$tmp/trace.json"
 
 # Perf trajectory: engine microbenchmarks (steady-state schedule+fire, the
 # container/heap baseline they are measured against) plus a fig12c-shape

@@ -13,8 +13,10 @@ import (
 	"syscall"
 
 	"sdds/internal/cluster"
+	"sdds/internal/disk"
 	"sdds/internal/metrics"
 	"sdds/internal/power"
+	"sdds/internal/probe"
 	"sdds/internal/workloads"
 )
 
@@ -45,6 +47,9 @@ func runCtx(ctx context.Context, args []string) error {
 		asJSON     = fs.Bool("json", false, "emit the run summary as JSON instead of text")
 		describe   = fs.Bool("describe", false, "print the application's loop-nest pseudo-code and exit")
 		tables     = fs.String("tables", "", "with -scheduling: write the per-process scheduling tables (JSON) to this file")
+		trace      = fs.String("trace", "", "write a Chrome trace-event JSON of the run to this file (load in chrome://tracing or Perfetto)")
+		traceRing  = fs.Int("trace-ring", 1<<20, "probe ring capacity in records (oldest overwritten on overflow)")
+		showMetric = fs.Bool("metrics", false, "print the run's full counter/gauge registry")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,10 +78,20 @@ func runCtx(ctx context.Context, args []string) error {
 	cfg.Compiler.Delta = *delta
 	cfg.Compiler.Theta = *theta
 	cfg.Seed = *seed
+	if *trace != "" {
+		cfg.Probe = probe.NewProbe(*traceRing)
+	}
 
 	res, err := cluster.RunContext(ctx, prog, cfg)
 	if err != nil {
 		return err
+	}
+	if *trace != "" {
+		if err := writeTrace(*trace, cfg.Probe); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d trace records (%d dropped) to %s\n",
+			cfg.Probe.Len(), cfg.Probe.Dropped(), *trace)
 	}
 	if *tables != "" {
 		if res.Compile == nil {
@@ -117,5 +132,27 @@ func runCtx(ctx context.Context, args []string) error {
 		rows = append(rows, []string{fmt.Sprintf("%.0f", p.BoundMs), metrics.Pct(p.Frac)})
 	}
 	fmt.Print(metrics.Table([]string{"Idleness (msec)", "CDF"}, rows))
+	if *showMetric {
+		fmt.Println()
+		mrows := make([][]string, 0, len(res.Metrics))
+		for _, m := range res.Metrics {
+			mrows = append(mrows, []string{m.Name, fmt.Sprintf("%g", m.Value)})
+		}
+		fmt.Print(metrics.Table([]string{"Metric", "Value"}, mrows))
+	}
 	return nil
+}
+
+// writeTrace exports the probe as Chrome trace-event JSON.
+func writeTrace(path string, p *probe.Probe) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	opts := probe.ChromeOptions{StateName: func(arg int64) string { return disk.State(arg).String() }}
+	if err := probe.WriteChromeTrace(f, p, opts); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestRunDescribe(t *testing.T) {
 	if err := run([]string{"-app", "sar", "-describe"}); err != nil {
@@ -32,5 +38,52 @@ func TestRunTinySimulation(t *testing.T) {
 	}
 	if err := run([]string{"-app", "madbench2", "-scale", "0.02", "-procs", "8", "-policy", "history", "-scheduling", "-json"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunWritesTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster run")
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := run([]string{"-app", "madbench2", "-scale", "0.02", "-procs", "8",
+		"-policy", "history", "-scheduling", "-json", "-trace", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	diskTracks := 0
+	hasSpan, hasInstant := false, false
+	for _, ev := range trace.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				if n, _ := ev.Args["name"].(string); strings.HasPrefix(n, "disk ") {
+					diskTracks++
+				}
+			}
+		case "X":
+			hasSpan = true
+		case "i":
+			hasInstant = true
+		}
+	}
+	if diskTracks == 0 || !hasSpan || !hasInstant {
+		t.Fatalf("trace missing content: diskTracks=%d span=%v instant=%v", diskTracks, hasSpan, hasInstant)
 	}
 }

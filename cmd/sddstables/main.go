@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"sdds/internal/harness"
+	"sdds/internal/probe"
 )
 
 func main() {
@@ -52,6 +53,8 @@ func runCtx(ctx context.Context, args []string) error {
 		list       = fs.Bool("list", false, "list experiment ids and exit")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write an allocation profile to this file at exit")
+		showMetric = fs.Bool("metrics", false, "print each simulated run's counter/gauge registry as a '# metrics' line on stdout")
+		tracePath  = fs.String("trace", "", "write a Chrome trace of the session's phases (plan, per-worker runs, compile/simulate) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,9 +112,20 @@ func runCtx(ctx context.Context, args []string) error {
 		experiments = []harness.Experiment{e}
 	}
 
+	resolvedWorkers := *workers
+	if resolvedWorkers <= 0 {
+		resolvedWorkers = runtime.GOMAXPROCS(0)
+	}
+	// The session probe is span-only: the concurrent worker pool may not
+	// share a record ring, but mutex-guarded spans are safe.
+	var sessProbe *probe.Probe
+	if *tracePath != "" {
+		sessProbe = probe.NewSpanProbe()
+	}
 	sess := harness.NewSession(harness.SessionOptions{
 		Workers:  *workers,
-		Progress: progressLine(*progress),
+		Progress: combineProgress(metricsPrinter(*showMetric), progressLine(*progress, resolvedWorkers)),
+		Probe:    sessProbe,
 	})
 	for i, e := range experiments {
 		start := time.Now()
@@ -138,20 +152,101 @@ func runCtx(ctx context.Context, args []string) error {
 		fmt.Fprintf(os.Stderr, "%d distinct configurations simulated, %d reads served from cache, %d workers\n",
 			simulated, hits, sess.Workers())
 	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		if err := probe.WriteChromeTrace(f, sessProbe, probe.ChromeOptions{}); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d session spans to %s\n", sessProbe.SpanCount(), *tracePath)
+	}
 	return nil
 }
 
-// progressLine renders session progress as a single rewritten stderr line.
-func progressLine(enabled bool) harness.ProgressFunc {
+// combineProgress fans one progress stream out to several observers,
+// skipping nil ones. Returns nil when none are active.
+func combineProgress(fns ...harness.ProgressFunc) harness.ProgressFunc {
+	active := fns[:0]
+	for _, fn := range fns {
+		if fn != nil {
+			active = append(active, fn)
+		}
+	}
+	switch len(active) {
+	case 0:
+		return nil
+	case 1:
+		return active[0]
+	}
+	return func(p harness.Progress) {
+		for _, fn := range active {
+			fn(p)
+		}
+	}
+}
+
+// metricsPrinter emits each simulated run's registry snapshot as one
+// greppable stdout line: "# metrics <key>: name=value ...". Cache hits are
+// skipped — their metrics already printed when the run executed.
+func metricsPrinter(enabled bool) harness.ProgressFunc {
 	if !enabled {
 		return nil
 	}
 	return func(p harness.Progress) {
+		if p.Err != nil || p.Hit || len(p.Metrics) == 0 {
+			return
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "# metrics %s:", p.Key)
+		for _, m := range p.Metrics {
+			fmt.Fprintf(&b, " %s=%g", m.Name, m.Value)
+		}
+		fmt.Println(b.String())
+	}
+}
+
+// progressLine renders session progress as a single rewritten stderr line
+// with throughput and an ETA. The rate is overall completed runs (hits
+// included) per wall second; the ETA scales the mean wall time of completed
+// simulations by the runs remaining, spread over the worker pool. Progress
+// callbacks are serialized by the session, so the state needs no lock.
+func progressLine(enabled bool, workers int) harness.ProgressFunc {
+	if !enabled {
+		return nil
+	}
+	var (
+		start   time.Time     // first event's arrival, minus its run time
+		simTime time.Duration // summed wall time of completed simulations
+		simRuns int
+	)
+	return func(p harness.Progress) {
 		if p.Err != nil {
 			return // the run loop reports errors
 		}
-		fmt.Fprintf(os.Stderr, "\r\x1b[K[%d/%d] %d hits | %s (%v)",
-			p.Done, p.Total, p.Hits, p.Key, p.Elapsed.Round(time.Millisecond))
+		if start.IsZero() {
+			start = time.Now().Add(-p.Elapsed)
+		}
+		if !p.Hit {
+			simTime += p.Elapsed
+			simRuns++
+		}
+		line := fmt.Sprintf("\r\x1b[K[%d/%d] %d hits", p.Done, p.Total, p.Hits)
+		if wall := time.Since(start); wall > 0 {
+			line += fmt.Sprintf(" | %.1f runs/s", float64(p.Done)/wall.Seconds())
+		}
+		if remaining := p.Total - p.Done; remaining > 0 && simRuns > 0 {
+			avg := simTime / time.Duration(simRuns)
+			eta := avg * time.Duration(remaining) / time.Duration(workers)
+			line += fmt.Sprintf(" | ETA %v", eta.Round(time.Second))
+		}
+		line += fmt.Sprintf(" | %s (%v)", p.Key, p.Elapsed.Round(time.Millisecond))
+		fmt.Fprint(os.Stderr, line)
 		if p.Done == p.Total {
 			fmt.Fprint(os.Stderr, "\r\x1b[K")
 		}

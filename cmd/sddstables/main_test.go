@@ -2,9 +2,15 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"sdds/internal/harness"
 )
 
 func TestRunList(t *testing.T) {
@@ -78,4 +84,68 @@ func TestRunTinyParallelWorkers(t *testing.T) {
 	if err := run([]string{"-experiment", "fig12c", "-scale", "0.02", "-apps", "sar,madbench2", "-workers", "4"}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+func TestRunMetricsAndTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster runs")
+	}
+	path := filepath.Join(t.TempDir(), "session.json")
+	if err := run([]string{"-experiment", "table3", "-scale", "0.02", "-apps", "sar",
+		"-metrics", "-trace", path, "-progress=false"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &trace); err != nil {
+		t.Fatalf("session trace is not valid JSON: %v", err)
+	}
+	var gotPlan, gotRun bool
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		switch {
+		case ev.Name == "derive run plan":
+			gotPlan = true
+		case strings.HasPrefix(ev.Name, "simulate "):
+			gotRun = true
+		}
+	}
+	if !gotPlan || !gotRun {
+		t.Fatalf("session trace missing phase spans: plan=%v simulate=%v", gotPlan, gotRun)
+	}
+}
+
+func TestCombineProgress(t *testing.T) {
+	if combineProgress(nil, nil) != nil {
+		t.Fatal("all-nil observers should combine to nil")
+	}
+	var calls int
+	fn := func(harness.Progress) { calls++ }
+	combineProgress(fn, nil, fn)(harness.Progress{})
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2", calls)
+	}
+}
+
+func TestProgressLineETA(t *testing.T) {
+	fn := progressLine(true, 2)
+	if fn == nil {
+		t.Fatal("enabled progress line is nil")
+	}
+	// Exercise the state machine: a simulated run then a hit; the function
+	// writes to stderr, so correctness here is just "does not panic" plus
+	// the internal averaging not dividing by zero.
+	fn(harness.Progress{Done: 1, Total: 3, Key: "a", Elapsed: 10 * time.Millisecond})
+	fn(harness.Progress{Done: 2, Total: 3, Hits: 1, Key: "b", Hit: true})
+	fn(harness.Progress{Done: 3, Total: 3, Hits: 1, Key: "c", Elapsed: 5 * time.Millisecond})
 }

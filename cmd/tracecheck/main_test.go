@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const goodTrace = `{"traceEvents":[
+ {"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"disks"}},
+ {"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"disk 0"}},
+ {"name":"idle","ph":"X","pid":0,"tid":0,"ts":0,"dur":1500},
+ {"name":"io issue","ph":"i","pid":0,"tid":0,"ts":200,"s":"t","args":{"bytes":4096}}
+],"displayTimeUnit":"ms"}`
+
+func TestCheckGood(t *testing.T) {
+	problems, stats, err := check([]byte(goodTrace))
+	if err != nil || len(problems) != 0 {
+		t.Fatalf("good trace rejected: %v %v", problems, err)
+	}
+	if !strings.Contains(stats, "1 spans, 1 instants") {
+		t.Fatalf("stats = %q", stats)
+	}
+}
+
+func TestCheckViolations(t *testing.T) {
+	cases := []struct {
+		name, json, want string
+	}{
+		{"not json", `[]`, "not a trace-event"},
+		{"no array", `{}`, "no traceEvents"},
+		{"empty", `{"traceEvents":[]}`, ""}, // caught via problems below
+		{"bad phase", `{"traceEvents":[{"name":"x","ph":"B","pid":0,"tid":0,"ts":1}]}`, ""},
+		{"negative dur", `{"traceEvents":[{"name":"x","ph":"X","pid":0,"tid":0,"ts":1,"dur":-5}]}`, ""},
+		{"missing ts", `{"traceEvents":[{"name":"x","ph":"i","pid":0,"tid":0}]}`, ""},
+		{"anonymous thread", `{"traceEvents":[{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{}}]}`, ""},
+	}
+	for _, c := range cases {
+		problems, _, err := check([]byte(c.json))
+		if c.want != "" {
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("%s: err = %v, want %q", c.name, err, c.want)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s: hard error %v, want problem list", c.name, err)
+		}
+		if len(problems) == 0 {
+			t.Fatalf("%s: no problems reported", c.name)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	if err := os.WriteFile(good, []byte(goodTrace), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{good}); err != nil {
+		t.Fatalf("run(good) = %v", err)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"traceEvents":[{"name":"x","ph":"Z","pid":0,"tid":0}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}); err == nil {
+		t.Fatal("run(bad) accepted an invalid trace")
+	}
+	if err := run(nil); err == nil {
+		t.Fatal("run with no args must fail with usage")
+	}
+}

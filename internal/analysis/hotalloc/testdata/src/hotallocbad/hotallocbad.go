@@ -3,7 +3,10 @@
 // sdds/internal/sim.Engine type.
 package hotallocbad
 
-import "sdds/internal/sim"
+import (
+	"sdds/internal/probe"
+	"sdds/internal/sim"
+)
 
 type server struct {
 	eng     *sim.Engine
@@ -67,4 +70,44 @@ func (s *server) hotClean(now sim.Time) {
 func coldAllocs() *server {
 	// Not annotated: construction-time allocation is fine.
 	return &server{eng: sim.NewEngine(7)}
+}
+
+// --- probe emit path ---------------------------------------------------
+// The tracing layer's Probe.Emit carries //sddsvet:hotpath; these fixtures
+// pin down what the analyzer must allow on that path (value struct writes
+// into a preallocated ring, the nil-checked Emit call itself) and what it
+// must flag (per-event record boxing, closures capturing the probe).
+
+type emitter struct {
+	eng  *sim.Engine
+	pr   *probe.Probe
+	ring []probe.Record
+	next int
+}
+
+//sddsvet:hotpath
+func (e *emitter) emitClean(now sim.Time) {
+	// A value composite literal stored into the preallocated ring does not
+	// allocate — this is exactly Probe.Emit's body shape.
+	e.ring[e.next&(len(e.ring)-1)] = probe.Record{T: int64(now), Kind: probe.KindIOIssue, ID: 3}
+	e.next++
+	e.pr.Emit(probe.KindIOComplete, 3, int64(now), 0)
+}
+
+//sddsvet:hotpath
+func (e *emitter) emitBoxed(now sim.Time) {
+	r := &probe.Record{T: int64(now)} // want `&composite literal in hotpath function emitBoxed`
+	_ = r
+	batch := []probe.Record{{T: int64(now)}} // want `slice/map literal in hotpath function emitBoxed`
+	_ = batch
+	grown := make([]probe.Record, 0, 1) // want `make\(\.\.\.\) in hotpath function emitBoxed`
+	_ = grown
+}
+
+func emitViaSchedule(e *emitter) {
+	// Wrapping an emit in a capturing closure per scheduled event rebuilds
+	// the allocation the de-closured path removed.
+	e.eng.ScheduleFunc(1, "bad", func(now sim.Time) { // want `capturing closure passed to Engine\.ScheduleFunc`
+		e.pr.Emit(probe.KindSpinUp, 0, int64(now), 0)
+	})
 }

@@ -15,6 +15,7 @@ import (
 	"sdds/internal/ionode"
 	"sdds/internal/netsim"
 	"sdds/internal/power"
+	"sdds/internal/probe"
 	"sdds/internal/sim"
 	"sdds/internal/stripe"
 )
@@ -56,6 +57,13 @@ type Config struct {
 	ComputeJitter float64
 	// Seed drives all randomized choices; equal seeds → identical runs.
 	Seed int64
+	// Probe, when non-nil, is attached to the engine as the run's flight
+	// recorder: device models emit power-state, I/O, cache, and buffer
+	// records into its ring, and the runner wraps its compile and simulate
+	// phases in spans. Tracing never perturbs the simulation — a traced run
+	// is bit-identical to an untraced one. A ring-bearing probe must not be
+	// shared across concurrent runs (use probe.NewSpanProbe for that).
+	Probe *probe.Probe
 }
 
 // DefaultConfig returns the Table II system: 32 clients, 8 I/O nodes with

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"sdds/internal/power"
+	"sdds/internal/probe"
 	"sdds/internal/workloads"
 )
 
@@ -82,7 +83,27 @@ func TestGoldenResultsStable(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s/%v/sched=%v: %v", spec.Name, kind, scheduling, err)
 				}
-				got[goldenKey(spec.Name, kind, scheduling)] = goldenFingerprint(res)
+				fp := goldenFingerprint(res)
+				got[goldenKey(spec.Name, kind, scheduling)] = fp
+
+				// Tracing must be pure observation: re-run with a probe
+				// attached and demand a bit-identical fingerprint.
+				traced := cfg
+				traced.Probe = probe.NewProbe(1 << 16)
+				tres, err := Run(prog, traced)
+				if err != nil {
+					t.Fatalf("%s/%v/sched=%v traced: %v", spec.Name, kind, scheduling, err)
+				}
+				tfp := goldenFingerprint(tres)
+				for i := range fp {
+					if tfp[i] != fp[i] {
+						t.Errorf("%s/%v/sched=%v: tracing changed field %q -> %q",
+							spec.Name, kind, scheduling, fp[i], tfp[i])
+					}
+				}
+				if traced.Probe.Emitted() == 0 {
+					t.Errorf("%s/%v/sched=%v: traced run emitted no records", spec.Name, kind, scheduling)
+				}
 			}
 		}
 	}

@@ -12,6 +12,7 @@ import (
 	"sdds/internal/mpiio"
 	"sdds/internal/netsim"
 	"sdds/internal/power"
+	"sdds/internal/probe"
 	"sdds/internal/sched"
 	"sdds/internal/sim"
 )
@@ -50,6 +51,11 @@ type Result struct {
 	DiskRequests int64
 	SpinUps      int64
 	RPMShifts    int64
+
+	// Metrics is the run's counter/gauge registry snapshot, sorted by
+	// name: disk activity, policy prediction outcomes, cache and buffer
+	// ratios, per-state residency, energy, and execution time.
+	Metrics []probe.Metric
 }
 
 // Run executes prog on the configured cluster and returns the
@@ -71,6 +77,9 @@ func RunContext(ctx context.Context, prog *loop.Program, cfg Config) (*Result, e
 	}
 
 	eng := sim.NewEngine(cfg.Seed)
+	// Attach the flight recorder before any model is constructed — models
+	// cache the probe pointer at New time.
+	eng.SetProbe(cfg.Probe)
 
 	// Storage: I/O nodes with per-disk power policies and idle recorders.
 	idle := metrics.NewIdleHistogram()
@@ -79,6 +88,7 @@ func RunContext(ctx context.Context, prog *loop.Program, cfg Config) (*Result, e
 		recorder = teeRecorder{idle, cfg.ExtraIdleRecorder}
 	}
 	nodes := make([]*ionode.Node, cfg.Layout.NumNodes)
+	var pols []power.Policy
 	for i := range nodes {
 		n, err := ionode.New(eng, i, cfg.Node)
 		if err != nil {
@@ -97,6 +107,7 @@ func RunContext(ctx context.Context, prog *loop.Program, cfg Config) (*Result, e
 			}
 			pol.Attach(d)
 			d.SetIdleRecorder(recorder)
+			pols = append(pols, pol)
 		}
 		nodes[i] = n
 	}
@@ -130,12 +141,15 @@ func RunContext(ctx context.Context, prog *loop.Program, cfg Config) (*Result, e
 
 	// The framework: compile and stand up the runtime scheduler.
 	if cfg.Scheduling {
+		compileSpan := cfg.Probe.StartSpan(probe.TrackRun, "compile "+prog.Name)
 		comp, err := compiler.CompileContext(ctx, prog, cfg.Compiler)
+		compileSpan.End()
 		if err != nil {
 			return nil, err
 		}
 		ex.comp = comp
 		ex.buf = sched.MustNewGlobalBuffer(cfg.BufferBytes)
+		ex.buf.SetProbe(cfg.Probe, func() int64 { return int64(eng.Now()) })
 		resolve := func(id int) (sched.AccessInfo, bool) {
 			inst, ok := comp.InstanceOf(id)
 			if !ok {
@@ -163,7 +177,9 @@ func RunContext(ctx context.Context, prog *loop.Program, cfg Config) (*Result, e
 		//sddsvet:ignore hotalloc -- startup only: one closure per process, before the event loop runs
 		eng.ScheduleFunc(0, "cluster.start", func(now sim.Time) { ex.beginSlot(p, 0, now) })
 	}
+	simSpan := cfg.Probe.StartSpan(probe.TrackRun, "simulate "+prog.Name)
 	end, err := eng.RunContext(ctx)
+	simSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("cluster: run aborted at %v: %w", end, err)
 	}
@@ -209,7 +225,69 @@ func RunContext(ctx context.Context, prog *loop.Program, cfg Config) (*Result, e
 		res.AgentDeferred += deferred
 		res.AgentMoved += int64(len(ex.comp.Schedule.MovedEarlier(p)))
 	}
+	res.Metrics = collectMetrics(res, nodes, pols, ex, execEnd)
 	return res, nil
+}
+
+// collectMetrics snapshots the run's counters and gauges into a sorted,
+// name-keyed metric list. All values come from model stats already
+// maintained on the hot path — building the registry is a cold end-of-run
+// pass, so tracing off or on changes nothing here.
+func collectMetrics(res *Result, nodes []*ionode.Node, pols []power.Policy, ex *executor, end sim.Time) []probe.Metric {
+	reg := probe.NewRegistry()
+
+	requests := reg.Counter("disk.requests")
+	spinUps := reg.Counter("disk.spin_ups")
+	spinDowns := reg.Counter("disk.spin_downs")
+	rpmShifts := reg.Counter("disk.rpm_shifts")
+	idleGaps := reg.Counter("disk.idle_gaps")
+	queueHW := reg.Gauge("disk.queue_high_water")
+	residency := make(map[disk.State]probe.Counter)
+	for _, s := range disk.AllStates() {
+		residency[s] = reg.Counter("residency." + s.String() + "_s")
+	}
+	for _, n := range nodes {
+		for _, d := range n.Disks() {
+			ds := d.Stats()
+			requests.Add(float64(ds.Completed))
+			spinUps.Add(float64(ds.SpinUps))
+			spinDowns.Add(float64(ds.SpinDowns))
+			rpmShifts.Add(float64(ds.RPMShifts))
+			idleGaps.Add(float64(ds.IdleGaps))
+			queueHW.Observe(float64(ds.QueueHighWater))
+			for _, s := range disk.AllStates() {
+				residency[s].Add(d.Energy().TimeIn(end, s).Seconds())
+			}
+		}
+	}
+
+	wrong := reg.Counter("power.wrong_predictions")
+	preAct := reg.Counter("power.pre_activations")
+	for _, pol := range pols {
+		if sr, ok := pol.(power.StatsReporter); ok {
+			ps := sr.PolicyStats()
+			wrong.Add(float64(ps.WrongPredictions))
+			preAct.Add(float64(ps.PreActivations))
+		}
+	}
+
+	reg.Counter("storage_cache.hits").Add(float64(res.StorageCacheHits))
+	reg.Counter("storage_cache.misses").Add(float64(res.StorageCacheMisses))
+	reg.Counter("storage_cache.prefetches").Add(float64(res.PrefetchIssued))
+	if total := res.StorageCacheHits + res.StorageCacheMisses; total > 0 {
+		reg.Gauge("storage_cache.hit_ratio").Set(float64(res.StorageCacheHits) / float64(total))
+	}
+	if ex.buf != nil {
+		reg.Counter("buffer.hits").Add(float64(res.BufferHits))
+		reg.Counter("buffer.misses").Add(float64(res.BufferMisses))
+		if total := res.BufferHits + res.BufferMisses; total > 0 {
+			reg.Gauge("buffer.hit_ratio").Set(float64(res.BufferHits) / float64(total))
+		}
+	}
+
+	reg.Gauge("energy.total_j").Set(res.EnergyJ)
+	reg.Gauge("exec.time_s").Set(res.ExecTime.Seconds())
+	return reg.Snapshot()
 }
 
 // executor drives the processes through their slots.

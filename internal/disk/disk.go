@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"sdds/internal/probe"
 	"sdds/internal/sim"
 )
 
@@ -81,6 +82,9 @@ type Stats struct {
 	SpinDowns    int64
 	RPMShifts    int64
 	IdleGaps     int64
+	// QueueHighWater is the deepest the waiting queue ever got (excluding
+	// the request in service).
+	QueueHighWater int64
 }
 
 // Control errors returned to power policies.
@@ -127,6 +131,10 @@ type Disk struct {
 	shiftedFn  sim.Handler
 	standbyFn  sim.Handler
 
+	// pr is the engine's flight recorder, cached at construction. Nil when
+	// tracing is off; probe.Emit is nil-safe.
+	pr *probe.Probe
+
 	stats Stats
 }
 
@@ -143,6 +151,7 @@ func New(eng *sim.Engine, id int, p Params) (*Disk, error) {
 		rpm:       p.MaxRPM,
 		targetRPM: p.MaxRPM,
 		queue:     newElevator(),
+		pr:        eng.Probe(),
 	}
 	d.account = NewEnergyAccount(eng.Now(), StateIdle, p.IdlePowerAt(d.rpm))
 	d.transferCb = d.onTransfer
@@ -200,6 +209,7 @@ func (d *Disk) SetIdleRecorder(r IdleRecorder) { d.recorder = r }
 func (d *Disk) setState(now sim.Time, s State, drawW float64) {
 	d.state = s
 	d.account.SetDraw(now, s, drawW)
+	d.pr.Emit(probe.KindDiskState, int32(d.ID), int64(now), int64(s))
 }
 
 func (d *Disk) openIdleGap(now sim.Time) {
@@ -234,6 +244,10 @@ func (d *Disk) Submit(r *Request) error {
 	d.stats.Arrived++
 	d.closeIdleGap(now)
 	d.queue.Push(r)
+	if depth := int64(d.queue.Len()); depth > d.stats.QueueHighWater {
+		d.stats.QueueHighWater = depth
+	}
+	d.pr.Emit(probe.KindIOIssue, int32(d.ID), int64(now), r.Bytes)
 	if d.listener != nil {
 		d.listener.RequestArrived(d, now)
 	}
@@ -335,6 +349,7 @@ func (d *Disk) completeRequest(now sim.Time, r *Request) {
 	r.Finish = now
 	d.current = nil
 	d.stats.Completed++
+	d.pr.Emit(probe.KindIOComplete, int32(d.ID), int64(now), r.Bytes)
 	d.stats.ServiceTime += now - r.Start
 	if r.Op == OpRead {
 		d.stats.BytesRead += r.Bytes
@@ -371,6 +386,7 @@ func (d *Disk) SpinDown() error {
 		return fmt.Errorf("%w: state=%v queue=%d", ErrNotIdle, d.state, d.queue.Len())
 	}
 	d.stats.SpinDowns++
+	d.pr.Emit(probe.KindSpinDown, int32(d.ID), int64(now), 0)
 	d.wantUp = false
 	d.transStart = now
 	d.setState(now, StateSpinningDown, d.params.SpinDownPowerW)
@@ -412,6 +428,7 @@ func (d *Disk) abortSpinDown(now sim.Time) {
 	const headReload = 300 * sim.Millisecond
 	up := headReload + sim.Duration(frac*frac*float64(d.params.SpinUpTime))
 	d.stats.SpinUps++
+	d.pr.Emit(probe.KindSpinUp, int32(d.ID), int64(now), 1)
 	d.wantUp = false
 	d.setState(now, StateSpinningUp, d.params.SpinUpPowerW)
 	d.eng.ScheduleFunc(up, "disk.abort-up", d.spunUpFn)
@@ -445,6 +462,7 @@ func (d *Disk) SpinUp() error {
 //sddsvet:hotpath
 func (d *Disk) beginSpinUp(now sim.Time) {
 	d.stats.SpinUps++
+	d.pr.Emit(probe.KindSpinUp, int32(d.ID), int64(now), 0)
 	d.wantUp = false
 	d.setState(now, StateSpinningUp, d.params.SpinUpPowerW)
 	d.eng.ScheduleFunc(d.params.SpinUpTime, "disk.spunup", d.spunUpFn)
@@ -480,6 +498,7 @@ func (d *Disk) beginShift(now sim.Time) {
 		return
 	}
 	d.stats.RPMShifts++
+	d.pr.Emit(probe.KindRPMShift, int32(d.ID), int64(now), int64(to))
 	hi := from
 	if to > hi {
 		hi = to

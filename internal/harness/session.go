@@ -11,6 +11,7 @@ import (
 
 	"sdds/internal/cluster"
 	"sdds/internal/power"
+	"sdds/internal/probe"
 	"sdds/internal/workloads"
 )
 
@@ -66,8 +67,11 @@ func (sp runSpec) tag() string {
 	return s
 }
 
-// simulate builds and executes the spec's cluster run.
-func (sp runSpec) simulate(ctx context.Context, c Config) (*cluster.Result, error) {
+// simulate builds and executes the spec's cluster run. pr is the session's
+// probe (nil or span-only — ring-bearing probes must not be shared across
+// the concurrent worker pool), letting the run's compile/simulate spans
+// land in the session trace.
+func (sp runSpec) simulate(ctx context.Context, c Config, pr *probe.Probe) (*cluster.Result, error) {
 	spec, err := workloads.ByName(sp.app)
 	if err != nil {
 		return nil, err
@@ -77,6 +81,7 @@ func (sp runSpec) simulate(ctx context.Context, c Config) (*cluster.Result, erro
 	cfg.Seed = c.Seed
 	cfg.Policy = power.Config{Kind: sp.kind}
 	cfg.Scheduling = sp.scheduling
+	cfg.Probe = pr
 	if sp.mutate != nil {
 		sp.mutate(&cfg)
 	}
@@ -99,6 +104,9 @@ type Progress struct {
 	Hit bool
 	// Err is the run's error, if it failed (cancellation included).
 	Err error
+	// Metrics is the run's counter/gauge snapshot (nil when the run
+	// failed). Cache hits carry the metrics of the original execution.
+	Metrics []probe.Metric
 }
 
 // ProgressFunc observes session progress. Calls are serialized; the
@@ -111,6 +119,12 @@ type SessionOptions struct {
 	Workers int
 	// Progress, when non-nil, receives a run-level event stream.
 	Progress ProgressFunc
+	// Probe, when non-nil, records session phase spans (plan derivation,
+	// per-run execution) and is handed to every cluster run so compile and
+	// simulate phases appear in the same trace. Because the worker pool is
+	// concurrent it must be span-only (probe.NewSpanProbe); a ring-bearing
+	// probe would race on record storage.
+	Probe *probe.Probe
 }
 
 // Session owns a run cache and a bounded worker pool for executing
@@ -125,6 +139,7 @@ type SessionOptions struct {
 type Session struct {
 	workers  int
 	progress ProgressFunc
+	probe    *probe.Probe  // span-only session trace; nil when untraced
 	sem      chan struct{} // worker-pool slots; len == workers
 
 	mu   sync.Mutex
@@ -156,6 +171,7 @@ func NewSession(o SessionOptions) *Session {
 	return &Session{
 		workers:  w,
 		progress: o.Progress,
+		probe:    o.Probe,
 		sem:      make(chan struct{}, w),
 		memo:     make(map[runKey]*memoEntry),
 	}
@@ -234,7 +250,7 @@ func (s *Session) execute(ctx context.Context, c Config, sp runSpec, key runKey,
 		s.abandon(key, e)
 		return nil, err
 	}
-	res, err := sp.simulate(ctx, c)
+	res, err := sp.simulate(ctx, c, s.probe)
 	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 		// Cancellation is a property of this call's context, not of the
 		// configuration; don't poison the cache with it.
@@ -284,7 +300,9 @@ func planFor(exps []Experiment, c Config) []runSpec {
 // included); the cache keeps whatever completed.
 func (s *Session) Prime(ctx context.Context, exps []Experiment, c Config) error {
 	c = c.withDefaults()
+	planSpan := s.probe.StartSpan(probe.TrackPlan, "derive run plan")
 	specs := planFor(exps, c)
+	planSpan.End()
 	if len(specs) == 0 {
 		return ctx.Err()
 	}
@@ -303,11 +321,14 @@ func (s *Session) Prime(ctx context.Context, exps []Experiment, c Config) error 
 	}
 	for i := 0; i < n; i++ {
 		wg.Add(1)
+		track := probe.TrackWorkerBase + int32(i)
 		go func() {
 			defer wg.Done()
 			for sp := range work {
 				start := time.Now()
-				_, hit, err := s.run(ctx, c, sp)
+				runSpan := s.probe.StartSpan(track, sp.tag())
+				res, hit, err := s.run(ctx, c, sp)
+				runSpan.End()
 				pmu.Lock()
 				done++
 				if hit {
@@ -317,11 +338,15 @@ func (s *Session) Prime(ctx context.Context, exps []Experiment, c Config) error 
 					firstErr = err
 				}
 				if s.progress != nil {
-					s.progress(Progress{
+					p := Progress{
 						Done: done, Total: total, Hits: hits,
 						Key: sp.tag(), Elapsed: time.Since(start),
 						Hit: hit, Err: err,
-					})
+					}
+					if res != nil {
+						p.Metrics = res.Metrics
+					}
+					s.progress(p)
 				}
 				pmu.Unlock()
 			}

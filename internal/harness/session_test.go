@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"sdds/internal/probe"
 )
 
 // stressExperiments is a fully-plannable overlapping experiment set (no
@@ -217,5 +219,45 @@ func TestSessionProgressEvents(t *testing.T) {
 	}
 	if _, hits := s.Stats(); hits == 0 {
 		t.Fatal("no hits recorded on rerun")
+	}
+}
+
+// TestSessionProbeAndMetrics checks the tracing hooks: every executed run
+// carries its metrics snapshot in Progress, and the session's span probe
+// collects the plan span, per-run worker spans, and the cluster runner's
+// simulate spans without racing (the worker pool is concurrent).
+func TestSessionProbeAndMetrics(t *testing.T) {
+	e, err := ByID("table3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tiny()
+	pr := probe.NewSpanProbe()
+	var mu sync.Mutex
+	var events []Progress
+	s := NewSession(SessionOptions{Workers: 2, Probe: pr, Progress: func(p Progress) {
+		mu.Lock()
+		events = append(events, p)
+		mu.Unlock()
+	}})
+	if _, err := s.Run(context.Background(), e, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range events {
+		if p.Err == nil && len(p.Metrics) == 0 {
+			t.Fatalf("run %q delivered no metrics", p.Key)
+		}
+		for _, m := range p.Metrics {
+			if m.Name == "exec.time_s" && m.Value <= 0 {
+				t.Fatalf("run %q exec.time_s = %v", p.Key, m.Value)
+			}
+		}
+	}
+	// Spans: plan + one per run + simulate per executed run, all closed.
+	if n := pr.SpanCount(); n < 1+len(events) {
+		t.Fatalf("span count = %d, want >= %d (plan + per-run)", n, 1+len(events))
+	}
+	if pr.Emitted() != 0 {
+		t.Fatal("span-only probe must not record ring events")
 	}
 }

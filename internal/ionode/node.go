@@ -6,6 +6,7 @@ import (
 
 	"sdds/internal/cache"
 	"sdds/internal/disk"
+	"sdds/internal/probe"
 	"sdds/internal/sim"
 )
 
@@ -112,6 +113,9 @@ type Node struct {
 	dirty      map[cache.Key]int64 // key → bytes pending
 	flushTimer bool
 
+	// pr is the engine's flight recorder, cached at construction.
+	pr *probe.Probe
+
 	stats Stats
 }
 
@@ -131,6 +135,7 @@ func New(eng *sim.Engine, id int, cfg Config) (*Node, error) {
 		lastDelta: make(map[int]int64),
 		inflight:  make(map[cache.Key][]func(sim.Time)),
 		dirty:     make(map[cache.Key]int64),
+		pr:        eng.Probe(),
 	}
 	for i := 0; i < cfg.Members; i++ {
 		d, err := disk.New(eng, id*100+i, cfg.DiskParams)
@@ -218,11 +223,13 @@ func (n *Node) Read(file int, unit, offset, length int64, done func(now sim.Time
 	key := cache.Key{File: file, Block: unit}
 	if _, ok := n.cache.Get(key); ok {
 		n.stats.CacheHits++
+		n.pr.Emit(probe.KindCacheHit, int32(n.ID), int64(n.eng.Now()), unit)
 		n.eng.ScheduleFunc(n.cfg.CacheHitTime, "ionode.hit", done)
 		n.prefetch(file, unit)
 		return nil
 	}
 	n.stats.CacheMisses++
+	n.pr.Emit(probe.KindCacheMiss, int32(n.ID), int64(n.eng.Now()), unit)
 	if waiters, ok := n.inflight[key]; ok {
 		// Coalesce with an in-flight fetch of the same unit.
 		n.inflight[key] = append(waiters, done)
@@ -399,6 +406,7 @@ func (n *Node) prefetch(file int, unit int64) {
 				}
 				n.inflight[key] = nil
 				n.stats.PrefetchIssued++
+				n.pr.Emit(probe.KindPrefetch, int32(n.ID), int64(n.eng.Now()), next)
 				if err := n.fetchUnit(file, next, func(now sim.Time) {
 					waiters := n.inflight[key]
 					delete(n.inflight, key)

@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"sdds/internal/sim"
+)
+
+// Zero-duration runs: every normalization helper must degrade to 0 rather
+// than divide by zero when the baseline run finished instantly (a 0-scale
+// workload) or is missing entirely.
+func TestReportZeroBaseline(t *testing.T) {
+	if got := NormalizedEnergy(120, 0); got != 0 {
+		t.Fatalf("NormalizedEnergy(_, 0) = %v, want 0", got)
+	}
+	if got := NormalizedEnergy(120, -3); got != 0 {
+		t.Fatalf("NormalizedEnergy(_, -3) = %v, want 0", got)
+	}
+	if got := EnergySaving(120, 0); got != 0 {
+		t.Fatalf("EnergySaving(_, 0) = %v, want 0", got)
+	}
+	if got := Degradation(5*sim.Second, 0); got != 0 {
+		t.Fatalf("Degradation(_, 0) = %v, want 0", got)
+	}
+	if got := Improvement(5*sim.Second, 0); got != 0 {
+		t.Fatalf("Improvement(_, 0) = %v, want 0", got)
+	}
+	// Both runs zero-duration: still 0, not NaN.
+	if got := Degradation(0, 0); got != 0 {
+		t.Fatalf("Degradation(0, 0) = %v, want 0", got)
+	}
+}
+
+// A disk that never idles produces an empty histogram; every accessor must
+// stay well-defined (the report path renders these unconditionally).
+func TestIdleHistogramNeverIdles(t *testing.T) {
+	h := NewIdleHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram: count=%d mean=%v max=%v, want zeros", h.Count(), h.Mean(), h.Max())
+	}
+	cdf := h.CDF()
+	if len(cdf) != len(PaperBucketsMs) {
+		t.Fatalf("CDF has %d points, want %d", len(cdf), len(PaperBucketsMs))
+	}
+	for _, p := range cdf {
+		if p.Frac != 0 {
+			t.Fatalf("empty histogram CDF at %gms = %v, want 0", p.BoundMs, p.Frac)
+		}
+	}
+	if got := h.FracAtMost(1000); got != 0 {
+		t.Fatalf("FracAtMost on empty histogram = %v, want 0", got)
+	}
+	if s := h.String(); !strings.Contains(s, "0 gaps") {
+		t.Fatalf("String() = %q, want it to report 0 gaps", s)
+	}
+	// Negative gaps (clock skew artifacts) must be ignored, not recorded.
+	h.Record(-sim.Second)
+	if h.Count() != 0 {
+		t.Fatal("negative gap was recorded")
+	}
+	// Merging two empties stays empty and error-free.
+	if err := h.Merge(NewIdleHistogram()); err != nil || h.Count() != 0 {
+		t.Fatalf("Merge of empties: err=%v count=%d", err, h.Count())
+	}
+	// Mismatched bucket layouts are an error, not silent corruption.
+	if err := h.Merge(NewIdleHistogramWith([]float64{1, 2})); err == nil {
+		t.Fatal("Merge accepted a histogram with different buckets")
+	}
+}
+
+// Single-sample series: one gap still yields a monotone CDF ending at 1.
+func TestIdleHistogramSingleSample(t *testing.T) {
+	h := NewIdleHistogram()
+	h.Record(30 * sim.Millisecond)
+	if h.Count() != 1 || h.Mean() != 30*sim.Millisecond || h.Max() != 30*sim.Millisecond {
+		t.Fatalf("count=%d mean=%v max=%v", h.Count(), h.Mean(), h.Max())
+	}
+	cdf := h.CDF()
+	prev := 0.0
+	for _, p := range cdf {
+		if p.Frac < prev {
+			t.Fatalf("CDF not monotone at %gms: %v < %v", p.BoundMs, p.Frac, prev)
+		}
+		prev = p.Frac
+	}
+	if last := cdf[len(cdf)-1]; last.Frac != 1 {
+		t.Fatalf("final CDF point = %v, want 1", last.Frac)
+	}
+	if got := h.FracAtMost(10); got != 0 {
+		t.Fatalf("FracAtMost(10) = %v, want 0 for a 30ms gap", got)
+	}
+	if got := h.FracAtMost(50); got != 1 {
+		t.Fatalf("FracAtMost(50) = %v, want 1", got)
+	}
+}
+
+func TestMeanEdgeCases(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+	if got := Mean([]float64{0.7}); got != 0.7 {
+		t.Fatalf("Mean of single sample = %v, want 0.7", got)
+	}
+}
+
+// Sparkline on single-sample and out-of-range inputs: one rune per sample,
+// values clamped into [0, 1] instead of indexing out of bounds.
+func TestSparklineEdgeCases(t *testing.T) {
+	if got := Sparkline(nil); got != "" {
+		t.Fatalf("Sparkline(nil) = %q, want empty", got)
+	}
+	single := Sparkline([]float64{1})
+	if n := len([]rune(single)); n != 1 {
+		t.Fatalf("single-sample sparkline has %d runes, want 1", n)
+	}
+	if single != "█" {
+		t.Fatalf("Sparkline([1]) = %q, want full block", single)
+	}
+	clamped := Sparkline([]float64{-5, 7})
+	if clamped != "▁█" {
+		t.Fatalf("Sparkline([-5, 7]) = %q, want clamped to %q", clamped, "▁█")
+	}
+}
+
+// BarChart with a single group/series cell, an over-full value, and a
+// negative one: exactly one row, bars clamped to the frame.
+func TestBarChartSingleCellAndClamp(t *testing.T) {
+	c := &BarChart{
+		Groups: []string{"sar"},
+		Series: []string{"history"},
+		Values: [][]float64{{2.5}}, // over full scale
+		Width:  10,
+	}
+	out := c.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("single-cell chart rendered %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], strings.Repeat("#", 10)) {
+		t.Fatalf("over-full bar not clamped to width 10: %q", lines[0])
+	}
+	c.Values = [][]float64{{-0.2}}
+	out = c.Render()
+	if strings.Contains(out, "#") {
+		t.Fatalf("negative value drew a bar: %q", out)
+	}
+	// Ragged Values (fewer rows than groups) must truncate, not panic.
+	c.Groups = []string{"sar", "madbench2"}
+	c.Series = []string{"history"}
+	c.Values = [][]float64{{0.5}}
+	if out := c.Render(); !strings.Contains(out, "sar/history") || strings.Contains(out, "madbench2") {
+		t.Fatalf("ragged chart render:\n%s", out)
+	}
+}
+
+// Table with no rows still renders a header and rule; a single short row
+// pads to the header width.
+func TestTableEdgeCases(t *testing.T) {
+	out := Table([]string{"Metric", "Value"}, nil)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("empty table rendered %d lines, want header+rule:\n%s", len(lines), out)
+	}
+	out = Table([]string{"Metric", "Value"}, [][]string{{"x", "1"}})
+	if !strings.Contains(out, "x") || !strings.Contains(out, "1") {
+		t.Fatalf("single-row table:\n%s", out)
+	}
+}

@@ -2,7 +2,6 @@ package metrics
 
 import (
 	"sort"
-	"sync"
 
 	"sdds/internal/disk"
 	"sdds/internal/sim"
@@ -11,8 +10,15 @@ import (
 // GapTrace records every idle gap of every disk with its start time, so a
 // second simulation pass can replay them as perfect predictions (the
 // Oracle policy's HintSource). It implements disk.IdleRecorder.
+//
+// Concurrency contract: a GapTrace is single-goroutine, like the engine it
+// observes. RecordIdle is called only from the engine loop of the recording
+// run, and NextIdle/Len only after that run has finished (the Oracle replay
+// is a separate, later run). The harness never shares one GapTrace across
+// concurrent runs — each Oracle ablation builds its own pair of passes —
+// so the hot path needs no lock (it used to take a mutex per idle gap;
+// TestGapTraceNotSharedAcrossRuns keeps the contract honest under -race).
 type GapTrace struct {
-	mu   sync.Mutex
 	now  func() sim.Time
 	gaps map[int][]TracedGap
 }
@@ -30,10 +36,8 @@ func NewGapTrace(now func() sim.Time) *GapTrace {
 }
 
 // RecordIdle implements disk.IdleRecorder: the gap ended now, so it began
-// at now − gap.
+// at now − gap. Engine goroutine only.
 func (t *GapTrace) RecordIdle(d *disk.Disk, gap sim.Duration) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.gaps[d.ID] = append(t.gaps[d.ID], TracedGap{Start: t.now() - gap, Gap: gap})
 }
 
@@ -41,8 +45,6 @@ var _ disk.IdleRecorder = (*GapTrace)(nil)
 
 // Len returns the number of recorded gaps for one disk.
 func (t *GapTrace) Len(diskID int) int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	return len(t.gaps[diskID])
 }
 
@@ -51,8 +53,6 @@ func (t *GapTrace) Len(diskID int) int {
 // timing drifts slightly from the recording run's, nearest-start matching
 // is the right lookup.
 func (t *GapTrace) NextIdle(diskID int, now sim.Time) (sim.Duration, bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	gs := t.gaps[diskID]
 	if len(gs) == 0 {
 		return 0, false

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sdds/internal/disk"
+	"sdds/internal/probe"
 	"sdds/internal/sim"
 )
 
@@ -121,6 +122,22 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Stats counts a policy's prediction outcomes over a run. A wrong
+// prediction is a request that found the disk mid-transition or below full
+// speed (the performance penalty §V attributes to each scheme); a
+// pre-activation is an ahead-of-time wake or ramp timer that fired while
+// the disk was still idle.
+type Stats struct {
+	WrongPredictions int64
+	PreActivations   int64
+}
+
+// StatsReporter is implemented by policies that track prediction outcomes.
+// The Default policy makes no predictions and does not implement it.
+type StatsReporter interface {
+	PolicyStats() Stats
+}
+
 // Policy is a per-disk power manager. It is installed as the disk's
 // listener by Attach.
 type Policy interface {
@@ -201,9 +218,12 @@ type simplePolicy struct {
 	timer         *sim.Event
 	timeoutFn     sim.Handler // bound once at Attach
 	cooldownUntil sim.Time
+	stats         Stats
 }
 
 func (p *simplePolicy) Kind() Kind { return KindSimple }
+
+func (p *simplePolicy) PolicyStats() Stats { return p.stats }
 
 func (p *simplePolicy) Attach(d *disk.Disk) {
 	p.timeoutFn = func(sim.Time) {
@@ -230,6 +250,8 @@ func (p *simplePolicy) RequestArrived(d *disk.Disk, now sim.Time) {
 	// mistake; back off before trying again.
 	if s := d.State(); s == disk.StateSpinningDown || s == disk.StateSpinningUp {
 		p.cooldownUntil = now + p.cfg.Cooldown
+		p.stats.WrongPredictions++
+		p.eng.Probe().Emit(probe.KindWrongPredict, int32(d.ID), int64(now), 0)
 	}
 }
 
@@ -256,13 +278,21 @@ type predictivePolicy struct {
 	wakeFn        sim.Handler // bound once at Attach
 	lastGap       sim.Duration
 	cooldownUntil sim.Time
+	stats         Stats
 }
 
 func (p *predictivePolicy) Kind() Kind { return KindPredictive }
 
+func (p *predictivePolicy) PolicyStats() Stats { return p.stats }
+
 func (p *predictivePolicy) Attach(d *disk.Disk) {
-	p.wakeFn = func(sim.Time) {
-		_ = d.SpinUp() // no-op error if a request already woke it
+	p.wakeFn = func(now sim.Time) {
+		// SpinUp errors when a request already woke the disk; only the
+		// successful ahead-of-time wake counts as a pre-activation.
+		if d.SpinUp() == nil {
+			p.stats.PreActivations++
+			p.eng.Probe().Emit(probe.KindPreActivation, int32(d.ID), int64(now), 0)
+		}
 	}
 	d.SetListener(p)
 	engageIfIdle(p, d, p.eng)
@@ -323,6 +353,8 @@ func (p *predictivePolicy) RequestArrived(d *disk.Disk, now sim.Time) {
 	// back off as the Simple policy does.
 	if s := d.State(); s == disk.StateSpinningDown || s == disk.StateSpinningUp {
 		p.cooldownUntil = now + p.cfg.Cooldown
+		p.stats.WrongPredictions++
+		p.eng.Probe().Emit(probe.KindWrongPredict, int32(d.ID), int64(now), 0)
 	}
 }
 
@@ -348,9 +380,12 @@ type historyPolicy struct {
 	idling    bool
 	rampTimer *sim.Event
 	reviseFn  sim.Handler // bound once at Attach; shared by ramp and revise
+	stats     Stats
 }
 
 func (p *historyPolicy) Kind() Kind { return KindHistory }
+
+func (p *historyPolicy) PolicyStats() Stats { return p.stats }
 
 func (p *historyPolicy) Attach(d *disk.Disk) {
 	p.reviseFn = func(now sim.Time) {
@@ -360,6 +395,8 @@ func (p *historyPolicy) Attach(d *disk.Disk) {
 		// Still idle when the timer fires: the idle period is provably
 		// longer than the working prediction, so revise upward instead of
 		// surfacing to full speed for the rest of a long gap.
+		p.stats.PreActivations++
+		p.eng.Probe().Emit(probe.KindPreActivation, int32(d.ID), int64(now), 0)
 		p.engage(d, 2*(now-p.idleStart))
 	}
 	d.SetListener(p)
@@ -463,6 +500,8 @@ func (p *historyPolicy) RequestArrived(d *disk.Disk, now sim.Time) {
 	// served at the current speed (the performance loss the paper
 	// describes); the disk returns to full speed at the next idle moment.
 	if d.TargetRPM() != d.Params().MaxRPM {
+		p.stats.WrongPredictions++
+		p.eng.Probe().Emit(probe.KindWrongPredict, int32(d.ID), int64(now), 0)
 		_ = d.SetTargetRPM(d.Params().MaxRPM, false)
 	}
 }
@@ -484,9 +523,12 @@ type staggeredPolicy struct {
 	cfg    Config
 	timer  *sim.Event
 	stepFn sim.Handler // bound once at Attach
+	stats  Stats
 }
 
 func (p *staggeredPolicy) Kind() Kind { return KindStaggered }
+
+func (p *staggeredPolicy) PolicyStats() Stats { return p.stats }
 
 func (p *staggeredPolicy) Attach(d *disk.Disk) {
 	p.stepFn = func(sim.Time) { p.stepDown(d) }
@@ -517,9 +559,11 @@ func (p *staggeredPolicy) stepDown(d *disk.Disk) {
 	p.timer = p.eng.Schedule(p.cfg.Timeout, "power.staggered.step", p.stepFn)
 }
 
-func (p *staggeredPolicy) RequestArrived(d *disk.Disk, _ sim.Time) {
+func (p *staggeredPolicy) RequestArrived(d *disk.Disk, now sim.Time) {
 	p.cancelTimer()
 	if d.TargetRPM() != d.Params().MaxRPM || d.RPM() != d.Params().MaxRPM {
+		p.stats.WrongPredictions++
+		p.eng.Probe().Emit(probe.KindWrongPredict, int32(d.ID), int64(now), 0)
 		// Back to the fastest speed. Service proceeds at the current speed
 		// while the (slow, UpShiftFactor×) recovery is pending — the disk
 		// model forces the ramp after at most maxUpDefer of continued
@@ -555,7 +599,11 @@ type Oracle struct {
 	hints  HintSource
 	margin float64
 	rampFn sim.Handler // bound once at Attach
+	stats  Stats
 }
+
+// PolicyStats reports the oracle's prediction outcomes.
+func (o *Oracle) PolicyStats() Stats { return o.stats }
 
 // NewOracle returns an oracle policy using hints for idle lengths.
 func NewOracle(eng *sim.Engine, cfg Config, hints HintSource) *Oracle {
@@ -569,7 +617,9 @@ func (o *Oracle) Kind() Kind { return KindHistory }
 
 // Attach installs the oracle as the disk's listener.
 func (o *Oracle) Attach(d *disk.Disk) {
-	o.rampFn = func(sim.Time) {
+	o.rampFn = func(now sim.Time) {
+		o.stats.PreActivations++
+		o.eng.Probe().Emit(probe.KindPreActivation, int32(d.ID), int64(now), 0)
 		_ = d.SetTargetRPM(d.Params().MaxRPM, false)
 	}
 	d.SetListener(o)
@@ -608,8 +658,10 @@ func (o *Oracle) IdleStarted(d *disk.Disk, now sim.Time) {
 
 // RequestArrived restores full speed if a hint was wrong (should not happen
 // with a faithful trace).
-func (o *Oracle) RequestArrived(d *disk.Disk, _ sim.Time) {
+func (o *Oracle) RequestArrived(d *disk.Disk, now sim.Time) {
 	if d.TargetRPM() != d.Params().MaxRPM {
+		o.stats.WrongPredictions++
+		o.eng.Probe().Emit(probe.KindWrongPredict, int32(d.ID), int64(now), 0)
 		_ = d.SetTargetRPM(d.Params().MaxRPM, false)
 	}
 }

@@ -1,0 +1,245 @@
+package probe
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// The exported trace groups tracks into four Chrome "processes":
+//
+//	pid 0  disks          one row per disk: power-state spans + I/O,
+//	                      spin and prediction instants (virtual time)
+//	pid 1  ionodes        one row per I/O node: storage-cache instants
+//	pid 2  client buffer  global-buffer hit/miss instants
+//	pid 3  phases         wall-clock spans (plan, compile, simulate)
+//
+// Disk/node/buffer timestamps are the engine's virtual microseconds; phase
+// spans are wall microseconds since the probe was created. chrome://tracing
+// and Perfetto render both, but offsets across the two are meaningless.
+const (
+	pidDisks  = 0
+	pidNodes  = 1
+	pidBuffer = 2
+	pidPhases = 3
+)
+
+// ChromeOptions tunes the export.
+type ChromeOptions struct {
+	// StateName renders a KindDiskState record's arg as the span name
+	// (pass a disk.State stringer). Nil falls back to "state <n>".
+	StateName func(arg int64) string
+}
+
+// traceEvent is one entry of the Chrome trace-event format's JSON array
+// (the subset of the spec the exporter emits: M metadata, X complete
+// events, i instants).
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  *int64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the object form of the trace-event file.
+type chromeTrace struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders the probe's retained records and spans as a
+// Chrome trace-event JSON object that chrome://tracing and Perfetto load
+// directly: one named track per disk carrying its power-state spans and
+// instant events, one per I/O node, one for the client buffer, and one per
+// phase-span track.
+func WriteChromeTrace(w io.Writer, p *Probe, opts ChromeOptions) error {
+	if p == nil {
+		return fmt.Errorf("probe: cannot export a nil probe")
+	}
+	stateName := opts.StateName
+	if stateName == nil {
+		stateName = func(arg int64) string { return fmt.Sprintf("state %d", arg) }
+	}
+	recs := p.Records()
+	var events []traceEvent
+
+	// Pass 1: discover tracks and the end-of-trace timestamp.
+	diskSeen := map[int32]bool{}
+	nodeSeen := map[int32]bool{}
+	bufferSeen := false
+	var maxT int64
+	for _, r := range recs {
+		if r.T > maxT {
+			maxT = r.T
+		}
+		switch r.Kind {
+		case KindDiskState, KindIOIssue, KindIOComplete, KindSpinUp,
+			KindSpinDown, KindRPMShift, KindPreActivation, KindWrongPredict:
+			diskSeen[r.ID] = true
+		case KindCacheHit, KindCacheMiss, KindPrefetch:
+			nodeSeen[r.ID] = true
+		case KindBufferHit, KindBufferMiss:
+			bufferSeen = true
+		}
+	}
+
+	// Metadata: name every process and track, in sorted (deterministic)
+	// order so exports diff cleanly.
+	meta := func(pid int, tid int64, name string) {
+		events = append(events, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	procMeta := func(pid int, name string) {
+		events = append(events, traceEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	if len(diskSeen) > 0 {
+		procMeta(pidDisks, "disks")
+		for _, id := range sortedIDs(diskSeen) {
+			meta(pidDisks, int64(id), fmt.Sprintf("disk %d", id))
+		}
+	}
+	if len(nodeSeen) > 0 {
+		procMeta(pidNodes, "ionodes")
+		for _, id := range sortedIDs(nodeSeen) {
+			meta(pidNodes, int64(id), fmt.Sprintf("ionode %d", id))
+		}
+	}
+	if bufferSeen {
+		procMeta(pidBuffer, "client buffer")
+		meta(pidBuffer, 0, "global buffer")
+	}
+
+	// Pass 2: power-state spans (consecutive KindDiskState records per
+	// disk) and instant events.
+	type openState struct {
+		arg   int64
+		since int64
+		open  bool
+	}
+	states := map[int32]*openState{}
+	closeState := func(id int32, upTo int64) {
+		st := states[id]
+		if st == nil || !st.open {
+			return
+		}
+		dur := upTo - st.since
+		events = append(events, traceEvent{
+			Name: stateName(st.arg), Ph: "X", Ts: st.since, Dur: &dur,
+			Pid: pidDisks, Tid: int64(id),
+		})
+		st.open = false
+	}
+	instant := func(r Record, pid int, tid int64, args map[string]any) {
+		events = append(events, traceEvent{
+			Name: r.Kind.String(), Ph: "i", Ts: r.T, Pid: pid, Tid: tid,
+			S: "t", Args: args,
+		})
+	}
+	for _, r := range recs {
+		switch r.Kind {
+		case KindDiskState:
+			closeState(r.ID, r.T)
+			st := states[r.ID]
+			if st == nil {
+				st = &openState{}
+				states[r.ID] = st
+			}
+			st.arg, st.since, st.open = r.Arg, r.T, true
+		case KindIOIssue, KindIOComplete:
+			instant(r, pidDisks, int64(r.ID), map[string]any{"bytes": r.Arg})
+		case KindSpinUp:
+			args := map[string]any{}
+			if r.Arg == 1 {
+				args["aborted spin-down"] = true
+			}
+			instant(r, pidDisks, int64(r.ID), args)
+		case KindSpinDown, KindPreActivation, KindWrongPredict:
+			instant(r, pidDisks, int64(r.ID), nil)
+		case KindRPMShift:
+			instant(r, pidDisks, int64(r.ID), map[string]any{"target_rpm": r.Arg})
+		case KindCacheHit, KindCacheMiss, KindPrefetch:
+			instant(r, pidNodes, int64(r.ID), map[string]any{"unit": r.Arg})
+		case KindBufferHit, KindBufferMiss:
+			instant(r, pidBuffer, 0, map[string]any{"access": r.ID})
+		}
+	}
+	// Close trailing state spans at the last record's timestamp so every
+	// disk's final state is visible.
+	openIDs := make(map[int32]bool, len(states))
+	for id, st := range states {
+		if st.open {
+			openIDs[id] = true
+		}
+	}
+	for _, id := range sortedIDs(openIDs) {
+		closeState(id, maxT)
+	}
+
+	// Phase spans (wall clock, separate pid).
+	p.mu.Lock()
+	spans := append([]spanRec(nil), p.spans...)
+	p.mu.Unlock()
+	if len(spans) > 0 {
+		procMeta(pidPhases, "phases")
+		tracks := map[int32]bool{}
+		var spanMax int64
+		for _, s := range spans {
+			tracks[s.track] = true
+			if s.end > spanMax {
+				spanMax = s.end
+			}
+			if s.start > spanMax {
+				spanMax = s.start
+			}
+		}
+		for _, tr := range sortedIDs(tracks) {
+			meta(pidPhases, int64(tr), phaseTrackName(tr))
+		}
+		for _, s := range spans {
+			end := s.end
+			if end < 0 {
+				end = spanMax // still open at export: truncate, don't drop
+			}
+			dur := end - s.start
+			events = append(events, traceEvent{
+				Name: s.name, Ph: "X", Ts: s.start, Dur: &dur,
+				Pid: pidPhases, Tid: int64(s.track),
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// phaseTrackName names the well-known span tracks.
+func phaseTrackName(track int32) string {
+	switch track {
+	case TrackPlan:
+		return "plan"
+	case TrackRun:
+		return "run"
+	default:
+		return fmt.Sprintf("worker %d", track-TrackWorkerBase)
+	}
+}
+
+// sortedIDs returns the map's keys ascending.
+func sortedIDs(m map[int32]bool) []int32 {
+	out := make([]int32, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

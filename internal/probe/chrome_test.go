@@ -1,0 +1,137 @@
+package probe
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func decodeTrace(t *testing.T, buf *bytes.Buffer) chromeTrace {
+	t.Helper()
+	var tr chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	return tr
+}
+
+func TestWriteChromeTraceNil(t *testing.T) {
+	if err := WriteChromeTrace(&bytes.Buffer{}, nil, ChromeOptions{}); err == nil {
+		t.Fatal("want error exporting a nil probe")
+	}
+}
+
+func TestWriteChromeTraceDiskTracks(t *testing.T) {
+	p := NewProbe(1024)
+	// Disk 0: standby -> active at t=100 -> (open until maxT).
+	p.Emit(KindDiskState, 0, 0, 1)
+	p.Emit(KindDiskState, 0, 100, 2)
+	p.Emit(KindIOIssue, 0, 100, 4096)
+	p.Emit(KindIOComplete, 0, 150, 4096)
+	// Disk 3 appears only via a spin-up instant.
+	p.Emit(KindSpinUp, 3, 200, 1)
+	p.Emit(KindCacheMiss, 7, 90, 12)
+	p.Emit(KindBufferHit, 42, 95, 0)
+
+	var buf bytes.Buffer
+	err := WriteChromeTrace(&buf, p, ChromeOptions{
+		StateName: func(arg int64) string { return "S" + string(rune('0'+arg)) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := decodeTrace(t, &buf)
+	if tr.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", tr.DisplayTimeUnit)
+	}
+
+	threadNames := map[string]bool{}
+	var spans, instants int
+	for _, ev := range tr.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				threadNames[ev.Args["name"].(string)] = true
+			}
+		case "X":
+			spans++
+			if ev.Dur == nil || *ev.Dur < 0 {
+				t.Fatalf("X event %q has bad dur", ev.Name)
+			}
+		case "i":
+			instants++
+			if ev.S != "t" {
+				t.Fatalf("instant %q scope = %q, want t", ev.Name, ev.S)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	for _, want := range []string{"disk 0", "disk 3", "ionode 7", "global buffer"} {
+		if !threadNames[want] {
+			t.Errorf("missing thread_name %q (have %v)", want, threadNames)
+		}
+	}
+	// Two state spans: S1 [0,100) and trailing S2 closed at maxT=200.
+	if spans != 2 {
+		t.Fatalf("spans = %d, want 2", spans)
+	}
+	// io issue, io complete, spin-up, cache miss, buffer hit.
+	if instants != 5 {
+		t.Fatalf("instants = %d, want 5", instants)
+	}
+	if !strings.Contains(buf.String(), `"aborted spin-down":true`) {
+		t.Error("spin-up with arg=1 should carry the aborted marker")
+	}
+}
+
+func TestWriteChromeTracePhaseSpans(t *testing.T) {
+	p := NewSpanProbe()
+	p.StartSpan(TrackPlan, "plan").End()
+	p.StartSpan(TrackRun, "compile").End()
+	open := p.StartSpan(TrackWorkerBase+1, "app=btio") // left open: truncated
+	_ = open
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, p, ChromeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	tr := decodeTrace(t, &buf)
+	names := map[string]bool{}
+	spanNames := map[string]bool{}
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			names[ev.Args["name"].(string)] = true
+		}
+		if ev.Ph == "X" {
+			spanNames[ev.Name] = true
+			if ev.Dur == nil || *ev.Dur < 0 {
+				t.Fatalf("span %q has bad dur", ev.Name)
+			}
+		}
+	}
+	for _, want := range []string{"plan", "run", "worker 1"} {
+		if !names[want] {
+			t.Errorf("missing phase track %q (have %v)", want, names)
+		}
+	}
+	for _, want := range []string{"plan", "compile", "app=btio"} {
+		if !spanNames[want] {
+			t.Errorf("missing span %q (have %v)", want, spanNames)
+		}
+	}
+}
+
+func TestWriteChromeTraceDefaultStateName(t *testing.T) {
+	p := NewProbe(1024)
+	p.Emit(KindDiskState, 0, 0, 5)
+	p.Emit(KindDiskState, 0, 10, 6)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, p, ChromeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"state 5"`) {
+		t.Error("default state namer should render 'state 5'")
+	}
+}

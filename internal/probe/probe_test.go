@@ -1,0 +1,181 @@
+package probe
+
+import (
+	"testing"
+)
+
+func TestNilProbeIsInert(t *testing.T) {
+	var p *Probe
+	p.Emit(KindIOIssue, 1, 10, 64) // must not panic
+	if p.Len() != 0 || p.Emitted() != 0 || p.Dropped() != 0 || p.Capacity() != 0 {
+		t.Fatal("nil probe reports non-zero state")
+	}
+	if got := p.Records(); got != nil {
+		t.Fatalf("nil probe records = %v", got)
+	}
+	sp := p.StartSpan(0, "noop")
+	sp.End() // must not panic
+	if p.SpanCount() != 0 {
+		t.Fatal("nil probe recorded a span")
+	}
+}
+
+func TestSpanProbeHasNoRing(t *testing.T) {
+	p := NewSpanProbe()
+	p.Emit(KindIOIssue, 1, 10, 64)
+	if p.Len() != 0 || p.Capacity() != 0 {
+		t.Fatal("span probe accepted ring records")
+	}
+	sp := p.StartSpan(TrackPlan, "plan")
+	sp.End()
+	if p.SpanCount() != 1 {
+		t.Fatalf("spans = %d, want 1", p.SpanCount())
+	}
+}
+
+func TestEmitAndRecordsInOrder(t *testing.T) {
+	p := NewProbe(1024)
+	for i := 0; i < 10; i++ {
+		p.Emit(KindIOIssue, int32(i), int64(i * 100), int64(i))
+	}
+	recs := p.Records()
+	if len(recs) != 10 {
+		t.Fatalf("len = %d, want 10", len(recs))
+	}
+	for i, r := range recs {
+		if r.ID != int32(i) || r.T != int64(i*100) || r.Arg != int64(i) || r.Kind != KindIOIssue {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+	if p.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", p.Dropped())
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	p := NewProbe(1) // rounds up to the 1024 minimum
+	n := p.Capacity()
+	total := n + 37
+	for i := 0; i < total; i++ {
+		p.Emit(KindDiskState, 0, int64(i), int64(i))
+	}
+	if got := p.Len(); got != n {
+		t.Fatalf("len = %d, want %d", got, n)
+	}
+	if got := p.Dropped(); got != uint64(37) {
+		t.Fatalf("dropped = %d, want 37", got)
+	}
+	recs := p.Records()
+	if recs[0].T != 37 {
+		t.Fatalf("oldest retained T = %d, want 37 (flight-recorder keeps the tail)", recs[0].T)
+	}
+	if recs[len(recs)-1].T != int64(total-1) {
+		t.Fatalf("newest T = %d, want %d", recs[len(recs)-1].T, total-1)
+	}
+}
+
+func TestCapacityRoundsToPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, 1024}, {1000, 1024}, {1025, 2048}, {1 << 16, 1 << 16},
+	} {
+		if got := NewProbe(tc.ask).Capacity(); got != tc.want {
+			t.Errorf("NewProbe(%d).Capacity() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	p := NewProbe(1024)
+	sp := p.StartSpan(TrackRun, "compile")
+	sp.End()
+	first := p.spans[0].end
+	sp.End()
+	if p.spans[0].end != first {
+		t.Fatal("second End moved the span end")
+	}
+	if first < 0 {
+		t.Fatal("End did not close the span")
+	}
+}
+
+func TestSpansConcurrent(t *testing.T) {
+	p := NewSpanProbe()
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		g := g
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				p.StartSpan(int32(g), "s").End()
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if got := p.SpanCount(); got != 800 {
+		t.Fatalf("spans = %d, want 800", got)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("disk.spin_ups")
+	c.Inc()
+	c.Add(2)
+	g := r.Gauge("disk.queue_high_water")
+	g.Observe(3)
+	g.Observe(1) // lower: ignored
+	r.Gauge("buffer.hit_ratio").Set(0.5)
+	if v := r.Value("disk.spin_ups"); v != 3 {
+		t.Fatalf("spin_ups = %v, want 3", v)
+	}
+	if v := r.Value("disk.queue_high_water"); v != 3 {
+		t.Fatalf("high water = %v, want 3", v)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot len = %d, want 3", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Name >= snap[i].Name {
+			t.Fatalf("snapshot not sorted: %q before %q", snap[i-1].Name, snap[i].Name)
+		}
+	}
+	// Re-registering a name returns the same slot.
+	r.Counter("disk.spin_ups").Inc()
+	if v := r.Value("disk.spin_ups"); v != 4 {
+		t.Fatalf("after re-register = %v, want 4", v)
+	}
+}
+
+func TestNilRegistryHandles(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").Observe(1)
+	r.Gauge("y").Set(2)
+	if r.Len() != 0 || r.Snapshot() != nil || r.Value("x") != 0 {
+		t.Fatal("nil registry not inert")
+	}
+}
+
+// BenchmarkEmit is the enabled hot path: must be 0 allocs/op.
+func BenchmarkEmit(b *testing.B) {
+	p := NewProbe(1 << 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Emit(KindDiskState, 3, int64(i), 4)
+	}
+}
+
+// BenchmarkEmitDisabled is the nil-probe path every emit site pays when
+// tracing is off: a single predictable branch.
+func BenchmarkEmitDisabled(b *testing.B) {
+	var p *Probe
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Emit(KindDiskState, 3, int64(i), 4)
+	}
+}

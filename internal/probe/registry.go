@@ -1,0 +1,131 @@
+package probe
+
+import "sort"
+
+// Metric is one named value in a registry snapshot.
+type Metric struct {
+	Name  string
+	Value float64
+}
+
+// Registry is a per-run set of named counters and gauges. Registration
+// allocates (setup or end-of-run); Add/Inc/Observe on the returned handles
+// do not, so handles may be used from hot paths. Like the ring, a registry
+// is owned by one goroutine at a time — the cluster runner builds one per
+// run and snapshots it into the Result.
+type Registry struct {
+	index   map[string]int
+	names   []string
+	values  []float64
+	isGauge []bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]int)}
+}
+
+// slot returns the value index for name, registering it on first use.
+func (r *Registry) slot(name string, gauge bool) int {
+	if i, ok := r.index[name]; ok {
+		return i
+	}
+	i := len(r.values)
+	r.index[name] = i
+	r.names = append(r.names, name)
+	r.values = append(r.values, 0)
+	r.isGauge = append(r.isGauge, gauge)
+	return i
+}
+
+// Counter is a monotonically increasing metric handle.
+type Counter struct {
+	r *Registry
+	i int
+}
+
+// Counter registers (or finds) a counter named name.
+func (r *Registry) Counter(name string) Counter {
+	if r == nil {
+		return Counter{}
+	}
+	return Counter{r: r, i: r.slot(name, false)}
+}
+
+// Add increases the counter by delta. Nil-safe.
+func (c Counter) Add(delta float64) {
+	if c.r == nil {
+		return
+	}
+	c.r.values[c.i] += delta
+}
+
+// Inc increases the counter by one. Nil-safe.
+func (c Counter) Inc() { c.Add(1) }
+
+// Gauge is a high-water-mark metric handle: Observe keeps the maximum, Set
+// overwrites.
+type Gauge struct {
+	r *Registry
+	i int
+}
+
+// Gauge registers (or finds) a gauge named name.
+func (r *Registry) Gauge(name string) Gauge {
+	if r == nil {
+		return Gauge{}
+	}
+	return Gauge{r: r, i: r.slot(name, true)}
+}
+
+// Observe raises the gauge to v if v exceeds the current value. Nil-safe.
+func (g Gauge) Observe(v float64) {
+	if g.r == nil {
+		return
+	}
+	if v > g.r.values[g.i] {
+		g.r.values[g.i] = v
+	}
+}
+
+// Set overwrites the gauge. Nil-safe.
+func (g Gauge) Set(v float64) {
+	if g.r == nil {
+		return
+	}
+	g.r.values[g.i] = v
+}
+
+// Value returns the current value of the named metric (0 if unregistered).
+func (r *Registry) Value(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	if i, ok := r.index[name]; ok {
+		return r.values[i]
+	}
+	return 0
+}
+
+// Len reports how many metrics are registered.
+func (r *Registry) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.values)
+}
+
+// Snapshot returns every metric sorted by name — a deterministic order
+// regardless of registration interleaving, so snapshots are directly
+// comparable and printable.
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	out := make([]Metric, len(r.values))
+	for i, n := range r.names {
+		out[i] = Metric{Name: n, Value: r.values[i]}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -7,7 +7,11 @@
 // has passed the write point ("local time" synchronization).
 package sched
 
-import "fmt"
+import (
+	"fmt"
+
+	"sdds/internal/probe"
+)
 
 // entryState tracks a buffer entry's lifecycle.
 type entryState int
@@ -26,6 +30,27 @@ type GlobalBuffer struct {
 	entries  map[int]bufEntry // access ID → entry
 
 	hits, misses, inserted, dropped int64
+
+	// Flight recorder, installed by SetProbe. now supplies the virtual
+	// timestamp for each record (the buffer itself is clockless).
+	pr  *probe.Probe
+	now func() int64
+}
+
+// SetProbe attaches a flight recorder; now supplies the virtual time each
+// hit/miss record is stamped with. A nil probe disables emission.
+func (b *GlobalBuffer) SetProbe(pr *probe.Probe, now func() int64) {
+	b.pr = pr
+	b.now = now
+}
+
+// emit records one buffer hit/miss. The pr check keeps the now() call off
+// the untraced path.
+func (b *GlobalBuffer) emit(k probe.Kind, id int) {
+	if b.pr == nil {
+		return
+	}
+	b.pr.Emit(k, int32(id), b.now(), 0)
 }
 
 type bufEntry struct {
@@ -95,6 +120,7 @@ func (b *GlobalBuffer) Commit(id int) bool {
 		delete(b.entries, id)
 		b.used -= e.bytes
 		b.hits++
+		b.emit(probe.KindBufferHit, id)
 		for _, w := range e.waiters {
 			w()
 		}
@@ -115,12 +141,14 @@ func (b *GlobalBuffer) WaitConsume(id int, onReady func()) bool {
 	e, ok := b.entries[id]
 	if !ok {
 		b.misses++
+		b.emit(probe.KindBufferMiss, id)
 		return false
 	}
 	if e.state == stateReady {
 		delete(b.entries, id)
 		b.used -= e.bytes
 		b.hits++
+		b.emit(probe.KindBufferHit, id)
 		onReady()
 		return true
 	}
@@ -149,6 +177,7 @@ func (b *GlobalBuffer) TryConsume(id int) bool {
 	e, ok := b.entries[id]
 	if !ok {
 		b.misses++
+		b.emit(probe.KindBufferMiss, id)
 		return false
 	}
 	if e.state == statePending {
@@ -158,11 +187,13 @@ func (b *GlobalBuffer) TryConsume(id int) bool {
 		b.used -= e.bytes
 		b.misses++
 		b.dropped++
+		b.emit(probe.KindBufferMiss, id)
 		return false
 	}
 	delete(b.entries, id)
 	b.used -= e.bytes
 	b.hits++
+	b.emit(probe.KindBufferHit, id)
 	return true
 }
 

@@ -16,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+
+	"sdds/internal/probe"
 )
 
 // Time is a point in virtual time, measured in microseconds since the start
@@ -118,6 +120,11 @@ type Engine struct {
 	// Stats for observability and tests.
 	fired     uint64
 	scheduled uint64
+
+	// probe is the optional flight recorder. The engine itself never emits
+	// (Step's budget is sacred); it only carries the pointer so models can
+	// fetch it once at construction and emit from their own call sites.
+	probe *probe.Probe
 }
 
 // NewEngine returns an engine with the clock at zero and the given RNG seed.
@@ -131,6 +138,16 @@ func (e *Engine) Now() Time { return e.now }
 // Rand returns the engine's deterministic RNG. Model code must use this (and
 // never the global rand) so runs are reproducible from the seed.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// SetProbe attaches a flight recorder. Call before constructing models:
+// they cache the pointer at New time, so a probe set later is invisible to
+// them. A nil probe (the default) disables tracing.
+func (e *Engine) SetProbe(p *probe.Probe) { e.probe = p }
+
+// Probe returns the attached flight recorder, or nil when tracing is off.
+// Model emit sites call through the returned pointer; probe.Emit is
+// nil-safe, so callers need no guard of their own.
+func (e *Engine) Probe() *probe.Probe { return e.probe }
 
 // EventsFired reports how many events have executed so far.
 func (e *Engine) EventsFired() uint64 { return e.fired }
