@@ -5,9 +5,9 @@ GO ?= go
 # sandboxes, air-gapped machines) skip it with a notice instead of failing.
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: ci lint vet sddsvet staticcheck build test race smoke trace-smoke bench
+.PHONY: ci lint vet sddsvet staticcheck build test race smoke trace-smoke fault-smoke bench
 
-ci: lint build race smoke trace-smoke
+ci: lint build race smoke trace-smoke fault-smoke
 
 # Fast static tier: runs in seconds, ahead of the (90-minute) race tier.
 lint: vet sddsvet staticcheck
@@ -55,6 +55,18 @@ trace-smoke:
 	$(GO) run ./cmd/sddsim -app madbench2 -policy history -scheduling \
 		-scale 0.05 -procs 8 -trace "$$tmp/trace.json" >/dev/null && \
 	$(GO) run ./cmd/tracecheck "$$tmp/trace.json"
+
+# Fault injection end to end: a short injected sweep writes a crash-safe
+# journal, then a -resume rerun reloads every completed run and simulates
+# nothing new — the round-trip that makes killed sweeps restartable.
+fault-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) run ./cmd/sddstables -experiment table3 -scale 0.05 -apps sar,hf \
+		-faults 'read=0.02,net-drop=0.01,stall=0.01,seed=7' \
+		-journal "$$tmp/sweep.journal" -progress=false >/dev/null && \
+	$(GO) run ./cmd/sddstables -experiment table3 -scale 0.05 -apps sar,hf \
+		-faults 'read=0.02,net-drop=0.01,stall=0.01,seed=7' \
+		-journal "$$tmp/sweep.journal" -resume -progress=false >/dev/null
 
 # Perf trajectory: engine microbenchmarks (steady-state schedule+fire, the
 # container/heap baseline they are measured against) plus a fig12c-shape

@@ -14,6 +14,7 @@ import (
 
 	"sdds/internal/cluster"
 	"sdds/internal/disk"
+	"sdds/internal/fault"
 	"sdds/internal/metrics"
 	"sdds/internal/power"
 	"sdds/internal/probe"
@@ -50,6 +51,8 @@ func runCtx(ctx context.Context, args []string) error {
 		trace      = fs.String("trace", "", "write a Chrome trace-event JSON of the run to this file (load in chrome://tracing or Perfetto)")
 		traceRing  = fs.Int("trace-ring", 1<<20, "probe ring capacity in records (oldest overwritten on overflow)")
 		showMetric = fs.Bool("metrics", false, "print the run's full counter/gauge registry")
+		timeout    = fs.Duration("timeout", 0, "wall-clock deadline for the run (0 = none)")
+		faults     = fs.String("faults", "", "deterministic fault-injection spec, e.g. 'read=0.01,spinup-fail=0.2,seed=7' (empty = no injection)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,10 +81,22 @@ func runCtx(ctx context.Context, args []string) error {
 	cfg.Compiler.Delta = *delta
 	cfg.Compiler.Theta = *theta
 	cfg.Seed = *seed
+	if *faults != "" {
+		fc, err := fault.ParseSpec(*faults)
+		if err != nil {
+			return err
+		}
+		cfg.Faults = fc
+	}
 	if *trace != "" {
 		cfg.Probe = probe.NewProbe(*traceRing)
 	}
 
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	res, err := cluster.RunContext(ctx, prog, cfg)
 	if err != nil {
 		return err
@@ -125,6 +140,14 @@ func runCtx(ctx context.Context, args []string) error {
 			len(res.Compile.Accesses), res.Compile.Program.Slots(*procs),
 			res.Compile.CompileTime.Round(1e6), res.Compile.UsedProfiler)
 	}
+	if fs := res.Faults; fs != nil {
+		fmt.Printf("faults injected:  %d (disk errors %d, remaps %d, spin-up fail/delay %d/%d, net drop/dup %d/%d, stalls %d)\n",
+			fs.Total(), fs.DiskTransientErrors, fs.BadSectorRemaps, fs.SpinUpFailures, fs.SpinUpDelays,
+			fs.NetDrops, fs.NetDups, fs.NodeStalls)
+		fmt.Printf("degradation:      node retries %d (exhausted %d), mw retries %d, io re-issues %d (abandoned %d), prefetch aborts %d (fallbacks %d)\n",
+			fs.NodeRetries, fs.NodeRetriesExhausted, fs.MWRetries, fs.IORetries, fs.IOAbandoned,
+			fs.PrefetchAborts, fs.Fallbacks)
+	}
 	fmt.Printf("idle periods:     %d recorded, mean %.0f ms\n", res.Idle.Count(), res.Idle.Mean().Milliseconds())
 	fmt.Println()
 	rows := make([][]string, 0, len(metrics.PaperBucketsMs))
@@ -149,7 +172,10 @@ func writeTrace(path string, p *probe.Probe) error {
 	if err != nil {
 		return err
 	}
-	opts := probe.ChromeOptions{StateName: func(arg int64) string { return disk.State(arg).String() }}
+	opts := probe.ChromeOptions{
+		StateName:     func(arg int64) string { return disk.State(arg).String() },
+		FaultSiteName: func(id int32) string { return fault.Site(id).String() },
+	}
 	if err := probe.WriteChromeTrace(f, p, opts); err != nil {
 		f.Close()
 		return err

@@ -25,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"sdds/internal/fault"
 	"sdds/internal/harness"
 	"sdds/internal/probe"
 )
@@ -55,6 +56,10 @@ func runCtx(ctx context.Context, args []string) error {
 		memprofile = fs.String("memprofile", "", "write an allocation profile to this file at exit")
 		showMetric = fs.Bool("metrics", false, "print each simulated run's counter/gauge registry as a '# metrics' line on stdout")
 		tracePath  = fs.String("trace", "", "write a Chrome trace of the session's phases (plan, per-worker runs, compile/simulate) to this file")
+		timeout    = fs.Duration("timeout", 0, "per-run wall-clock deadline (0 = none); a run exceeding it fails with a deadline error")
+		faults     = fs.String("faults", "", "deterministic fault-injection spec, e.g. 'read=0.01,net-drop=0.005,seed=7' (empty = no injection)")
+		journal    = fs.String("journal", "", "append every completed run to this crash-safe JSONL journal")
+		resume     = fs.Bool("resume", false, "with -journal: reload its intact entries and simulate only the missing runs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,6 +99,16 @@ func runCtx(ctx context.Context, args []string) error {
 	// Validate every name-shaped flag before simulating anything: an
 	// unknown app or experiment must fail here, not minutes into a run.
 	cfg := harness.Config{Scale: *scale, Seed: *seed}
+	if *faults != "" {
+		fc, err := fault.ParseSpec(*faults)
+		if err != nil {
+			return err
+		}
+		cfg.Faults = fc
+	}
+	if *resume && *journal == "" {
+		return errors.New("-resume requires -journal")
+	}
 	if *apps != "" {
 		cfg.Apps = strings.Split(*apps, ",")
 		for i := range cfg.Apps {
@@ -122,11 +137,25 @@ func runCtx(ctx context.Context, args []string) error {
 	if *tracePath != "" {
 		sessProbe = probe.NewSpanProbe()
 	}
+	var jrn *harness.Journal
+	if *journal != "" {
+		j, err := harness.OpenJournal(*journal, *resume)
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		jrn = j
+	}
 	sess := harness.NewSession(harness.SessionOptions{
-		Workers:  *workers,
-		Progress: combineProgress(metricsPrinter(*showMetric), progressLine(*progress, resolvedWorkers)),
-		Probe:    sessProbe,
+		Workers:    *workers,
+		Progress:   combineProgress(metricsPrinter(*showMetric), progressLine(*progress, resolvedWorkers)),
+		Probe:      sessProbe,
+		RunTimeout: *timeout,
+		Journal:    jrn,
 	})
+	if jrn != nil && *resume {
+		fmt.Fprintf(os.Stderr, "journal %s: resumed %d completed runs\n", jrn.Path(), sess.Preloaded())
+	}
 	for i, e := range experiments {
 		start := time.Now()
 		res, err := sess.Run(ctx, e, cfg)
@@ -151,6 +180,10 @@ func runCtx(ctx context.Context, args []string) error {
 	if *progress {
 		fmt.Fprintf(os.Stderr, "%d distinct configurations simulated, %d reads served from cache, %d workers\n",
 			simulated, hits, sess.Workers())
+	}
+	if jrn != nil {
+		fmt.Fprintf(os.Stderr, "journal %s: %d runs appended (%d resumed)\n",
+			jrn.Path(), jrn.Appends(), sess.Preloaded())
 	}
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)

@@ -16,6 +16,30 @@ func TestSimdet(t *testing.T) {
 	analysistest.Run(t, "testdata/src/simdetbad", simdet.Analyzer)
 }
 
+// TestSimdetFaultFixture proves the analyzer rejects nondeterministic hit
+// decisions in fault-injector-shaped code (global RNG, wall clock) while
+// accepting the real injector's seeded splitmix counter stream.
+func TestSimdetFaultFixture(t *testing.T) {
+	defer overridePackages(t, regexp.MustCompile(`.`))()
+	analysistest.Run(t, "testdata/src/faultbad", simdet.Analyzer)
+}
+
+// TestSimdetCoversFaultPackage pins the default scope to include the
+// fault-injection package: its per-site streams feed golden-compared
+// results exactly like the device models do.
+func TestSimdetCoversFaultPackage(t *testing.T) {
+	for _, pkg := range []string{
+		"sdds/internal/sim", "sdds/internal/fault", "sdds/internal/disk",
+	} {
+		if !simdet.SimPackages.MatchString(pkg) {
+			t.Errorf("SimPackages does not cover %s", pkg)
+		}
+	}
+	if simdet.SimPackages.MatchString("sdds/internal/harness") {
+		t.Error("SimPackages must not cover the harness (host-side code)")
+	}
+}
+
 // TestSimdetScopedToSimPackages proves the default package pattern keeps the
 // analyzer away from non-simulation code: the same violation-dense fixture
 // yields zero diagnostics when its package path is out of scope.

@@ -12,6 +12,7 @@ import (
 
 	"sdds/internal/compiler"
 	"sdds/internal/disk"
+	"sdds/internal/fault"
 	"sdds/internal/ionode"
 	"sdds/internal/netsim"
 	"sdds/internal/power"
@@ -64,6 +65,12 @@ type Config struct {
 	// is bit-identical to an untraced one. A ring-bearing probe must not be
 	// shared across concurrent runs (use probe.NewSpanProbe for that).
 	Probe *probe.Probe
+	// Faults, when non-nil, attaches a deterministic fault injector to the
+	// run: transient disk errors, bad-sector remaps, spin-up failures and
+	// delays, network drops/duplicates, and I/O-node stalls, each drawn from
+	// its own seeded stream (mixed with Seed). A nil config — or one with
+	// all-zero rates — leaves the run bit-identical to a fault-free run.
+	Faults *fault.Config
 }
 
 // DefaultConfig returns the Table II system: 32 clients, 8 I/O nodes with
@@ -118,6 +125,11 @@ func (c Config) Validate() error {
 		opts.Procs = c.Procs
 		opts.Layout = c.Layout
 		if err := opts.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"sdds/internal/fault"
+	"sdds/internal/ionode"
+	"sdds/internal/netsim"
+	"sdds/internal/probe"
+)
+
+// FaultStats aggregates one run's injected faults and the graceful
+// degradation they triggered, layer by layer. It is attached to Result
+// only when Config.Faults was set; a fault-free run carries nil.
+type FaultStats struct {
+	// Injected counts fired faults per site, indexed by fault.Site.
+	Injected []int64
+
+	// Disk layer.
+	DiskTransientErrors int64 // completions that surfaced ErrTransient
+	BadSectorRemaps     int64 // transfers that paid the remap penalty
+	SpinUpFailures      int64 // spin-up attempts that aborted and re-issued
+	SpinUpDelays        int64 // spin-ups that paid the extra delay
+
+	// I/O-node layer.
+	NodeRetries          int64 // member-disk resubmissions with backoff
+	NodeRetriesExhausted int64 // member requests failed after MaxRetries
+	NodeStalls           int64 // injected node stalls
+	NodeFailedUnits      int64 // unit fetches abandoned (not cached)
+
+	// Middleware layer.
+	MWRetries      int64 // chunk re-reads/re-writes
+	MWFailedReads  int64 // chunks failed after every retry
+	MWFailedWrites int64
+
+	// Network layer.
+	NetDrops int64 // dropped transfers (retransmitted)
+	NetDups  int64 // duplicated transfers (bandwidth wasted)
+
+	// Scheduler layer.
+	PrefetchAborts int64 // prefetches that completed ok=false and released
+
+	// Executor layer.
+	IORetries   int64 // whole-instance re-issues after a failed read/write
+	IOAbandoned int64 // instances advanced despite failure (bounded retry)
+	Fallbacks   int64 // aborted prefetches degraded to on-demand reads
+}
+
+// Total returns the number of injected faults across all sites.
+func (fs *FaultStats) Total() int64 {
+	if fs == nil {
+		return 0
+	}
+	var t int64
+	for _, n := range fs.Injected {
+		t += n
+	}
+	return t
+}
+
+// collectFaultStats assembles the per-layer degradation counters at end of
+// run. Cold path: runs once, after the event loop drains.
+func collectFaultStats(inj *fault.Injector, nodes []*ionode.Node, net *netsim.Network, ex *executor) *FaultStats {
+	st := inj.Stats()
+	fs := &FaultStats{Injected: make([]int64, fault.NumSites())}
+	copy(fs.Injected, st.Injected[:])
+	for _, n := range nodes {
+		ns := n.Stats()
+		fs.NodeRetries += ns.Retries
+		fs.NodeRetriesExhausted += ns.RetriesExhausted
+		fs.NodeStalls += ns.Stalls
+		fs.NodeFailedUnits += ns.FailedUnits
+		for _, d := range n.Disks() {
+			ds := d.Stats()
+			fs.DiskTransientErrors += ds.TransientErrors
+			fs.BadSectorRemaps += ds.BadSectorRemaps
+			fs.SpinUpFailures += ds.SpinUpFailures
+			fs.SpinUpDelays += ds.SpinUpDelays
+		}
+	}
+	fs.MWRetries, fs.MWFailedReads, fs.MWFailedWrites = ex.mw.FaultStats()
+	fs.NetDrops, fs.NetDups = net.FaultStats()
+	for _, a := range ex.agents {
+		fs.PrefetchAborts += a.FetchAborts()
+	}
+	fs.IORetries = ex.ioRetries
+	fs.IOAbandoned = ex.ioAbandoned
+	fs.Fallbacks = ex.fetchFallbacks
+	return fs
+}
+
+// addFaultMetrics folds the fault block into the run's metric registry.
+// Metrics are excluded from the golden fingerprint, so a zero-rate
+// injector adding all-zero counters cannot perturb the golden suite.
+func addFaultMetrics(reg *probe.Registry, fs *FaultStats) {
+	var injected int64
+	for _, n := range fs.Injected {
+		injected += n
+	}
+	reg.Counter("fault.injected_total").Add(float64(injected))
+	for s := 0; s < fault.NumSites(); s++ {
+		reg.Counter("fault.injected." + fault.Site(s).String()).Add(float64(fs.Injected[s]))
+	}
+	reg.Counter("fault.disk.transient_errors").Add(float64(fs.DiskTransientErrors))
+	reg.Counter("fault.disk.bad_sector_remaps").Add(float64(fs.BadSectorRemaps))
+	reg.Counter("fault.disk.spinup_failures").Add(float64(fs.SpinUpFailures))
+	reg.Counter("fault.disk.spinup_delays").Add(float64(fs.SpinUpDelays))
+	reg.Counter("fault.node.retries").Add(float64(fs.NodeRetries))
+	reg.Counter("fault.node.retries_exhausted").Add(float64(fs.NodeRetriesExhausted))
+	reg.Counter("fault.node.stalls").Add(float64(fs.NodeStalls))
+	reg.Counter("fault.node.failed_units").Add(float64(fs.NodeFailedUnits))
+	reg.Counter("fault.mw.retries").Add(float64(fs.MWRetries))
+	reg.Counter("fault.mw.failed_reads").Add(float64(fs.MWFailedReads))
+	reg.Counter("fault.mw.failed_writes").Add(float64(fs.MWFailedWrites))
+	reg.Counter("fault.net.drops").Add(float64(fs.NetDrops))
+	reg.Counter("fault.net.dups").Add(float64(fs.NetDups))
+	reg.Counter("fault.sched.prefetch_aborts").Add(float64(fs.PrefetchAborts))
+	reg.Counter("fault.exec.io_retries").Add(float64(fs.IORetries))
+	reg.Counter("fault.exec.io_abandoned").Add(float64(fs.IOAbandoned))
+	reg.Counter("fault.exec.fallbacks").Add(float64(fs.Fallbacks))
+}

@@ -6,6 +6,7 @@ import (
 
 	"sdds/internal/compiler"
 	"sdds/internal/disk"
+	"sdds/internal/fault"
 	"sdds/internal/ionode"
 	"sdds/internal/loop"
 	"sdds/internal/metrics"
@@ -56,6 +57,10 @@ type Result struct {
 	// name: disk activity, policy prediction outcomes, cache and buffer
 	// ratios, per-state residency, energy, and execution time.
 	Metrics []probe.Metric
+
+	// Faults is the per-layer fault-injection and degradation block; nil
+	// when the run had no injector attached (Config.Faults == nil).
+	Faults *FaultStats
 }
 
 // Run executes prog on the configured cluster and returns the
@@ -80,6 +85,11 @@ func RunContext(ctx context.Context, prog *loop.Program, cfg Config) (*Result, e
 	// Attach the flight recorder before any model is constructed — models
 	// cache the probe pointer at New time.
 	eng.SetProbe(cfg.Probe)
+	// Same for the fault injector: its per-site streams are seeded from
+	// (fault seed, run seed), so equal configs reproduce the exact fault
+	// pattern. A nil Faults config leaves injection off entirely.
+	inj := fault.NewInjector(cfg.Faults, cfg.Seed)
+	eng.SetFaults(inj)
 
 	// Storage: I/O nodes with per-disk power policies and idle recorders.
 	idle := metrics.NewIdleHistogram()
@@ -131,6 +141,7 @@ func RunContext(ctx context.Context, prog *loop.Program, cfg Config) (*Result, e
 		prog:   prog,
 		mw:     mw,
 		nodes:  nodes,
+		flt:    inj,
 		slots:  prog.Slots(cfg.Procs),
 		procAt: make([]int, cfg.Procs),
 		finish: make([]sim.Time, cfg.Procs),
@@ -225,6 +236,9 @@ func RunContext(ctx context.Context, prog *loop.Program, cfg Config) (*Result, e
 		res.AgentDeferred += deferred
 		res.AgentMoved += int64(len(ex.comp.Schedule.MovedEarlier(p)))
 	}
+	if inj != nil {
+		res.Faults = collectFaultStats(inj, nodes, net, ex)
+	}
 	res.Metrics = collectMetrics(res, nodes, pols, ex, execEnd)
 	return res, nil
 }
@@ -287,6 +301,9 @@ func collectMetrics(res *Result, nodes []*ionode.Node, pols []power.Policy, ex *
 
 	reg.Gauge("energy.total_j").Set(res.EnergyJ)
 	reg.Gauge("exec.time_s").Set(res.ExecTime.Seconds())
+	if res.Faults != nil {
+		addFaultMetrics(reg, res.Faults)
+	}
 	return reg.Snapshot()
 }
 
@@ -297,6 +314,9 @@ type executor struct {
 	prog  *loop.Program
 	mw    *mpiio.Middleware
 	nodes []*ionode.Node
+	// flt is the run's fault injector (nil when injection is off); the
+	// executor consults it only for its retry bound — it never draws.
+	flt *fault.Injector
 
 	slots  int
 	procAt []int // current slot per process
@@ -322,9 +342,17 @@ type executor struct {
 	ioIdx     []int32
 	computeFn []sim.Handler
 	nextFn    []sim.Handler
+	stepFn    []sim.Handler
 	bufHitFn  []sim.Handler
 	releaseFn []sim.Handler
-	waitFn    []func()
+	waitFn    []func(ok bool)
+	ioDoneFn  []func(now sim.Time, ok bool)
+	// ioRetry counts re-issues of the current instance (reset on advance);
+	// the degradation counters below feed Result.Faults.
+	ioRetry        []int32
+	ioRetries      int64
+	ioAbandoned    int64
+	fetchFallbacks int64
 
 	// Slot metadata: nest index, slot-within-nest, per-nest body cost.
 	slotNest     []int
@@ -375,9 +403,12 @@ func (ex *executor) prepareProcState() {
 	ex.ioIdx = make([]int32, procs)
 	ex.computeFn = make([]sim.Handler, procs)
 	ex.nextFn = make([]sim.Handler, procs)
+	ex.stepFn = make([]sim.Handler, procs)
 	ex.bufHitFn = make([]sim.Handler, procs)
 	ex.releaseFn = make([]sim.Handler, procs)
-	ex.waitFn = make([]func(), procs)
+	ex.waitFn = make([]func(bool), procs)
+	ex.ioDoneFn = make([]func(sim.Time, bool), procs)
+	ex.ioRetry = make([]int32, procs)
 	ex.pendSlot = make([]int, procs)
 	for p := 0; p < procs; p++ {
 		p := p
@@ -389,6 +420,9 @@ func (ex *executor) prepareProcState() {
 			ex.ioIdx[p]++
 			ex.stepIO(p, t)
 		}
+		ex.stepFn[p] = func(t sim.Time) {
+			ex.stepIO(p, t)
+		}
 		ex.bufHitFn[p] = func(t sim.Time) {
 			ex.pumpAgents(t)
 			ex.ioIdx[p]++
@@ -397,8 +431,35 @@ func (ex *executor) prepareProcState() {
 		ex.releaseFn[p] = func(t sim.Time) {
 			ex.runSlot(p, ex.pendSlot[p], t)
 		}
-		ex.waitFn[p] = func() {
-			ex.eng.ScheduleFunc(ex.cfg.BufferHitTime, "cluster.buffer-hit", ex.bufHitFn[p])
+		ex.waitFn[p] = func(ok bool) {
+			if ok {
+				ex.eng.ScheduleFunc(ex.cfg.BufferHitTime, "cluster.buffer-hit", ex.bufHitFn[p])
+				return
+			}
+			// The prefetch this read was waiting on aborted (injected
+			// faults, retries exhausted). The buffer entry is gone, so
+			// re-running the same instance degrades to an on-demand
+			// middleware read — the cursor never moved, so producer
+			// local-time ordering is untouched.
+			ex.fetchFallbacks++
+			ex.eng.ScheduleFunc(0, "cluster.fetch-abort", ex.stepFn[p])
+		}
+		ex.ioDoneFn[p] = func(t sim.Time, ok bool) {
+			if !ok && int(ex.ioRetry[p]) < ex.flt.MaxRetries() {
+				// The middleware exhausted its own retries; re-issue the
+				// whole instance a bounded number of times before moving
+				// on. The cursor is unchanged, so this is a pure re-read.
+				ex.ioRetry[p]++
+				ex.ioRetries++
+				ex.stepIO(p, t)
+				return
+			}
+			if !ok {
+				ex.ioAbandoned++
+			}
+			ex.ioRetry[p] = 0
+			ex.ioIdx[p]++
+			ex.stepIO(p, t)
 		}
 	}
 }
@@ -421,8 +482,9 @@ func (ex *executor) setProcAt(p, s int) {
 	}
 }
 
-// Fetch implements sched.Fetcher on top of the middleware.
-func (ex *executor) Fetch(file int, offset, length int64, done func(now sim.Time)) error {
+// Fetch implements sched.Fetcher on top of the middleware. done's ok is
+// the middleware's: false only when a chunk failed after every retry.
+func (ex *executor) Fetch(file int, offset, length int64, done func(now sim.Time, ok bool)) error {
 	return ex.mw.Read(file, offset, length, done)
 }
 
@@ -561,28 +623,27 @@ func (ex *executor) stepIO(p int, now sim.Time) {
 		return
 	}
 	inst := insts[i]
-	next := ex.nextFn[p]
 	switch inst.Kind {
 	case loop.StmtWrite:
-		if err := ex.mw.Write(inst.File, inst.Offset, inst.Length, next); err != nil {
-			ex.eng.ScheduleFunc(0, "cluster.io-err", next)
+		if err := ex.mw.Write(inst.File, inst.Offset, inst.Length, ex.ioDoneFn[p]); err != nil {
+			ex.eng.ScheduleFunc(0, "cluster.io-err", ex.nextFn[p])
 		}
 	case loop.StmtRead:
 		if ex.comp != nil {
 			if id, ok := ex.comp.AccessFor(inst); ok {
 				// Resident data is a hit; an in-flight prefetch makes the
 				// read wait for the delivery instead of duplicating the
-				// disk access.
+				// disk access (or fall back on-demand if it aborts).
 				if ex.buf.WaitConsume(id, ex.waitFn[p]) {
 					return
 				}
 			}
 		}
-		if err := ex.mw.Read(inst.File, inst.Offset, inst.Length, next); err != nil {
-			ex.eng.ScheduleFunc(0, "cluster.io-err", next)
+		if err := ex.mw.Read(inst.File, inst.Offset, inst.Length, ex.ioDoneFn[p]); err != nil {
+			ex.eng.ScheduleFunc(0, "cluster.io-err", ex.nextFn[p])
 		}
 	default:
-		ex.eng.ScheduleFunc(0, "cluster.io-skip", next)
+		ex.eng.ScheduleFunc(0, "cluster.io-skip", ex.nextFn[p])
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"sdds/internal/fault"
 	"sdds/internal/probe"
 	"sdds/internal/sim"
 )
@@ -30,12 +31,19 @@ func (o Op) String() string {
 }
 
 // Request is one disk I/O. Done, if non-nil, is invoked when the media
-// transfer completes.
+// transfer completes — successfully or not: a transient injected fault
+// surfaces as a non-nil Err on the completed request, and the submitter
+// decides whether to resubmit. Submit clears Err, so reusing a request
+// object for a retry needs no extra bookkeeping.
 type Request struct {
 	Op     Op
 	Sector int64
 	Bytes  int64
 	Done   func(now sim.Time, r *Request)
+
+	// Err is set before Done fires when the transfer failed (ErrTransient
+	// under fault injection); nil on success.
+	Err error
 
 	// Filled in by the disk.
 	Arrival  sim.Time
@@ -85,6 +93,11 @@ type Stats struct {
 	// QueueHighWater is the deepest the waiting queue ever got (excluding
 	// the request in service).
 	QueueHighWater int64
+	// Fault-injection counters (all zero without an injector).
+	TransientErrors int64 // completions that surfaced ErrTransient
+	BadSectorRemaps int64 // transfers that paid the remap penalty
+	SpinUpFailures  int64 // spin-up attempts that aborted and re-issued
+	SpinUpDelays    int64 // spin-ups that paid the extra delay
 }
 
 // Control errors returned to power policies.
@@ -94,6 +107,11 @@ var (
 	// ErrNotStandby is returned by SpinUp when the disk is not stopped.
 	ErrNotStandby = errors.New("disk: not in standby")
 )
+
+// ErrTransient marks an injected transient media error on a completed
+// request: the transfer consumed its full service time but delivered
+// nothing, and the submitter should retry.
+var ErrTransient = errors.New("disk: transient media error")
 
 // Disk is the device model. All methods must be called from the engine
 // goroutine (i.e. inside event handlers).
@@ -130,10 +148,18 @@ type Disk struct {
 	spunUpFn   sim.Handler
 	shiftedFn  sim.Handler
 	standbyFn  sim.Handler
+	spinFailFn sim.Handler
 
 	// pr is the engine's flight recorder, cached at construction. Nil when
 	// tracing is off; probe.Emit is nil-safe.
 	pr *probe.Probe
+
+	// flt is the engine's fault injector, cached at construction like the
+	// probe. Nil when injection is off; Injector methods are nil-safe.
+	flt *fault.Injector
+	// spinFails counts consecutive failed spin-up attempts so a re-issue
+	// storm is bounded by the injector's MaxRetries.
+	spinFails int
 
 	stats Stats
 }
@@ -152,6 +178,7 @@ func New(eng *sim.Engine, id int, p Params) (*Disk, error) {
 		targetRPM: p.MaxRPM,
 		queue:     newElevator(),
 		pr:        eng.Probe(),
+		flt:       eng.Faults(),
 	}
 	d.account = NewEnergyAccount(eng.Now(), StateIdle, p.IdlePowerAt(d.rpm))
 	d.transferCb = d.onTransfer
@@ -159,6 +186,7 @@ func New(eng *sim.Engine, id int, p Params) (*Disk, error) {
 	d.spunUpFn = d.onSpunUp
 	d.shiftedFn = d.onShifted
 	d.standbyFn = d.onStandby
+	d.spinFailFn = d.onSpinFail
 	d.openIdleGap(eng.Now())
 	return d, nil
 }
@@ -240,6 +268,7 @@ func (d *Disk) Submit(r *Request) error {
 	}
 	now := d.eng.Now()
 	r.Arrival = now
+	r.Err = nil
 	r.cylinder = r.Sector / int64(d.params.SectorsPerCylinder)
 	d.stats.Arrived++
 	d.closeIdleGap(now)
@@ -323,6 +352,13 @@ func (d *Disk) beginRequest(now sim.Time) {
 	if bus > media {
 		media = bus // bus-limited transfer
 	}
+	// A bad-sector remap pays the redirection penalty on top of the
+	// transfer: the sector is relocated, served, and the request succeeds.
+	if d.flt.Hit(fault.SiteBadSector) {
+		media += sim.Duration(d.flt.RemapLatencyUS())
+		d.stats.BadSectorRemaps++
+		d.pr.Emit(probe.KindFault, int32(fault.SiteBadSector), int64(now), int64(d.ID))
+	}
 	r.media = media
 	d.headCyl = r.cylinder
 
@@ -351,7 +387,19 @@ func (d *Disk) completeRequest(now sim.Time, r *Request) {
 	d.stats.Completed++
 	d.pr.Emit(probe.KindIOComplete, int32(d.ID), int64(now), r.Bytes)
 	d.stats.ServiceTime += now - r.Start
-	if r.Op == OpRead {
+	// Transient media error: the transfer burned its service time but
+	// delivered nothing. Surface it on the request and let the submitter
+	// decide whether to resubmit (ionode retries with backoff).
+	if (r.Op == OpRead && d.flt.Hit(fault.SiteDiskRead)) ||
+		(r.Op == OpWrite && d.flt.Hit(fault.SiteDiskWrite)) {
+		r.Err = ErrTransient
+		d.stats.TransientErrors++
+		site := fault.SiteDiskRead
+		if r.Op == OpWrite {
+			site = fault.SiteDiskWrite
+		}
+		d.pr.Emit(probe.KindFault, int32(site), int64(now), int64(d.ID))
+	} else if r.Op == OpRead {
 		d.stats.BytesRead += r.Bytes
 	} else {
 		d.stats.BytesWritten += r.Bytes
@@ -439,6 +487,7 @@ func (d *Disk) abortSpinDown(now sim.Time) {
 func (d *Disk) onSpunUp(t sim.Time) {
 	d.rpm = d.params.MaxRPM
 	d.targetRPM = d.params.MaxRPM
+	d.spinFails = 0
 	d.setState(t, StateIdle, d.params.IdlePowerAt(d.rpm))
 	d.tryService(t)
 }
@@ -465,7 +514,33 @@ func (d *Disk) beginSpinUp(now sim.Time) {
 	d.pr.Emit(probe.KindSpinUp, int32(d.ID), int64(now), 0)
 	d.wantUp = false
 	d.setState(now, StateSpinningUp, d.params.SpinUpPowerW)
-	d.eng.ScheduleFunc(d.params.SpinUpTime, "disk.spunup", d.spunUpFn)
+	// Injected spin-up failure: the attempt aborts partway (half the nominal
+	// acceleration time at spin-up power) and must be re-issued. Bounded by
+	// MaxRetries consecutive failures so the spindle always comes up.
+	if d.spinFails < d.flt.MaxRetries() && d.flt.Hit(fault.SiteSpinUpFail) {
+		d.spinFails++
+		d.stats.SpinUpFailures++
+		d.pr.Emit(probe.KindFault, int32(fault.SiteSpinUpFail), int64(now), int64(d.ID))
+		d.eng.ScheduleFunc(d.params.SpinUpTime/2, "disk.spinfail", d.spinFailFn)
+		return
+	}
+	up := d.params.SpinUpTime
+	// Injected spin-up delay: acceleration succeeds but takes longer.
+	if d.flt.Hit(fault.SiteSpinUpDelay) {
+		up += sim.Duration(d.flt.SpinUpDelayUS())
+		d.stats.SpinUpDelays++
+		d.pr.Emit(probe.KindFault, int32(fault.SiteSpinUpDelay), int64(now), int64(d.ID))
+	}
+	d.eng.ScheduleFunc(up, "disk.spunup", d.spunUpFn)
+}
+
+// onSpinFail lands a failed spin-up attempt back in standby and re-issues
+// the spin-up (tryService path when work is queued, direct re-issue
+// otherwise — the attempt was commanded, so the command stands).
+func (d *Disk) onSpinFail(t sim.Time) {
+	d.rpm = 0
+	d.setState(t, StateStandby, d.params.StandbyPowerW)
+	d.beginSpinUp(t)
 }
 
 // SetTargetRPM commands a rotational-speed change. rampFirst makes the disk

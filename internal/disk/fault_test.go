@@ -1,0 +1,137 @@
+package disk
+
+import (
+	"errors"
+	"testing"
+
+	"sdds/internal/fault"
+	"sdds/internal/sim"
+)
+
+// faultDisk builds a disk whose engine carries an injector over cfg.
+func faultDisk(t *testing.T, cfg fault.Config) (*sim.Engine, *Disk) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	eng.SetFaults(fault.NewInjector(&cfg, 1))
+	d, err := New(eng, 0, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, d
+}
+
+func TestTransientReadErrorSurfaces(t *testing.T) {
+	cfg := fault.DefaultConfig()
+	cfg.Rates[fault.SiteDiskRead] = 1.0
+	eng, d := faultDisk(t, cfg)
+	var gotErr error
+	r := &Request{Op: OpRead, Sector: 0, Bytes: 4096,
+		Done: func(_ sim.Time, r *Request) { gotErr = r.Err }}
+	if err := d.Submit(r); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !errors.Is(gotErr, ErrTransient) {
+		t.Fatalf("r.Err = %v, want ErrTransient", gotErr)
+	}
+	st := d.Stats()
+	if st.TransientErrors != 1 {
+		t.Fatalf("TransientErrors = %d", st.TransientErrors)
+	}
+	// A failed read transfers no payload bytes.
+	if st.BytesRead != 0 {
+		t.Fatalf("BytesRead = %d after a failed read", st.BytesRead)
+	}
+	// Submit clears Err, so a recycled request starts clean.
+	cfg2 := fault.DefaultConfig()
+	eng2, d2 := faultDisk(t, cfg2)
+	r.Done = func(_ sim.Time, r *Request) { gotErr = r.Err }
+	if err := d2.Submit(r); err != nil {
+		t.Fatal(err)
+	}
+	eng2.Run()
+	if gotErr != nil {
+		t.Fatalf("recycled request kept stale Err: %v", gotErr)
+	}
+}
+
+func TestBadSectorRemapAddsLatency(t *testing.T) {
+	base := func(remap bool) sim.Time {
+		cfg := fault.DefaultConfig()
+		if remap {
+			cfg.Rates[fault.SiteBadSector] = 1.0
+		}
+		eng, d := faultDisk(t, cfg)
+		var done sim.Time
+		r := &Request{Op: OpRead, Sector: 100, Bytes: 4096,
+			Done: func(now sim.Time, _ *Request) { done = now }}
+		if err := d.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+		if remap && d.Stats().BadSectorRemaps != 1 {
+			t.Fatalf("BadSectorRemaps = %d", d.Stats().BadSectorRemaps)
+		}
+		return done
+	}
+	clean, remapped := base(false), base(true)
+	want := sim.Duration(fault.DefaultConfig().RemapLatencyUS)
+	if remapped-clean != want {
+		t.Fatalf("remap added %v, want %v", remapped-clean, want)
+	}
+}
+
+func TestSpinUpFailureReissuesBounded(t *testing.T) {
+	cfg := fault.DefaultConfig()
+	cfg.Rates[fault.SiteSpinUpFail] = 1.0 // every attempt fails until the bound
+	eng, d := faultDisk(t, cfg)
+	// Spin the disk down, then wake it with a request: the spin-up must
+	// fail MaxRetries times, then succeed (the bound forces completion).
+	if err := d.SpinDown(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	var done bool
+	r := &Request{Op: OpRead, Sector: 0, Bytes: 4096,
+		Done: func(sim.Time, *Request) { done = true }}
+	if err := d.Submit(r); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !done {
+		t.Fatal("request never completed after spin-up failures")
+	}
+	st := d.Stats()
+	if st.SpinUpFailures != int64(cfg.MaxRetries) {
+		t.Fatalf("SpinUpFailures = %d, want %d (bounded)", st.SpinUpFailures, cfg.MaxRetries)
+	}
+}
+
+func TestSpinUpDelayExtendsWake(t *testing.T) {
+	wake := func(delay bool) sim.Time {
+		cfg := fault.DefaultConfig()
+		if delay {
+			cfg.Rates[fault.SiteSpinUpDelay] = 1.0
+		}
+		eng, d := faultDisk(t, cfg)
+		if err := d.SpinDown(); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+		var done sim.Time
+		r := &Request{Op: OpRead, Sector: 0, Bytes: 4096,
+			Done: func(now sim.Time, _ *Request) { done = now }}
+		if err := d.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+		if delay && d.Stats().SpinUpDelays == 0 {
+			t.Fatal("no delayed spin-up recorded")
+		}
+		return done
+	}
+	clean, delayed := wake(false), wake(true)
+	if delayed-clean != sim.Duration(fault.DefaultConfig().SpinUpDelayUS) {
+		t.Fatalf("spin-up delay added %v, want %v", delayed-clean, sim.Duration(fault.DefaultConfig().SpinUpDelayUS))
+	}
+}

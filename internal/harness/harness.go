@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"sdds/internal/cluster"
+	"sdds/internal/fault"
 	"sdds/internal/metrics"
 	"sdds/internal/power"
 	"sdds/internal/strutil"
@@ -37,6 +38,10 @@ type Config struct {
 	Apps []string
 	// Seed feeds the cluster simulations.
 	Seed int64
+	// Faults, when non-nil, attaches the deterministic fault injector to
+	// every cluster run. The canonical spec is part of the run cache key,
+	// so fault-free and injected runs never alias.
+	Faults *fault.Config
 }
 
 // DefaultConfig runs everything at full scale.
@@ -64,6 +69,11 @@ func (c Config) Validate() error {
 	}
 	for _, app := range c.Apps {
 		if _, err := workloads.ByName(app); err != nil {
+			return err
+		}
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
 			return err
 		}
 	}

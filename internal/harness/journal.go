@@ -1,0 +1,298 @@
+package harness
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"sdds/internal/cluster"
+	"sdds/internal/metrics"
+	"sdds/internal/power"
+	"sdds/internal/probe"
+	"sdds/internal/sim"
+)
+
+// journalEntry is one completed cluster run in the crash-safe result
+// journal: the full cache key plus a portable mirror of the result. One
+// JSON object per line, append-only.
+type journalEntry struct {
+	App        string
+	Policy     string
+	Scheduling bool
+	Scale      float64
+	Seed       int64
+	Variant    string `json:",omitempty"`
+	Faults     string `json:",omitempty"`
+	Result     journalResult
+}
+
+// journalResult mirrors cluster.Result with every field exported and
+// JSON-serializable. The compiler output is deliberately not journaled
+// (it is large and no experiment reads it from session-cached runs); a
+// restored result therefore carries Compile == nil.
+type journalResult struct {
+	ExecTimeUS         int64
+	EnergyJ            float64
+	NodeEnergyJ        []float64
+	Idle               *metrics.HistogramSnapshot
+	BufferHits         int64
+	BufferMisses       int64
+	PrefetchIssued     int64
+	StorageCacheHits   int64
+	StorageCacheMisses int64
+	AgentMoved         int64
+	AgentIssued        int64
+	AgentBlocked       int64
+	AgentDeferred      int64
+	DiskRequests       int64
+	SpinUps            int64
+	RPMShifts          int64
+	Metrics            []probe.Metric      `json:",omitempty"`
+	Faults             *cluster.FaultStats `json:",omitempty"`
+}
+
+// toEntry converts a completed run to its journal form.
+func toEntry(key runKey, res *cluster.Result) journalEntry {
+	jr := journalResult{
+		ExecTimeUS:         int64(res.ExecTime),
+		EnergyJ:            res.EnergyJ,
+		NodeEnergyJ:        res.NodeEnergyJ,
+		BufferHits:         res.BufferHits,
+		BufferMisses:       res.BufferMisses,
+		PrefetchIssued:     res.PrefetchIssued,
+		StorageCacheHits:   res.StorageCacheHits,
+		StorageCacheMisses: res.StorageCacheMisses,
+		AgentMoved:         res.AgentMoved,
+		AgentIssued:        res.AgentIssued,
+		AgentBlocked:       res.AgentBlocked,
+		AgentDeferred:      res.AgentDeferred,
+		DiskRequests:       res.DiskRequests,
+		SpinUps:            res.SpinUps,
+		RPMShifts:          res.RPMShifts,
+		Metrics:            res.Metrics,
+		Faults:             res.Faults,
+	}
+	if res.Idle != nil {
+		jr.Idle = res.Idle.Snapshot()
+	}
+	return journalEntry{
+		App:        key.app,
+		Policy:     key.kind.String(),
+		Scheduling: key.scheduling,
+		Scale:      key.scale,
+		Seed:       key.seed,
+		Variant:    key.variant,
+		Faults:     key.faults,
+		Result:     jr,
+	}
+}
+
+// restore converts a journal entry back into a cache key and result.
+func (e journalEntry) restore() (runKey, *cluster.Result, error) {
+	kind, err := power.ParseKind(e.Policy)
+	if err != nil {
+		return runKey{}, nil, err
+	}
+	key := runKey{
+		app:        e.App,
+		kind:       kind,
+		scheduling: e.Scheduling,
+		scale:      e.Scale,
+		seed:       e.Seed,
+		variant:    e.Variant,
+		faults:     e.Faults,
+	}
+	res := &cluster.Result{
+		Program:            e.App,
+		Policy:             kind,
+		Scheduling:         e.Scheduling,
+		ExecTime:           sim.Duration(e.Result.ExecTimeUS),
+		EnergyJ:            e.Result.EnergyJ,
+		NodeEnergyJ:        e.Result.NodeEnergyJ,
+		BufferHits:         e.Result.BufferHits,
+		BufferMisses:       e.Result.BufferMisses,
+		PrefetchIssued:     e.Result.PrefetchIssued,
+		StorageCacheHits:   e.Result.StorageCacheHits,
+		StorageCacheMisses: e.Result.StorageCacheMisses,
+		AgentMoved:         e.Result.AgentMoved,
+		AgentIssued:        e.Result.AgentIssued,
+		AgentBlocked:       e.Result.AgentBlocked,
+		AgentDeferred:      e.Result.AgentDeferred,
+		DiskRequests:       e.Result.DiskRequests,
+		SpinUps:            e.Result.SpinUps,
+		RPMShifts:          e.Result.RPMShifts,
+		Metrics:            e.Result.Metrics,
+		Faults:             e.Result.Faults,
+	}
+	if e.Result.Idle != nil {
+		h, err := metrics.FromSnapshot(e.Result.Idle)
+		if err != nil {
+			return runKey{}, nil, err
+		}
+		res.Idle = h
+	}
+	return key, res, nil
+}
+
+// Journal is a crash-safe append-only record of completed cluster runs:
+// one JSON line per run, fsynced after each append so a killed sweep
+// loses at most the line being written. Opened in resume mode it reloads
+// every intact line — a torn trailing line (the kill point) is dropped —
+// and NewSession preloads the entries into the run cache, so a re-run
+// completes only the missing configurations.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	entries []journalEntry
+	appends int64
+}
+
+// OpenJournal opens (or creates) the journal at path. With resume=false
+// any existing journal is truncated; with resume=true its intact entries
+// are loaded for NewSession to preload, and appends continue after them.
+func OpenJournal(path string, resume bool) (*Journal, error) {
+	j := &Journal{path: path}
+	if !resume {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("harness: journal: %w", err)
+		}
+		j.f = f
+		return j, nil
+	}
+	entries, validBytes, err := loadJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	j.entries = entries
+	// Drop any torn trailing line before appending after it: the journal
+	// must stay one-JSON-object-per-line.
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("harness: journal: %w", err)
+	}
+	if err := f.Truncate(validBytes); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("harness: journal: %w", err)
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("harness: journal: %w", err)
+	}
+	j.f = f
+	return j, nil
+}
+
+// loadJournal parses the intact prefix of a journal file: every complete,
+// well-formed line. It returns the entries and the byte length of the
+// valid prefix. A missing file is an empty journal.
+func loadJournal(path string) ([]journalEntry, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("harness: journal: %w", err)
+	}
+	defer f.Close()
+	var (
+		entries []journalEntry
+		valid   int64
+	)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var e journalEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			break // torn or corrupt line: keep the intact prefix only
+		}
+		if _, _, err := e.restore(); err != nil {
+			break
+		}
+		entries = append(entries, e)
+		valid += int64(len(line)) + 1
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("harness: journal: %w", err)
+	}
+	return entries, valid, nil
+}
+
+// Len reports how many intact entries resume loaded.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// Appends reports how many entries this process has appended.
+func (j *Journal) Appends() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appends
+}
+
+// Path returns the journal file path.
+func (j *Journal) Path() string { return j.path }
+
+// append writes one completed run and fsyncs, making it durable before
+// the session reports the run finished.
+func (j *Journal) append(e journalEntry) error {
+	buf, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("harness: journal: %w", err)
+	}
+	buf = append(buf, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("harness: journal %s is closed", j.path)
+	}
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("harness: journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("harness: journal: %w", err)
+	}
+	j.appends++
+	return nil
+}
+
+// Close flushes and closes the journal file. Further appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// preload seeds a session's memo with the journal's loaded entries,
+// returning how many were installed. Entries that fail to restore are
+// skipped (they will simply be re-simulated).
+func (j *Journal) preload(memo map[runKey]*memoEntry) int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := 0
+	for _, e := range j.entries {
+		key, res, err := e.restore()
+		if err != nil {
+			continue
+		}
+		if _, exists := memo[key]; exists {
+			continue
+		}
+		done := make(chan struct{})
+		close(done)
+		memo[key] = &memoEntry{done: done, res: res}
+		n++
+	}
+	return n
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +30,9 @@ type runKey struct {
 	// the same config mutation, which is what lets experiments share runs
 	// (fig14a and fig14b both use "theta=N").
 	variant string
+	// faults is the canonical fault-injection spec (fault.Config.Canon; ""
+	// = no injector). Two runs differing only in fault config are distinct.
+	faults string
 }
 
 // runSpec couples a key with the config mutation it denotes.
@@ -52,7 +56,7 @@ func variantSpec(app string, kind power.Kind, scheduling bool, tag string, mutat
 }
 
 func (sp runSpec) key(c Config) runKey {
-	return runKey{sp.app, sp.kind, sp.scheduling, c.Scale, c.Seed, sp.variant}
+	return runKey{sp.app, sp.kind, sp.scheduling, c.Scale, c.Seed, sp.variant, c.Faults.Canon()}
 }
 
 // tag renders the spec for progress lines: "sar/history+sched (theta=4)".
@@ -82,10 +86,25 @@ func (sp runSpec) simulate(ctx context.Context, c Config, pr *probe.Probe) (*clu
 	cfg.Policy = power.Config{Kind: sp.kind}
 	cfg.Scheduling = sp.scheduling
 	cfg.Probe = pr
+	cfg.Faults = c.Faults
 	if sp.mutate != nil {
 		sp.mutate(&cfg)
 	}
 	return cluster.RunContext(ctx, prog, cfg)
+}
+
+// safeSimulate runs the spec's simulation, converting a panic anywhere in
+// the compile or event loop into a per-run error carrying the stack. One
+// misbehaving configuration then fails only its own run; sibling runs on
+// the worker pool complete normally.
+func safeSimulate(ctx context.Context, c Config, sp runSpec, pr *probe.Probe) (res *cluster.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = fmt.Errorf("harness: run %s panicked: %v\n%s", sp.tag(), r, debug.Stack())
+		}
+	}()
+	return sp.simulate(ctx, c, pr)
 }
 
 // Progress is one run-level progress event, delivered after each planned
@@ -125,6 +144,17 @@ type SessionOptions struct {
 	// concurrent it must be span-only (probe.NewSpanProbe); a ring-bearing
 	// probe would race on record storage.
 	Probe *probe.Probe
+	// RunTimeout, when positive, bounds each cluster simulation's wall
+	// time. A run that exceeds it fails with an error wrapping
+	// context.DeadlineExceeded — and, unlike a parent cancellation, the
+	// failure is cached: the deadline is a property of the configuration
+	// at this timeout, so waiters and retries see the same verdict.
+	RunTimeout time.Duration
+	// Journal, when non-nil, records every successfully simulated run
+	// (fsynced per append) and seeds the session cache with the entries a
+	// resumed journal loaded, so an interrupted sweep re-executes only the
+	// missing configurations.
+	Journal *Journal
 }
 
 // Session owns a run cache and a bounded worker pool for executing
@@ -137,13 +167,16 @@ type SessionOptions struct {
 // logical batch of experiments (or use DefaultSession for the
 // compatibility entry points).
 type Session struct {
-	workers  int
-	progress ProgressFunc
-	probe    *probe.Probe  // span-only session trace; nil when untraced
-	sem      chan struct{} // worker-pool slots; len == workers
+	workers    int
+	progress   ProgressFunc
+	probe      *probe.Probe  // span-only session trace; nil when untraced
+	sem        chan struct{} // worker-pool slots; len == workers
+	runTimeout time.Duration // per-run deadline; 0 = none
+	journal    *Journal      // crash-safe result journal; nil = none
 
-	mu   sync.Mutex
-	memo map[runKey]*memoEntry
+	mu        sync.Mutex
+	memo      map[runKey]*memoEntry
+	preloaded int // runs seeded from a resumed journal
 
 	simulated atomic.Int64 // cluster runs actually executed
 	hits      atomic.Int64 // cache hits (completed or in-flight)
@@ -168,14 +201,24 @@ func NewSession(o SessionOptions) *Session {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	return &Session{
-		workers:  w,
-		progress: o.Progress,
-		probe:    o.Probe,
-		sem:      make(chan struct{}, w),
-		memo:     make(map[runKey]*memoEntry),
+	s := &Session{
+		workers:    w,
+		progress:   o.Progress,
+		probe:      o.Probe,
+		sem:        make(chan struct{}, w),
+		runTimeout: o.RunTimeout,
+		journal:    o.Journal,
+		memo:       make(map[runKey]*memoEntry),
 	}
+	if o.Journal != nil {
+		s.preloaded = o.Journal.preload(s.memo)
+	}
+	return s
 }
+
+// Preloaded reports how many runs the session cache was seeded with from
+// a resumed journal.
+func (s *Session) Preloaded() int { return s.preloaded }
 
 var (
 	defaultOnce sync.Once
@@ -250,16 +293,36 @@ func (s *Session) execute(ctx context.Context, c Config, sp runSpec, key runKey,
 		s.abandon(key, e)
 		return nil, err
 	}
-	res, err := sp.simulate(ctx, c, s.probe)
+	runCtx := ctx
+	cancel := func() {}
+	if s.runTimeout > 0 {
+		runCtx, cancel = context.WithTimeout(ctx, s.runTimeout)
+	}
+	res, err := safeSimulate(runCtx, c, sp, s.probe)
+	cancel()
 	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
-		// Cancellation is a property of this call's context, not of the
-		// configuration; don't poison the cache with it.
-		s.abandon(key, e)
-		return nil, err
+		if ctx.Err() != nil {
+			// Cancellation is a property of this call's context, not of the
+			// configuration; don't poison the cache with it.
+			s.abandon(key, e)
+			return nil, err
+		}
+		// The per-run deadline fired: that IS a property of the
+		// configuration (at this timeout), so cache the failure — waiters
+		// and retries should see the same verdict, not re-simulate.
+		err = fmt.Errorf("harness: run %s exceeded the %v per-run deadline: %w", sp.tag(), s.runTimeout, err)
 	}
 	e.res, e.err = res, err
 	close(e.done)
 	s.simulated.Add(1)
+	if err == nil && s.journal != nil {
+		if jerr := s.journal.append(toEntry(key, res)); jerr != nil {
+			// The run itself succeeded and stays cached; surface the
+			// journal failure to this caller so the sweep stops cleanly
+			// (a dead journal cannot protect a crash-resume).
+			return res, jerr
+		}
+	}
 	return res, err
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"sdds/internal/cache"
 	"sdds/internal/disk"
+	"sdds/internal/fault"
 	"sdds/internal/probe"
 	"sdds/internal/sim"
 )
@@ -94,6 +95,11 @@ type Stats struct {
 	BytesRead      int64
 	BytesWritten   int64
 	Flushes        int64
+	// Fault-injection counters (all zero without an injector).
+	Retries          int64 // member-disk resubmissions after transient errors
+	RetriesExhausted int64 // requests that failed even after MaxRetries
+	Stalls           int64 // injected node stalls
+	FailedUnits      int64 // unit fetches abandoned after exhausted retries
 }
 
 // Node is one I/O node: member disks behind a storage cache.
@@ -107,7 +113,7 @@ type Node struct {
 	// Stride prefetcher state (per file).
 	lastUnit  map[int]int64
 	lastDelta map[int]int64
-	inflight  map[cache.Key][]func(sim.Time) // miss coalescing
+	inflight  map[cache.Key][]func(sim.Time, bool) // miss coalescing
 
 	// Write-back state: dirty units awaiting the epoch flush.
 	dirty      map[cache.Key]int64 // key → bytes pending
@@ -115,6 +121,13 @@ type Node struct {
 
 	// pr is the engine's flight recorder, cached at construction.
 	pr *probe.Probe
+	// flt is the engine's fault injector, cached like the probe; nil-safe.
+	flt *fault.Injector
+
+	// okCb completes a fault-free request: arg is the caller's
+	// done func(sim.Time, bool). Bound once so the cache-hit and
+	// write-back-ack paths schedule without a per-call closure.
+	okCb sim.ArgHandler
 
 	stats Stats
 }
@@ -133,10 +146,12 @@ func New(eng *sim.Engine, id int, cfg Config) (*Node, error) {
 		cfg:       cfg,
 		lastUnit:  make(map[int]int64),
 		lastDelta: make(map[int]int64),
-		inflight:  make(map[cache.Key][]func(sim.Time)),
+		inflight:  make(map[cache.Key][]func(sim.Time, bool)),
 		dirty:     make(map[cache.Key]int64),
 		pr:        eng.Probe(),
+		flt:       eng.Faults(),
 	}
+	n.okCb = n.onOK
 	for i := 0; i < cfg.Members; i++ {
 		d, err := disk.New(eng, id*100+i, cfg.DiskParams)
 		if err != nil {
@@ -210,21 +225,46 @@ func (n *Node) FlushIdleGaps(now sim.Time) {
 	}
 }
 
+// onOK completes a request that carried no fault: arg is the caller's
+// done callback. Bound once (okCb) so success paths schedule without
+// allocating a closure.
+func (n *Node) onOK(now sim.Time, arg any) { arg.(func(sim.Time, bool))(now, true) }
+
 // Read serves a read of [offset, offset+length) within global stripe unit
-// `unit` of file `file`, invoking done at completion. Storage-cache hits
-// complete in CacheHitTime; misses read the whole unit from the member
-// disks (filling the cache) and trigger stride prefetch.
-func (n *Node) Read(file int, unit, offset, length int64, done func(now sim.Time)) error {
+// `unit` of file `file`, invoking done at completion with ok reporting
+// whether the data was delivered (ok=false only under fault injection,
+// after every bounded retry was exhausted). Storage-cache hits complete in
+// CacheHitTime; misses read the whole unit from the member disks (filling
+// the cache) and trigger stride prefetch.
+func (n *Node) Read(file int, unit, offset, length int64, done func(now sim.Time, ok bool)) error {
 	if length <= 0 || offset < 0 || offset+length > n.cfg.UnitBytes {
 		return fmt.Errorf("ionode %d: bad read range unit=%d off=%d len=%d", n.ID, unit, offset, length)
 	}
+	// Injected node stall: the node accepts the request only after the
+	// stall elapses, then serves it normally.
+	if n.flt.Hit(fault.SiteNodeStall) {
+		n.stats.Stalls++
+		n.pr.Emit(probe.KindFault, int32(fault.SiteNodeStall), int64(n.eng.Now()), int64(n.ID))
+		//sddsvet:ignore hotalloc -- fault path: one closure per injected stall
+		n.eng.ScheduleFunc(sim.Duration(n.flt.NodeStallUS()), "ionode.stall", func(now sim.Time) {
+			if n.readNow(file, unit, offset, length, done) != nil {
+				done(now, false) // validated config: unreachable raidMap error
+			}
+		})
+		return nil
+	}
+	return n.readNow(file, unit, offset, length, done)
+}
+
+// readNow is Read past the stall gate.
+func (n *Node) readNow(file int, unit, offset, length int64, done func(now sim.Time, ok bool)) error {
 	n.stats.Reads++
 	n.stats.BytesRead += length
 	key := cache.Key{File: file, Block: unit}
 	if _, ok := n.cache.Get(key); ok {
 		n.stats.CacheHits++
 		n.pr.Emit(probe.KindCacheHit, int32(n.ID), int64(n.eng.Now()), unit)
-		n.eng.ScheduleFunc(n.cfg.CacheHitTime, "ionode.hit", done)
+		n.eng.ScheduleArg(n.cfg.CacheHitTime, "ionode.hit", n.okCb, done)
 		n.prefetch(file, unit)
 		return nil
 	}
@@ -235,13 +275,19 @@ func (n *Node) Read(file int, unit, offset, length int64, done func(now sim.Time
 		n.inflight[key] = append(waiters, done)
 		return nil
 	}
-	n.inflight[key] = []func(sim.Time){done}
-	if err := n.fetchUnit(file, unit, func(now sim.Time) {
+	n.inflight[key] = []func(sim.Time, bool){done}
+	if err := n.fetchUnit(file, unit, func(now sim.Time, ok bool) {
 		waiters := n.inflight[key]
 		delete(n.inflight, key)
-		n.cache.Put(key, n.cfg.UnitBytes)
+		if ok {
+			n.cache.Put(key, n.cfg.UnitBytes)
+		} else {
+			// Exhausted retries: the unit never arrived. Do not cache;
+			// waiters degrade (the middleware re-reads or fails the chunk).
+			n.stats.FailedUnits++
+		}
 		for _, w := range waiters {
-			w(now)
+			w(now, ok)
 		}
 	}); err != nil {
 		delete(n.inflight, key)
@@ -253,11 +299,27 @@ func (n *Node) Read(file int, unit, offset, length int64, done func(now sim.Time
 
 // Write stores [offset, offset+length) of unit `unit` (write-through: data
 // and parity/mirror go to the member disks; the unit is installed in the
-// cache).
-func (n *Node) Write(file int, unit, offset, length int64, done func(now sim.Time)) error {
+// cache). ok=false only under fault injection with retries exhausted.
+func (n *Node) Write(file int, unit, offset, length int64, done func(now sim.Time, ok bool)) error {
 	if length <= 0 || offset < 0 || offset+length > n.cfg.UnitBytes {
 		return fmt.Errorf("ionode %d: bad write range unit=%d off=%d len=%d", n.ID, unit, offset, length)
 	}
+	if n.flt.Hit(fault.SiteNodeStall) {
+		n.stats.Stalls++
+		n.pr.Emit(probe.KindFault, int32(fault.SiteNodeStall), int64(n.eng.Now()), int64(n.ID))
+		//sddsvet:ignore hotalloc -- fault path: one closure per injected stall
+		n.eng.ScheduleFunc(sim.Duration(n.flt.NodeStallUS()), "ionode.stall", func(now sim.Time) {
+			if n.writeNow(file, unit, offset, length, done) != nil {
+				done(now, false) // validated config: unreachable raidMap error
+			}
+		})
+		return nil
+	}
+	return n.writeNow(file, unit, offset, length, done)
+}
+
+// writeNow is Write past the stall gate.
+func (n *Node) writeNow(file int, unit, offset, length int64, done func(now sim.Time, ok bool)) error {
 	n.stats.Writes++
 	n.stats.BytesWritten += length
 	key := cache.Key{File: file, Block: unit}
@@ -269,7 +331,7 @@ func (n *Node) Write(file int, unit, offset, length int64, done func(now sim.Tim
 			n.dirty[key] = length
 		}
 		n.armFlush()
-		n.eng.ScheduleFunc(n.cfg.CacheHitTime, "ionode.wb-ack", done)
+		n.eng.ScheduleArg(n.cfg.CacheHitTime, "ionode.wb-ack", n.okCb, done)
 		return nil
 	}
 	ios, err := raidMap(n.cfg.Level, n.cfg.Members, unit, offset, length, true,
@@ -325,7 +387,7 @@ func (n *Node) Flush(now sim.Time) {
 			continue
 		}
 		n.stats.Flushes++
-		if err := n.issue(ios, func(sim.Time) {}); err != nil {
+		if err := n.issue(ios, func(sim.Time, bool) {}); err != nil {
 			continue
 		}
 	}
@@ -335,7 +397,7 @@ func (n *Node) Flush(now sim.Time) {
 func (n *Node) DirtyUnits() int { return len(n.dirty) }
 
 // fetchUnit reads an entire stripe unit from the member disks.
-func (n *Node) fetchUnit(file int, unit int64, done func(now sim.Time)) error {
+func (n *Node) fetchUnit(file int, unit int64, done func(now sim.Time, ok bool)) error {
 	ios, err := raidMap(n.cfg.Level, n.cfg.Members, unit, 0, n.cfg.UnitBytes, false,
 		int64(n.cfg.DiskParams.SectorSize), n.cfg.UnitBytes)
 	if err != nil {
@@ -345,13 +407,17 @@ func (n *Node) fetchUnit(file int, unit int64, done func(now sim.Time)) error {
 }
 
 // issue submits the member-disk operations and calls done when the last
-// completes.
-func (n *Node) issue(ios []diskIO, done func(now sim.Time)) error {
+// completes. A member request surfacing an injected transient error is
+// resubmitted after an exponential backoff (RetryLatency << attempt),
+// bounded by the injector's MaxRetries; a request that fails every retry
+// marks the whole batch failed (ok=false) — degradation, never a hang.
+func (n *Node) issue(ios []diskIO, done func(now sim.Time, ok bool)) error {
 	remaining := len(ios)
 	if remaining == 0 {
-		n.eng.ScheduleFunc(0, "ionode.noop", done)
+		n.eng.ScheduleArg(0, "ionode.noop", n.okCb, done)
 		return nil
 	}
+	allOK := true
 	for _, io := range ios {
 		if io.disk < 0 || io.disk >= len(n.disks) {
 			return fmt.Errorf("ionode %d: mapped to invalid member %d", n.ID, io.disk)
@@ -364,18 +430,42 @@ func (n *Node) issue(ios []diskIO, done func(now sim.Time)) error {
 		if max := n.cfg.DiskParams.TotalSectors(); sector >= max {
 			sector = sector % max // wrap for scaled-down capacities
 		}
+		d := n.disks[io.disk]
+		attempts := 0
+		var onDone func(now sim.Time, r *disk.Request)
+		onDone = func(now sim.Time, r *disk.Request) {
+			if r.Err != nil && attempts < n.flt.MaxRetries() {
+				attempts++
+				n.stats.Retries++
+				n.pr.Emit(probe.KindRetry, int32(n.ID), int64(now), int64(attempts))
+				backoff := sim.Duration(n.flt.RetryLatencyUS()) << (attempts - 1)
+				//sddsvet:ignore hotalloc -- fault path: one resubmit closure per injected transient error
+				n.eng.ScheduleFunc(backoff, "ionode.retry", func(at sim.Time) {
+					if d.Submit(r) != nil {
+						// Unreachable on a validated config; degrade
+						// rather than retry forever.
+						attempts = n.flt.MaxRetries()
+						onDone(at, r)
+					}
+				})
+				return
+			}
+			if r.Err != nil {
+				n.stats.RetriesExhausted++
+				allOK = false
+			}
+			remaining--
+			if remaining == 0 {
+				done(now, allOK)
+			}
+		}
 		req := &disk.Request{
 			Op:     op,
 			Sector: sector,
 			Bytes:  io.bytes,
-			Done: func(now sim.Time, _ *disk.Request) {
-				remaining--
-				if remaining == 0 {
-					done(now)
-				}
-			},
+			Done:   onDone,
 		}
-		if err := n.disks[io.disk].Submit(req); err != nil {
+		if err := d.Submit(req); err != nil {
 			return err
 		}
 	}
@@ -407,12 +497,16 @@ func (n *Node) prefetch(file int, unit int64) {
 				n.inflight[key] = nil
 				n.stats.PrefetchIssued++
 				n.pr.Emit(probe.KindPrefetch, int32(n.ID), int64(n.eng.Now()), next)
-				if err := n.fetchUnit(file, next, func(now sim.Time) {
+				if err := n.fetchUnit(file, next, func(now sim.Time, ok bool) {
 					waiters := n.inflight[key]
 					delete(n.inflight, key)
-					n.cache.Put(key, n.cfg.UnitBytes)
+					if ok {
+						n.cache.Put(key, n.cfg.UnitBytes)
+					} else {
+						n.stats.FailedUnits++
+					}
 					for _, w := range waiters {
-						w(now)
+						w(now, ok)
 					}
 				}); err != nil {
 					delete(n.inflight, key)

@@ -152,7 +152,7 @@ func TestPropertyRAID5RowDisjoint(t *testing.T) {
 func TestReadMissThenHit(t *testing.T) {
 	eng, n := testNode(t, nil)
 	var missDone, hitDone sim.Time
-	if err := n.Read(1, 0, 0, 4096, func(now sim.Time) { missDone = now }); err != nil {
+	if err := n.Read(1, 0, 0, 4096, func(now sim.Time, _ bool) { missDone = now }); err != nil {
 		t.Fatal(err)
 	}
 	eng.Run()
@@ -160,7 +160,7 @@ func TestReadMissThenHit(t *testing.T) {
 		t.Fatal("miss never completed")
 	}
 	base := eng.Now()
-	if err := n.Read(1, 0, 0, 4096, func(now sim.Time) { hitDone = now }); err != nil {
+	if err := n.Read(1, 0, 0, 4096, func(now sim.Time, _ bool) { hitDone = now }); err != nil {
 		t.Fatal(err)
 	}
 	eng.Run()
@@ -175,16 +175,16 @@ func TestReadMissThenHit(t *testing.T) {
 
 func TestReadValidation(t *testing.T) {
 	_, n := testNode(t, nil)
-	if err := n.Read(1, 0, 0, 0, func(sim.Time) {}); err == nil {
+	if err := n.Read(1, 0, 0, 0, func(sim.Time, bool) {}); err == nil {
 		t.Fatal("zero-length read accepted")
 	}
-	if err := n.Read(1, 0, -1, 10, func(sim.Time) {}); err == nil {
+	if err := n.Read(1, 0, -1, 10, func(sim.Time, bool) {}); err == nil {
 		t.Fatal("negative offset accepted")
 	}
-	if err := n.Read(1, 0, 0, n.Config().UnitBytes+1, func(sim.Time) {}); err == nil {
+	if err := n.Read(1, 0, 0, n.Config().UnitBytes+1, func(sim.Time, bool) {}); err == nil {
 		t.Fatal("cross-unit read accepted")
 	}
-	if err := n.Write(1, 0, 0, 0, func(sim.Time) {}); err == nil {
+	if err := n.Write(1, 0, 0, 0, func(sim.Time, bool) {}); err == nil {
 		t.Fatal("zero-length write accepted")
 	}
 }
@@ -193,7 +193,7 @@ func TestMissCoalescing(t *testing.T) {
 	eng, n := testNode(t, nil)
 	done := 0
 	for i := 0; i < 3; i++ {
-		if err := n.Read(1, 5, 0, 4096, func(sim.Time) { done++ }); err != nil {
+		if err := n.Read(1, 5, 0, 4096, func(sim.Time, bool) { done++ }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -213,7 +213,7 @@ func TestMissCoalescing(t *testing.T) {
 
 func TestWriteTouchesParityRAID5(t *testing.T) {
 	eng, n := testNode(t, func(c *Config) { c.Level = RAID5; c.Members = 3 })
-	if err := n.Write(1, 0, 0, 4096, func(sim.Time) {}); err != nil {
+	if err := n.Write(1, 0, 0, 4096, func(sim.Time, bool) {}); err != nil {
 		t.Fatal(err)
 	}
 	eng.Run()
@@ -230,7 +230,7 @@ func TestStridePrefetch(t *testing.T) {
 	eng, n := testNode(t, func(c *Config) { c.PrefetchDepth = 2 })
 	// Three sequential unit reads establish stride 1 → prefetch kicks in.
 	for u := int64(0); u < 3; u++ {
-		if err := n.Read(1, u, 0, 4096, func(sim.Time) {}); err != nil {
+		if err := n.Read(1, u, 0, 4096, func(sim.Time, bool) {}); err != nil {
 			t.Fatal(err)
 		}
 		eng.Run()
@@ -240,7 +240,7 @@ func TestStridePrefetch(t *testing.T) {
 	}
 	// The prefetched unit must now hit.
 	_, missesBefore, _ := n.CacheStats()
-	if err := n.Read(1, 3, 0, 4096, func(sim.Time) {}); err != nil {
+	if err := n.Read(1, 3, 0, 4096, func(sim.Time, bool) {}); err != nil {
 		t.Fatal(err)
 	}
 	eng.Run()
@@ -253,7 +253,7 @@ func TestStridePrefetch(t *testing.T) {
 func TestPrefetchDisabled(t *testing.T) {
 	eng, n := testNode(t, func(c *Config) { c.PrefetchDepth = 0 })
 	for u := int64(0); u < 4; u++ {
-		if err := n.Read(1, u, 0, 4096, func(sim.Time) {}); err != nil {
+		if err := n.Read(1, u, 0, 4096, func(sim.Time, bool) {}); err != nil {
 			t.Fatal(err)
 		}
 		eng.Run()
@@ -277,7 +277,7 @@ func TestEnergyAccumulatesAcrossMembers(t *testing.T) {
 func TestSmallCacheEvicts(t *testing.T) {
 	eng, n := testNode(t, func(c *Config) { c.CacheBytes = 128 << 10 }) // 2 units
 	for u := int64(0); u < 5; u++ {
-		if err := n.Read(1, u*10, 0, 4096, func(sim.Time) {}); err != nil { // stride 10, no prefetch match
+		if err := n.Read(1, u*10, 0, 4096, func(sim.Time, bool) {}); err != nil { // stride 10, no prefetch match
 			t.Fatal(err)
 		}
 		eng.Run()
@@ -291,7 +291,7 @@ func TestSmallCacheEvicts(t *testing.T) {
 func TestWriteBackAbsorbsWrites(t *testing.T) {
 	eng, n := testNode(t, func(c *Config) { c.WriteBack = true; c.FlushEpoch = sim.Second })
 	var acked sim.Time
-	if err := n.Write(1, 0, 0, 4096, func(now sim.Time) { acked = now }); err != nil {
+	if err := n.Write(1, 0, 0, 4096, func(now sim.Time, _ bool) { acked = now }); err != nil {
 		t.Fatal(err)
 	}
 	// The ack arrives at cache speed, long before any disk write.
@@ -329,7 +329,7 @@ func TestWriteBackAbsorbsWrites(t *testing.T) {
 func TestWriteBackCoalescesRewrites(t *testing.T) {
 	eng, n := testNode(t, func(c *Config) { c.WriteBack = true; c.FlushEpoch = sim.Second })
 	for i := 0; i < 5; i++ {
-		if err := n.Write(1, 7, 0, 4096, func(sim.Time) {}); err != nil {
+		if err := n.Write(1, 7, 0, 4096, func(sim.Time, bool) {}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -344,11 +344,11 @@ func TestWriteBackCoalescesRewrites(t *testing.T) {
 
 func TestWriteBackReadHitsDirtyData(t *testing.T) {
 	eng, n := testNode(t, func(c *Config) { c.WriteBack = true })
-	if err := n.Write(1, 3, 0, 4096, func(sim.Time) {}); err != nil {
+	if err := n.Write(1, 3, 0, 4096, func(sim.Time, bool) {}); err != nil {
 		t.Fatal(err)
 	}
 	hitsBefore, _, _ := n.CacheStats()
-	if err := n.Read(1, 3, 0, 4096, func(sim.Time) {}); err != nil {
+	if err := n.Read(1, 3, 0, 4096, func(sim.Time, bool) {}); err != nil {
 		t.Fatal(err)
 	}
 	eng.RunUntil(sim.MilliToTime(1))

@@ -91,6 +91,48 @@ func (h *IdleHistogram) Merge(other *IdleHistogram) error {
 	return nil
 }
 
+// HistogramSnapshot is the portable form of an IdleHistogram: every field
+// exported and JSON-serializable, so run results can round-trip through
+// the harness's crash-safe journal.
+type HistogramSnapshot struct {
+	BoundsMs []float64
+	Counts   []int64
+	Total    int64
+	SumUS    int64 // summed gap time, microseconds
+	MaxUS    int64 // longest gap, microseconds
+}
+
+// Snapshot exports the histogram's full state.
+func (h *IdleHistogram) Snapshot() *HistogramSnapshot {
+	s := &HistogramSnapshot{
+		BoundsMs: make([]float64, len(h.boundsMs)),
+		Counts:   make([]int64, len(h.counts)),
+		Total:    h.total,
+		SumUS:    int64(h.sum),
+		MaxUS:    int64(h.max),
+	}
+	copy(s.BoundsMs, h.boundsMs)
+	copy(s.Counts, h.counts)
+	return s
+}
+
+// FromSnapshot reconstructs a histogram from its portable form. It rejects
+// snapshots whose count slice does not match the bucket bounds.
+func FromSnapshot(s *HistogramSnapshot) (*IdleHistogram, error) {
+	if s == nil {
+		return nil, fmt.Errorf("metrics: nil histogram snapshot")
+	}
+	if len(s.Counts) != len(s.BoundsMs)+1 {
+		return nil, fmt.Errorf("metrics: snapshot has %d counts for %d bounds", len(s.Counts), len(s.BoundsMs))
+	}
+	h := NewIdleHistogramWith(s.BoundsMs)
+	copy(h.counts, s.Counts)
+	h.total = s.Total
+	h.sum = sim.Duration(s.SumUS)
+	h.max = sim.Duration(s.MaxUS)
+	return h, nil
+}
+
 // CDFPoint is one point of the cumulative distribution: the fraction of
 // gaps at most BoundMs milliseconds long.
 type CDFPoint struct {

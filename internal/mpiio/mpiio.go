@@ -9,8 +9,10 @@ package mpiio
 import (
 	"fmt"
 
+	"sdds/internal/fault"
 	"sdds/internal/ionode"
 	"sdds/internal/netsim"
+	"sdds/internal/probe"
 	"sdds/internal/sim"
 	"sdds/internal/stripe"
 )
@@ -30,7 +32,16 @@ type Middleware struct {
 	net    *netsim.Network
 	files  map[int]FileInfo
 
+	// flt/pr are the engine's fault injector and flight recorder, cached at
+	// construction; both nil-safe.
+	flt *fault.Injector
+	pr  *probe.Probe
+
 	reads, writes int64
+	// Fault-degradation counters (all zero without an injector).
+	retries      int64 // chunk re-reads/re-writes after a failed node call
+	failedReads  int64 // chunks whose reads failed even after MaxRetries
+	failedWrites int64 // chunks whose writes failed even after MaxRetries
 }
 
 // New wires the middleware. The node slice length must equal the layout's
@@ -48,6 +59,8 @@ func New(eng *sim.Engine, layout stripe.Layout, nodes []*ionode.Node, net *netsi
 		nodes:  nodes,
 		net:    net,
 		files:  make(map[int]FileInfo),
+		flt:    eng.Faults(),
+		pr:     eng.Probe(),
 	}, nil
 }
 
@@ -68,6 +81,12 @@ func (m *Middleware) Layout() stripe.Layout { return m.layout }
 // Stats returns cumulative read/write call counts.
 func (m *Middleware) Stats() (reads, writes int64) { return m.reads, m.writes }
 
+// FaultStats returns the middleware's degradation counters: chunk retries
+// and chunks that failed even after every retry.
+func (m *Middleware) FaultStats() (retries, failedReads, failedWrites int64) {
+	return m.retries, m.failedReads, m.failedWrites
+}
+
 // wrap keeps scaled-down file sizes addressable: offsets beyond the file
 // wrap around, preserving the node-visit pattern of the original trace.
 func (m *Middleware) wrap(file int, offset int64) int64 {
@@ -83,37 +102,91 @@ func (m *Middleware) wrap(file int, offset int64) int64 {
 
 // Read fetches [offset, offset+length) of file, invoking done when every
 // chunk has been read on its I/O node and transferred back over the
-// network (MPI_File_read).
-func (m *Middleware) Read(file int, offset, length int64, done func(now sim.Time)) error {
+// network (MPI_File_read). ok reports whether every chunk delivered its
+// data; a chunk whose node read fails (injected faults, retries exhausted)
+// is re-read up to MaxRetries times with exponential backoff before the
+// whole call degrades to ok=false.
+func (m *Middleware) Read(file int, offset, length int64, done func(now sim.Time, ok bool)) error {
 	if length <= 0 {
 		return fmt.Errorf("mpiio: read length %d must be positive", length)
 	}
 	m.reads++
-	return m.forEachChunk(file, offset, length, func(c stripe.Chunk, chunkDone func(sim.Time)) error {
+	return m.forEachChunk(file, offset, length, func(c stripe.Chunk, chunkDone func(sim.Time, bool), chunkOK func(sim.Time)) error {
 		node := m.nodes[c.Node]
-		return node.Read(file, c.Unit, c.Offset, c.Length, func(sim.Time) {
+		attempts := 0
+		var onRead func(now sim.Time, ok bool)
+		issue := func() error {
+			return node.Read(file, c.Unit, c.Offset, c.Length, onRead)
+		}
+		onRead = func(now sim.Time, ok bool) {
+			if !ok && attempts < m.flt.MaxRetries() {
+				attempts++
+				m.retries++
+				m.pr.Emit(probe.KindRetry, int32(c.Node), int64(now), int64(attempts))
+				backoff := sim.Duration(m.flt.RetryLatencyUS()) << (attempts - 1)
+				//sddsvet:ignore hotalloc -- fault path: one re-read closure per failed chunk
+				m.eng.ScheduleFunc(backoff, "mpiio.read-retry", func(at sim.Time) {
+					if issue() != nil {
+						chunkDone(at, false) // validated config: unreachable
+					}
+				})
+				return
+			}
+			if !ok {
+				m.failedReads++
+				chunkDone(now, false)
+				return
+			}
 			// Ship the chunk back to the client.
-			if err := m.net.Transfer(c.Node, c.Length, chunkDone); err != nil {
+			if err := m.net.Transfer(c.Node, c.Length, chunkOK); err != nil {
 				// Transfer setup errors are programming errors; complete
 				// the chunk so callers don't hang.
-				m.eng.ScheduleFunc(0, "mpiio.read-err", chunkDone)
+				//sddsvet:ignore hotalloc -- error path: completes the chunk on a setup bug
+				m.eng.ScheduleFunc(0, "mpiio.read-err", func(at sim.Time) { chunkDone(at, false) })
 			}
-		})
+		}
+		return issue()
 	}, done)
 }
 
 // Write stores [offset, offset+length) of file: data moves to each node
-// over the network, then the node writes it (MPI_File_write).
-func (m *Middleware) Write(file int, offset, length int64, done func(now sim.Time)) error {
+// over the network, then the node writes it (MPI_File_write). ok=false
+// only when a chunk's write failed after every bounded retry.
+func (m *Middleware) Write(file int, offset, length int64, done func(now sim.Time, ok bool)) error {
 	if length <= 0 {
 		return fmt.Errorf("mpiio: write length %d must be positive", length)
 	}
 	m.writes++
-	return m.forEachChunk(file, offset, length, func(c stripe.Chunk, chunkDone func(sim.Time)) error {
+	return m.forEachChunk(file, offset, length, func(c stripe.Chunk, chunkDone func(sim.Time, bool), chunkOK func(sim.Time)) error {
 		node := m.nodes[c.Node]
+		attempts := 0
+		var onWrite func(now sim.Time, ok bool)
+		issue := func() error {
+			return node.Write(file, c.Unit, c.Offset, c.Length, onWrite)
+		}
+		onWrite = func(now sim.Time, ok bool) {
+			if !ok && attempts < m.flt.MaxRetries() {
+				attempts++
+				m.retries++
+				m.pr.Emit(probe.KindRetry, int32(c.Node), int64(now), int64(attempts))
+				backoff := sim.Duration(m.flt.RetryLatencyUS()) << (attempts - 1)
+				//sddsvet:ignore hotalloc -- fault path: one re-write closure per failed chunk
+				m.eng.ScheduleFunc(backoff, "mpiio.write-retry", func(at sim.Time) {
+					if issue() != nil {
+						chunkDone(at, false) // validated config: unreachable
+					}
+				})
+				return
+			}
+			if !ok {
+				m.failedWrites++
+			}
+			chunkDone(now, ok)
+		}
 		return m.net.Transfer(c.Node, c.Length, func(sim.Time) {
-			if err := node.Write(file, c.Unit, c.Offset, c.Length, chunkDone); err != nil {
-				m.eng.ScheduleFunc(0, "mpiio.write-err", chunkDone)
+			if issue() != nil {
+				//sddsvet:ignore hotalloc -- error path: completes the chunk on a setup bug
+				m.eng.ScheduleFunc(0, "mpiio.write-err", func(at sim.Time) { chunkDone(at, false) })
 			}
 		})
 	}, done)
@@ -126,25 +199,33 @@ func (m *Middleware) SignatureFor(file int, offset, length int64) stripe.Signatu
 }
 
 // forEachChunk splits the range, dispatches fn per chunk and calls done
-// when all chunks complete.
-func (m *Middleware) forEachChunk(file int, offset, length int64, fn func(stripe.Chunk, func(sim.Time)) error, done func(now sim.Time)) error {
+// when all chunks complete, with ok = every chunk succeeded. fn receives
+// both the ok-carrying completion (chunkDone) and a success-only adapter
+// (chunkOK) it can hand to callbacks that cannot fail, e.g. the network
+// delivery, without allocating a wrapper per chunk.
+func (m *Middleware) forEachChunk(file int, offset, length int64, fn func(stripe.Chunk, func(sim.Time, bool), func(sim.Time)) error, done func(now sim.Time, ok bool)) error {
 	offset = m.wrap(file, offset)
 	chunks := m.layout.Chunks(offset, length)
 	if len(chunks) == 0 {
 		return fmt.Errorf("mpiio: empty chunk set for off=%d len=%d", offset, length)
 	}
 	remaining := len(chunks)
-	chunkDone := func(now sim.Time) {
+	allOK := true
+	chunkDone := func(now sim.Time, ok bool) {
+		if !ok {
+			allOK = false
+		}
 		remaining--
 		if remaining == 0 && done != nil {
-			done(now)
+			done(now, allOK)
 		}
 	}
+	chunkOK := func(now sim.Time) { chunkDone(now, true) }
 	for _, c := range chunks {
 		if c.Node < 0 || c.Node >= len(m.nodes) {
 			return fmt.Errorf("mpiio: chunk mapped to invalid node %d", c.Node)
 		}
-		if err := fn(c, chunkDone); err != nil {
+		if err := fn(c, chunkDone, chunkOK); err != nil {
 			return err
 		}
 	}

@@ -51,7 +51,7 @@ func TestReadFansOutAcrossNodes(t *testing.T) {
 	eng, m, nodes := testMiddleware(t, 4)
 	var done sim.Time
 	// 256 KB spanning 4 stripe units → all 4 nodes.
-	if err := m.Read(0, 0, 256<<10, func(now sim.Time) { done = now }); err != nil {
+	if err := m.Read(0, 0, 256<<10, func(now sim.Time, _ bool) { done = now }); err != nil {
 		t.Fatal(err)
 	}
 	eng.Run()
@@ -72,7 +72,7 @@ func TestReadFansOutAcrossNodes(t *testing.T) {
 func TestWriteReachesNodes(t *testing.T) {
 	eng, m, nodes := testMiddleware(t, 2)
 	var done sim.Time
-	if err := m.Write(0, 0, 128<<10, func(now sim.Time) { done = now }); err != nil {
+	if err := m.Write(0, 0, 128<<10, func(now sim.Time, _ bool) { done = now }); err != nil {
 		t.Fatal(err)
 	}
 	eng.Run()
@@ -101,7 +101,7 @@ func TestOffsetWrapsAtFileSize(t *testing.T) {
 	}
 	// Offset far past EOF wraps, staying addressable.
 	completed := false
-	if err := m.Read(1, (1<<40)+7, 4<<10, func(sim.Time) { completed = true }); err != nil {
+	if err := m.Read(1, (1<<40)+7, 4<<10, func(sim.Time, bool) { completed = true }); err != nil {
 		t.Fatal(err)
 	}
 	eng.Run()
@@ -127,7 +127,7 @@ func TestConcurrentReadsComplete(t *testing.T) {
 	done := 0
 	for i := 0; i < 20; i++ {
 		off := int64(i) * (64 << 10)
-		if err := m.Read(0, off, 64<<10, func(sim.Time) { done++ }); err != nil {
+		if err := m.Read(0, off, 64<<10, func(sim.Time, bool) { done++ }); err != nil {
 			t.Fatal(err)
 		}
 	}

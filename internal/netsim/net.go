@@ -7,6 +7,8 @@ package netsim
 import (
 	"fmt"
 
+	"sdds/internal/fault"
+	"sdds/internal/probe"
 	"sdds/internal/sim"
 )
 
@@ -49,8 +51,15 @@ type Network struct {
 	cfg  Config
 	busy []sim.Time // per-node link free time
 
+	// flt/pr are the engine's fault injector and flight recorder, cached at
+	// construction; both are nil-safe.
+	flt *fault.Injector
+	pr  *probe.Probe
+
 	transfers int64
 	bytes     int64
+	drops     int64
+	dups      int64
 }
 
 // New builds a network.
@@ -58,7 +67,13 @@ func New(eng *sim.Engine, cfg Config) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Network{eng: eng, cfg: cfg, busy: make([]sim.Time, cfg.NumNodes)}, nil
+	return &Network{
+		eng:  eng,
+		cfg:  cfg,
+		busy: make([]sim.Time, cfg.NumNodes),
+		flt:  eng.Faults(),
+		pr:   eng.Probe(),
+	}, nil
 }
 
 // MustNew is New, panicking on error.
@@ -90,7 +105,29 @@ func (n *Network) Transfer(node int, bytes int64, done func(now sim.Time)) error
 	}
 	occupancy := sim.Duration(float64(bytes) / n.cfg.LinkMBps) // bytes/µs = MBps
 	n.busy[node] = start + occupancy
-	delivery := start + occupancy + n.cfg.LatencyOneWay
+	delivery := n.busy[node] + n.cfg.LatencyOneWay
+	// Injected drops: each lost copy burned its link occupancy, and the
+	// retransmission waits out an exponential backoff before re-occupying
+	// the link. Bounded by MaxRetries, then the transfer goes through — the
+	// transport is reliable, faults only cost time and bandwidth.
+	if n.flt.Enabled() {
+		backoff := sim.Duration(n.flt.NetRetryDelayUS())
+		for r := 0; r < n.flt.MaxRetries() && n.flt.Hit(fault.SiteNetDrop); r++ {
+			n.drops++
+			n.pr.Emit(probe.KindFault, int32(fault.SiteNetDrop), int64(n.eng.Now()), int64(node))
+			n.busy[node] += backoff + occupancy
+			delivery = n.busy[node] + n.cfg.LatencyOneWay
+			backoff <<= 1
+		}
+		// Injected duplicate: a spurious copy serializes on the link after
+		// the real delivery is already computed, so it wastes bandwidth for
+		// later transfers without delaying this one.
+		if n.flt.Hit(fault.SiteNetDup) {
+			n.dups++
+			n.pr.Emit(probe.KindFault, int32(fault.SiteNetDup), int64(n.eng.Now()), int64(node))
+			n.busy[node] += occupancy
+		}
+	}
 	n.transfers++
 	n.bytes += bytes
 	n.eng.ScheduleFunc(delivery-now, "net.deliver", done)
@@ -99,3 +136,6 @@ func (n *Network) Transfer(node int, bytes int64, done func(now sim.Time)) error
 
 // Stats returns cumulative transfer count and bytes.
 func (n *Network) Stats() (transfers, bytes int64) { return n.transfers, n.bytes }
+
+// FaultStats returns the injected drop and duplicate counts.
+func (n *Network) FaultStats() (drops, dups int64) { return n.drops, n.dups }

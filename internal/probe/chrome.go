@@ -14,6 +14,8 @@ import (
 //	pid 1  ionodes        one row per I/O node: storage-cache instants
 //	pid 2  client buffer  global-buffer hit/miss instants
 //	pid 3  phases         wall-clock spans (plan, compile, simulate)
+//	pid 4  faults         one row per fault site (injection instants) plus
+//	                      a "retries" row for the degradation retries
 //
 // Disk/node/buffer timestamps are the engine's virtual microseconds; phase
 // spans are wall microseconds since the probe was created. chrome://tracing
@@ -23,13 +25,21 @@ const (
 	pidNodes  = 1
 	pidBuffer = 2
 	pidPhases = 3
+	pidFaults = 4
 )
+
+// retryTrack is the faults-process row carrying KindRetry instants, above
+// any plausible fault-site id.
+const retryTrack = int64(1 << 16)
 
 // ChromeOptions tunes the export.
 type ChromeOptions struct {
 	// StateName renders a KindDiskState record's arg as the span name
 	// (pass a disk.State stringer). Nil falls back to "state <n>".
 	StateName func(arg int64) string
+	// FaultSiteName renders a KindFault record's id as the instant/track
+	// name (pass a fault.Site stringer). Nil falls back to "site <n>".
+	FaultSiteName func(id int32) string
 }
 
 // traceEvent is one entry of the Chrome trace-event format's JSON array
@@ -65,13 +75,19 @@ func WriteChromeTrace(w io.Writer, p *Probe, opts ChromeOptions) error {
 	if stateName == nil {
 		stateName = func(arg int64) string { return fmt.Sprintf("state %d", arg) }
 	}
+	siteName := opts.FaultSiteName
+	if siteName == nil {
+		siteName = func(id int32) string { return fmt.Sprintf("site %d", id) }
+	}
 	recs := p.Records()
 	var events []traceEvent
 
 	// Pass 1: discover tracks and the end-of-trace timestamp.
 	diskSeen := map[int32]bool{}
 	nodeSeen := map[int32]bool{}
+	faultSeen := map[int32]bool{}
 	bufferSeen := false
+	retrySeen := false
 	var maxT int64
 	for _, r := range recs {
 		if r.T > maxT {
@@ -85,6 +101,10 @@ func WriteChromeTrace(w io.Writer, p *Probe, opts ChromeOptions) error {
 			nodeSeen[r.ID] = true
 		case KindBufferHit, KindBufferMiss:
 			bufferSeen = true
+		case KindFault:
+			faultSeen[r.ID] = true
+		case KindRetry:
+			retrySeen = true
 		}
 	}
 
@@ -117,6 +137,15 @@ func WriteChromeTrace(w io.Writer, p *Probe, opts ChromeOptions) error {
 	if bufferSeen {
 		procMeta(pidBuffer, "client buffer")
 		meta(pidBuffer, 0, "global buffer")
+	}
+	if len(faultSeen) > 0 || retrySeen {
+		procMeta(pidFaults, "faults")
+		for _, id := range sortedIDs(faultSeen) {
+			meta(pidFaults, int64(id), siteName(id))
+		}
+		if retrySeen {
+			meta(pidFaults, retryTrack, "retries")
+		}
 	}
 
 	// Pass 2: power-state spans (consecutive KindDiskState records per
@@ -171,6 +200,13 @@ func WriteChromeTrace(w io.Writer, p *Probe, opts ChromeOptions) error {
 			instant(r, pidNodes, int64(r.ID), map[string]any{"unit": r.Arg})
 		case KindBufferHit, KindBufferMiss:
 			instant(r, pidBuffer, 0, map[string]any{"access": r.ID})
+		case KindFault:
+			events = append(events, traceEvent{
+				Name: siteName(r.ID), Ph: "i", Ts: r.T, Pid: pidFaults,
+				Tid: int64(r.ID), S: "t", Args: map[string]any{"entity": r.Arg},
+			})
+		case KindRetry:
+			instant(r, pidFaults, retryTrack, map[string]any{"node": r.ID, "attempt": r.Arg})
 		}
 	}
 	// Close trailing state spans at the last record's timestamp so every

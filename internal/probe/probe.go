@@ -41,6 +41,8 @@ type Kind uint16
 //	BufferMiss    access ID 0
 //	PreActivation disk ID   0 (ahead-of-time wake/ramp timer fired)
 //	WrongPredict  disk ID   0 (request found the disk mid-transition/slow)
+//	Fault         fault site (fault.Site as int32)   emitting entity ID (disk/node)
+//	Retry         node ID   retry attempt number (1-based)
 const (
 	KindInvalid Kind = iota
 	KindDiskState
@@ -56,6 +58,8 @@ const (
 	KindBufferMiss
 	KindPreActivation
 	KindWrongPredict
+	KindFault
+	KindRetry
 )
 
 var kindNames = [...]string{
@@ -73,6 +77,8 @@ var kindNames = [...]string{
 	KindBufferMiss:    "buffer miss",
 	KindPreActivation: "pre-activation",
 	KindWrongPredict:  "wrong prediction",
+	KindFault:         "fault",
+	KindRetry:         "retry",
 }
 
 // String returns the exporter's event name for the kind.

@@ -36,7 +36,7 @@ func TestSpanProbeHasNoRing(t *testing.T) {
 func TestEmitAndRecordsInOrder(t *testing.T) {
 	p := NewProbe(1024)
 	for i := 0; i < 10; i++ {
-		p.Emit(KindIOIssue, int32(i), int64(i * 100), int64(i))
+		p.Emit(KindIOIssue, int32(i), int64(i*100), int64(i))
 	}
 	recs := p.Records()
 	if len(recs) != 10 {

@@ -19,9 +19,11 @@ type AccessInfo struct {
 }
 
 // Fetcher issues an asynchronous read on behalf of an agent (implemented by
-// the cluster executor on top of the MPI-IO middleware).
+// the cluster executor on top of the MPI-IO middleware). done's ok reports
+// whether the data arrived; under fault injection a fetch that exhausted
+// every retry completes with ok=false and the agent aborts the prefetch.
 type Fetcher interface {
-	Fetch(file int, offset, length int64, done func(now sim.Time)) error
+	Fetch(file int, offset, length int64, done func(now sim.Time, ok bool)) error
 }
 
 // LocalClock exposes the processes' progress: MinSlot is the minimum local
@@ -46,6 +48,7 @@ type Agent struct {
 	localSlot int
 
 	issued, skippedFull, deferredWriter int64
+	fetchAborts                         int64
 }
 
 // NewAgent builds the agent for proc from its full scheduling table; the
@@ -79,6 +82,11 @@ func NewAgent(proc int, table []core.Entry, resolve func(int) (AccessInfo, bool)
 func (a *Agent) Stats() (issued, skippedFull, deferredWriter int64) {
 	return a.issued, a.skippedFull, a.deferredWriter
 }
+
+// FetchAborts returns how many issued prefetches completed unsuccessfully
+// (injected faults, retries exhausted) and released their reservation.
+// Always zero without fault injection.
+func (a *Agent) FetchAborts() int64 { return a.fetchAborts }
 
 // PendingEntries returns how many table entries have not been issued yet.
 func (a *Agent) PendingEntries() int { return len(a.table) - a.next }
@@ -139,7 +147,17 @@ func (a *Agent) Pump(now sim.Time) {
 			return // buffer full: stop fetching until space frees
 		}
 		id := e.AccessID
-		if err := a.fetcher.Fetch(info.File, info.Offset, info.Length, func(sim.Time) {
+		if err := a.fetcher.Fetch(info.File, info.Offset, info.Length, func(now sim.Time, ok bool) {
+			if !ok {
+				// The prefetch failed after every bounded retry: release
+				// the reservation and wake any waiting reader as a miss —
+				// it falls back to an on-demand read. Producer local-time
+				// ordering is untouched: the entry simply behaves as if it
+				// was never prefetched.
+				a.fetchAborts++
+				a.buf.Abort(id)
+				return
+			}
 			if !a.buf.Commit(id) {
 				// The read bypassed us; space was already released by
 				// TryConsume. Nothing further to do.

@@ -56,7 +56,7 @@ func (b *GlobalBuffer) emit(k probe.Kind, id int) {
 type bufEntry struct {
 	bytes   int64
 	state   entryState
-	waiters []func()
+	waiters []func(ok bool)
 }
 
 // NewGlobalBuffer returns a buffer with the given byte capacity.
@@ -122,7 +122,7 @@ func (b *GlobalBuffer) Commit(id int) bool {
 		b.hits++
 		b.emit(probe.KindBufferHit, id)
 		for _, w := range e.waiters {
-			w()
+			w(true)
 		}
 		return true
 	}
@@ -133,11 +133,13 @@ func (b *GlobalBuffer) Commit(id int) bool {
 
 // WaitConsume handles an application read racing an in-flight prefetch:
 // when the entry for id is pending, onReady is registered to fire at
-// Commit (counting as a hit) and WaitConsume returns true. When the entry
-// is ready it is consumed immediately, onReady fires synchronously and it
-// returns true. Otherwise it returns false (a plain miss) without side
-// effects beyond the miss counter.
-func (b *GlobalBuffer) WaitConsume(id int, onReady func()) bool {
+// Commit — with ok=true, counting as a hit — or at Abort — with ok=false,
+// the fetch failed and the waiter must fall back to an on-demand read —
+// and WaitConsume returns true. When the entry is ready it is consumed
+// immediately, onReady(true) fires synchronously and it returns true.
+// Otherwise it returns false (a plain miss) without side effects beyond
+// the miss counter.
+func (b *GlobalBuffer) WaitConsume(id int, onReady func(ok bool)) bool {
 	e, ok := b.entries[id]
 	if !ok {
 		b.misses++
@@ -149,7 +151,7 @@ func (b *GlobalBuffer) WaitConsume(id int, onReady func()) bool {
 		b.used -= e.bytes
 		b.hits++
 		b.emit(probe.KindBufferHit, id)
-		onReady()
+		onReady(true)
 		return true
 	}
 	e.waiters = append(e.waiters, onReady)
@@ -157,7 +159,10 @@ func (b *GlobalBuffer) WaitConsume(id int, onReady func()) bool {
 	return true
 }
 
-// Abort releases a reservation (fetch failed or became useless).
+// Abort releases a reservation (fetch failed or became useless). Waiters
+// registered by WaitConsume are woken with ok=false — they count as misses
+// and degrade to on-demand reads rather than hanging on data that will
+// never arrive.
 func (b *GlobalBuffer) Abort(id int) {
 	e, ok := b.entries[id]
 	if !ok {
@@ -166,6 +171,13 @@ func (b *GlobalBuffer) Abort(id int) {
 	delete(b.entries, id)
 	b.used -= e.bytes
 	b.dropped++
+	if len(e.waiters) > 0 {
+		b.misses += int64(len(e.waiters))
+		b.emit(probe.KindBufferMiss, id)
+		for _, w := range e.waiters {
+			w(false)
+		}
+	}
 }
 
 // TryConsume is the application-side probe: on a hit it invalidates the

@@ -1,0 +1,69 @@
+package sched
+
+import (
+	"testing"
+
+	"sdds/internal/core"
+	"sdds/internal/sim"
+)
+
+// abortFetcher completes every fetch asynchronously with ok=false,
+// modelling a prefetch whose bounded retries were all exhausted.
+type abortFetcher struct {
+	eng   *sim.Engine
+	delay sim.Duration
+}
+
+func (f *abortFetcher) Fetch(file int, offset, length int64, done func(sim.Time, bool)) error {
+	f.eng.Schedule(f.delay, "abort.fetch", func(now sim.Time) { done(now, false) })
+	return nil
+}
+
+// TestFailedPrefetchFallsBackToOnDemand pins the degradation contract at
+// the scheduler layer: a prefetch that fails after its bounded retries
+// releases its reservation and wakes any reader waiting on it with
+// ok=false, so the reader degrades to an on-demand read instead of
+// hanging on data that will never arrive.
+func TestFailedPrefetchFallsBackToOnDemand(t *testing.T) {
+	eng := sim.NewEngine(1)
+	buf := MustNewGlobalBuffer(1 << 20)
+	infos := map[int]AccessInfo{1: {File: 0, Offset: 100, Length: 64, WriterSlot: -1}}
+	resolve := func(id int) (AccessInfo, bool) {
+		in, ok := infos[id]
+		return in, ok
+	}
+	f := &abortFetcher{eng: eng, delay: 10}
+	a, err := NewAgent(0, []core.Entry{mkEntry(1, 0, 9)}, resolve, f, buf, &fakeClock{min: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Pump(eng.Now())
+	if issued, _, _ := a.Stats(); issued != 1 {
+		t.Fatalf("issued = %d, want 1", issued)
+	}
+	// A read races the in-flight prefetch and parks on the pending entry.
+	var woken, okFlag bool
+	if !buf.WaitConsume(1, func(ok bool) { woken = true; okFlag = ok }) {
+		t.Fatal("WaitConsume did not register against the pending entry")
+	}
+	eng.Run()
+	if !woken {
+		t.Fatal("waiter never woken after the fetch aborted")
+	}
+	if okFlag {
+		t.Fatal("waiter woken with ok=true for a failed fetch")
+	}
+	if a.FetchAborts() != 1 {
+		t.Fatalf("FetchAborts = %d, want 1", a.FetchAborts())
+	}
+	if buf.Used() != 0 {
+		t.Fatalf("buffer still holds %d bytes after the abort", buf.Used())
+	}
+	if buf.Resident(1) {
+		t.Fatal("aborted entry still resident")
+	}
+	_, misses, _, dropped := buf.Stats()
+	if misses == 0 || dropped == 0 {
+		t.Fatalf("abort recorded misses=%d dropped=%d, want both > 0", misses, dropped)
+	}
+}

@@ -67,12 +67,12 @@ type fakeFetcher struct {
 	fail    bool
 }
 
-func (f *fakeFetcher) Fetch(file int, offset, length int64, done func(sim.Time)) error {
+func (f *fakeFetcher) Fetch(file int, offset, length int64, done func(sim.Time, bool)) error {
 	if f.fail {
 		return errTest
 	}
 	f.fetched = append(f.fetched, offset)
-	f.eng.Schedule(f.delay, "fake.fetch", done)
+	f.eng.Schedule(f.delay, "fake.fetch", func(now sim.Time) { done(now, true) })
 	return nil
 }
 

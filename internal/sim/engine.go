@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"sdds/internal/fault"
 	"sdds/internal/probe"
 )
 
@@ -125,6 +126,11 @@ type Engine struct {
 	// (Step's budget is sacred); it only carries the pointer so models can
 	// fetch it once at construction and emit from their own call sites.
 	probe *probe.Probe
+
+	// faults is the optional fault injector, carried exactly like the probe:
+	// the engine never draws from it, models cache the pointer at New time
+	// and consult it at their own decision points.
+	faults *fault.Injector
 }
 
 // NewEngine returns an engine with the clock at zero and the given RNG seed.
@@ -148,6 +154,16 @@ func (e *Engine) SetProbe(p *probe.Probe) { e.probe = p }
 // Model emit sites call through the returned pointer; probe.Emit is
 // nil-safe, so callers need no guard of their own.
 func (e *Engine) Probe() *probe.Probe { return e.probe }
+
+// SetFaults attaches a fault injector. Like SetProbe, call before
+// constructing models: they cache the pointer at New time. A nil injector
+// (the default) disables fault injection.
+func (e *Engine) SetFaults(f *fault.Injector) { e.faults = f }
+
+// Faults returns the attached fault injector, or nil when injection is off.
+// fault.Injector methods are nil-safe, so model decision points need no
+// guard of their own.
+func (e *Engine) Faults() *fault.Injector { return e.faults }
 
 // EventsFired reports how many events have executed so far.
 func (e *Engine) EventsFired() uint64 { return e.fired }
