@@ -5,9 +5,9 @@ GO ?= go
 # sandboxes, air-gapped machines) skip it with a notice instead of failing.
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: ci lint vet sddsvet staticcheck build test race smoke trace-smoke fault-smoke bench
+.PHONY: ci lint vet sddsvet staticcheck build test race smoke trace-smoke fault-smoke service-smoke bench
 
-ci: lint build race smoke trace-smoke fault-smoke
+ci: lint build race smoke trace-smoke fault-smoke service-smoke
 
 # Fast static tier: runs in seconds, ahead of the (90-minute) race tier.
 lint: vet sddsvet staticcheck
@@ -67,6 +67,12 @@ fault-smoke:
 	$(GO) run ./cmd/sddstables -experiment table3 -scale 0.05 -apps sar,hf \
 		-faults 'read=0.02,net-drop=0.01,stall=0.01,seed=7' \
 		-journal "$$tmp/sweep.journal" -resume -progress=false >/dev/null
+
+# Service end to end: builds the real sddsd binary, starts it against a
+# fresh store, submits a run over HTTP, polls /v1/status, checks
+# /v1/doctor, and SIGTERMs for a clean drained exit.
+service-smoke:
+	$(GO) test -run TestServiceSmokeBinary -count=1 -v ./internal/service
 
 # Perf trajectory: engine microbenchmarks (steady-state schedule+fire, the
 # container/heap baseline they are measured against) plus a fig12c-shape

@@ -2,6 +2,10 @@
 // power policy, with or without the compiler-directed data access
 // scheduling framework, and prints the measurements: execution time, disk
 // energy, idle-period CDF, cache/buffer behaviour.
+//
+// Flags translate (via internal/cliutil) into the same canonical
+// harness.Request the sddsd HTTP service accepts, so a CLI invocation and
+// a POST /v1/runs of the equivalent JSON body are byte-identical runs.
 package main
 
 import (
@@ -12,11 +16,11 @@ import (
 	"os/signal"
 	"syscall"
 
+	"sdds/internal/cliutil"
 	"sdds/internal/cluster"
 	"sdds/internal/disk"
 	"sdds/internal/fault"
 	"sdds/internal/metrics"
-	"sdds/internal/power"
 	"sdds/internal/probe"
 	"sdds/internal/workloads"
 )
@@ -35,66 +39,39 @@ func run(args []string) error { return runCtx(context.Background(), args) }
 
 func runCtx(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("sddsim", flag.ContinueOnError)
+	var rf cliutil.RunFlags
+	rf.Register(fs)
 	var (
-		app        = fs.String("app", "hf", "application (hf, sar, astro, apsi, madbench2, wupwise)")
-		policy     = fs.String("policy", "default", "power policy (default, simple, prediction, history, staggered)")
-		scheduling = fs.Bool("scheduling", false, "enable the compiler-directed scheduling framework")
-		scale      = fs.Float64("scale", 1.0, "workload scale factor")
-		procs      = fs.Int("procs", 32, "client (compute) nodes")
-		nodes      = fs.Int("ionodes", 8, "I/O nodes")
-		delta      = fs.Int("delta", 20, "vertical reuse range δ")
-		theta      = fs.Int("theta", 4, "per-node concurrency cap θ (0 = unbounded)")
-		seed       = fs.Int64("seed", 1, "simulation seed")
 		asJSON     = fs.Bool("json", false, "emit the run summary as JSON instead of text")
 		describe   = fs.Bool("describe", false, "print the application's loop-nest pseudo-code and exit")
 		tables     = fs.String("tables", "", "with -scheduling: write the per-process scheduling tables (JSON) to this file")
 		trace      = fs.String("trace", "", "write a Chrome trace-event JSON of the run to this file (load in chrome://tracing or Perfetto)")
 		traceRing  = fs.Int("trace-ring", 1<<20, "probe ring capacity in records (oldest overwritten on overflow)")
 		showMetric = fs.Bool("metrics", false, "print the run's full counter/gauge registry")
-		timeout    = fs.Duration("timeout", 0, "wall-clock deadline for the run (0 = none)")
-		faults     = fs.String("faults", "", "deterministic fault-injection spec, e.g. 'read=0.01,spinup-fail=0.2,seed=7' (empty = no injection)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	spec, err := workloads.ByName(*app)
+	req, err := rf.Request()
 	if err != nil {
 		return err
 	}
-	kind, err := power.ParseKind(*policy)
+	prog, cfg, err := req.BuildRun()
 	if err != nil {
 		return err
 	}
-	prog := spec.Build(*scale)
 	if *describe {
 		fmt.Print(prog.Render())
 		return nil
-	}
-
-	cfg := cluster.DefaultConfig()
-	cfg.Procs = *procs
-	cfg.Layout.NumNodes = *nodes
-	cfg.Net.NumNodes = *nodes
-	cfg.Policy = power.Config{Kind: kind}
-	cfg.Scheduling = *scheduling
-	cfg.Compiler.Delta = *delta
-	cfg.Compiler.Theta = *theta
-	cfg.Seed = *seed
-	if *faults != "" {
-		fc, err := fault.ParseSpec(*faults)
-		if err != nil {
-			return err
-		}
-		cfg.Faults = fc
 	}
 	if *trace != "" {
 		cfg.Probe = probe.NewProbe(*traceRing)
 	}
 
-	if *timeout > 0 {
+	if rf.Timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		ctx, cancel = context.WithTimeout(ctx, rf.Timeout)
 		defer cancel()
 	}
 	res, err := cluster.RunContext(ctx, prog, cfg)
@@ -117,7 +94,7 @@ func runCtx(ctx context.Context, args []string) error {
 			return err
 		}
 		defer f.Close()
-		if err := res.Compile.WriteTables(f, *procs); err != nil {
+		if err := res.Compile.WriteTables(f, cfg.Procs); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote scheduling tables to %s\n", *tables)
@@ -126,18 +103,22 @@ func runCtx(ctx context.Context, args []string) error {
 		return res.WriteJSON(os.Stdout)
 	}
 
+	spec, err := workloads.ByName(req.App)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("application:      %s (%s)\n", spec.Name, spec.Description)
-	fmt.Printf("policy:           %s, scheduling=%v\n", kind, *scheduling)
+	fmt.Printf("policy:           %s, scheduling=%v\n", req.Policy, req.Scheduling)
 	fmt.Printf("execution time:   %.1f s\n", res.ExecTime.Seconds())
 	fmt.Printf("disk energy:      %.1f J\n", res.EnergyJ)
 	fmt.Printf("disk requests:    %d (spin-ups %d, RPM shifts %d)\n",
 		res.DiskRequests, res.SpinUps, res.RPMShifts)
 	fmt.Printf("storage cache:    %d hits / %d misses\n", res.StorageCacheHits, res.StorageCacheMisses)
-	if *scheduling {
+	if req.Scheduling {
 		fmt.Printf("client buffer:    %d hits / %d misses (agents issued %d prefetches, %d moved entries)\n",
 			res.BufferHits, res.BufferMisses, res.AgentIssued, res.AgentMoved)
 		fmt.Printf("compile:          %d accesses over %d slots in %v (profiler=%v)\n",
-			len(res.Compile.Accesses), res.Compile.Program.Slots(*procs),
+			len(res.Compile.Accesses), res.Compile.Program.Slots(cfg.Procs),
 			res.Compile.CompileTime.Round(1e6), res.Compile.UsedProfiler)
 	}
 	if fs := res.Faults; fs != nil {

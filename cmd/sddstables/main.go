@@ -25,7 +25,7 @@ import (
 	"syscall"
 	"time"
 
-	"sdds/internal/fault"
+	"sdds/internal/cliutil"
 	"sdds/internal/harness"
 	"sdds/internal/probe"
 )
@@ -44,22 +44,16 @@ func run(args []string) error { return runCtx(context.Background(), args) }
 
 func runCtx(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("sddstables", flag.ContinueOnError)
+	var sf cliutil.SweepFlags
+	sf.Register(fs)
 	var (
 		experiment = fs.String("experiment", "", "experiment id to run (default: all)")
-		scale      = fs.Float64("scale", 1.0, "workload scale factor")
-		apps       = fs.String("apps", "", "comma-separated application subset (default: all six)")
-		seed       = fs.Int64("seed", 1, "simulation seed")
-		workers    = fs.Int("workers", 0, "concurrent cluster simulations (0 = GOMAXPROCS)")
 		progress   = fs.Bool("progress", stderrIsTerminal(), "render a live run-progress line on stderr")
 		list       = fs.Bool("list", false, "list experiment ids and exit")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write an allocation profile to this file at exit")
 		showMetric = fs.Bool("metrics", false, "print each simulated run's counter/gauge registry as a '# metrics' line on stdout")
 		tracePath  = fs.String("trace", "", "write a Chrome trace of the session's phases (plan, per-worker runs, compile/simulate) to this file")
-		timeout    = fs.Duration("timeout", 0, "per-run wall-clock deadline (0 = none); a run exceeding it fails with a deadline error")
-		faults     = fs.String("faults", "", "deterministic fault-injection spec, e.g. 'read=0.01,net-drop=0.005,seed=7' (empty = no injection)")
-		journal    = fs.String("journal", "", "append every completed run to this crash-safe JSONL journal")
-		resume     = fs.Bool("resume", false, "with -journal: reload its intact entries and simulate only the missing runs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,24 +92,8 @@ func runCtx(ctx context.Context, args []string) error {
 
 	// Validate every name-shaped flag before simulating anything: an
 	// unknown app or experiment must fail here, not minutes into a run.
-	cfg := harness.Config{Scale: *scale, Seed: *seed}
-	if *faults != "" {
-		fc, err := fault.ParseSpec(*faults)
-		if err != nil {
-			return err
-		}
-		cfg.Faults = fc
-	}
-	if *resume && *journal == "" {
-		return errors.New("-resume requires -journal")
-	}
-	if *apps != "" {
-		cfg.Apps = strings.Split(*apps, ",")
-		for i := range cfg.Apps {
-			cfg.Apps[i] = strings.TrimSpace(cfg.Apps[i])
-		}
-	}
-	if err := cfg.Validate(); err != nil {
+	cfg, err := sf.Config()
+	if err != nil {
 		return err
 	}
 	experiments := harness.All()
@@ -127,7 +105,7 @@ func runCtx(ctx context.Context, args []string) error {
 		experiments = []harness.Experiment{e}
 	}
 
-	resolvedWorkers := *workers
+	resolvedWorkers := sf.Workers
 	if resolvedWorkers <= 0 {
 		resolvedWorkers = runtime.GOMAXPROCS(0)
 	}
@@ -137,23 +115,21 @@ func runCtx(ctx context.Context, args []string) error {
 	if *tracePath != "" {
 		sessProbe = probe.NewSpanProbe()
 	}
-	var jrn *harness.Journal
-	if *journal != "" {
-		j, err := harness.OpenJournal(*journal, *resume)
-		if err != nil {
-			return err
-		}
-		defer j.Close()
-		jrn = j
+	jrn, err := sf.OpenJournal()
+	if err != nil {
+		return err
+	}
+	if jrn != nil {
+		defer jrn.Close()
 	}
 	sess := harness.NewSession(harness.SessionOptions{
-		Workers:    *workers,
+		Workers:    sf.Workers,
 		Progress:   combineProgress(metricsPrinter(*showMetric), progressLine(*progress, resolvedWorkers)),
 		Probe:      sessProbe,
-		RunTimeout: *timeout,
+		RunTimeout: sf.Timeout,
 		Journal:    jrn,
 	})
-	if jrn != nil && *resume {
+	if jrn != nil && sf.Resume {
 		fmt.Fprintf(os.Stderr, "journal %s: resumed %d completed runs\n", jrn.Path(), sess.Preloaded())
 	}
 	for i, e := range experiments {

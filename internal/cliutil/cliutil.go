@@ -1,0 +1,139 @@
+// Package cliutil is the one flag→Request translation layer shared by the
+// CLIs (sddsim, sddstables) and the sddsd service daemon. Flag names,
+// defaults, and semantics (-faults specs, -timeout deadlines, -workers
+// bounds, -journal/-resume) are defined here exactly once, so they cannot
+// drift between the binaries or diverge from the HTTP API — every entry
+// point funnels into the same canonical harness.Request / harness.Config.
+package cliutil
+
+import (
+	"errors"
+	"flag"
+	"strings"
+	"time"
+
+	"sdds/internal/cluster"
+	"sdds/internal/fault"
+	"sdds/internal/harness"
+)
+
+// RunFlags are the single-run flags (sddsim, and the service's defaults):
+// one application under one policy on one cluster configuration.
+type RunFlags struct {
+	App        string
+	Policy     string
+	Scheduling bool
+	Scale      float64
+	Procs      int
+	IONodes    int
+	Delta      int
+	Theta      int
+	Seed       int64
+	Faults     string
+	Timeout    time.Duration
+}
+
+// Register installs the run flags on fs with the Table II defaults.
+func (f *RunFlags) Register(fs *flag.FlagSet) {
+	def := cluster.DefaultConfig()
+	fs.StringVar(&f.App, "app", "hf", "application (hf, sar, astro, apsi, madbench2, wupwise)")
+	fs.StringVar(&f.Policy, "policy", "default", "power policy (default, simple, prediction, history, staggered)")
+	fs.BoolVar(&f.Scheduling, "scheduling", false, "enable the compiler-directed scheduling framework")
+	fs.Float64Var(&f.Scale, "scale", 1.0, "workload scale factor")
+	fs.IntVar(&f.Procs, "procs", def.Procs, "client (compute) nodes")
+	fs.IntVar(&f.IONodes, "ionodes", def.Layout.NumNodes, "I/O nodes")
+	fs.IntVar(&f.Delta, "delta", def.Compiler.Delta, "vertical reuse range δ")
+	fs.IntVar(&f.Theta, "theta", def.Compiler.Theta, "per-node concurrency cap θ (0 = unbounded)")
+	fs.Int64Var(&f.Seed, "seed", 1, "simulation seed")
+	fs.StringVar(&f.Faults, "faults", "", "deterministic fault-injection spec, e.g. 'read=0.01,spinup-fail=0.2,seed=7' (empty = no injection)")
+	fs.DurationVar(&f.Timeout, "timeout", 0, "wall-clock deadline for the run (0 = none)")
+}
+
+// Request translates the parsed flags into the canonical normalized
+// harness.Request — the same struct the HTTP API accepts — with
+// "did you mean" validation for app, policy, and fault-spec typos.
+func (f *RunFlags) Request() (harness.Request, error) {
+	theta := f.Theta
+	if theta == 0 {
+		theta = -1 // flag 0 means unbounded; the tag grammar spells it theta=0
+	}
+	ov := harness.VariantOverrides{
+		Procs: f.Procs,
+		Nodes: f.IONodes,
+		Delta: f.Delta,
+		Theta: theta,
+	}
+	req := harness.Request{
+		App:        f.App,
+		Policy:     f.Policy,
+		Scheduling: f.Scheduling,
+		Scale:      f.Scale,
+		Seed:       f.Seed,
+		Variant:    ov.Tag(),
+		Faults:     f.Faults,
+		TimeoutMS:  f.Timeout.Milliseconds(),
+	}
+	return req.Normalize()
+}
+
+// SweepFlags are the experiment-sweep flags (sddstables, sddsd): the
+// harness config scope plus the worker pool and the crash-safe journal.
+type SweepFlags struct {
+	Scale   float64
+	Seed    int64
+	Apps    string
+	Faults  string
+	Workers int
+	Timeout time.Duration
+	Journal string
+	Resume  bool
+}
+
+// Register installs the sweep flags on fs.
+func (f *SweepFlags) Register(fs *flag.FlagSet) {
+	fs.Float64Var(&f.Scale, "scale", 1.0, "workload scale factor")
+	fs.Int64Var(&f.Seed, "seed", 1, "simulation seed")
+	fs.StringVar(&f.Apps, "apps", "", "comma-separated application subset (default: all six)")
+	fs.StringVar(&f.Faults, "faults", "", "deterministic fault-injection spec, e.g. 'read=0.01,net-drop=0.005,seed=7' (empty = no injection)")
+	fs.IntVar(&f.Workers, "workers", 0, "concurrent cluster simulations (0 = GOMAXPROCS)")
+	fs.DurationVar(&f.Timeout, "timeout", 0, "per-run wall-clock deadline (0 = none); a run exceeding it fails with a deadline error")
+	fs.StringVar(&f.Journal, "journal", "", "append every completed run to this crash-safe JSONL journal")
+	fs.BoolVar(&f.Resume, "resume", false, "with -journal: reload its intact entries and simulate only the missing runs")
+}
+
+// Config validates the parsed flags and returns the harness config scope.
+// Every name-shaped flag fails here, before anything simulates.
+func (f *SweepFlags) Config() (harness.Config, error) {
+	cfg := harness.Config{Scale: f.Scale, Seed: f.Seed}
+	if f.Faults != "" {
+		fc, err := fault.ParseSpec(f.Faults)
+		if err != nil {
+			return harness.Config{}, err
+		}
+		cfg.Faults = fc
+	}
+	if f.Apps != "" {
+		cfg.Apps = strings.Split(f.Apps, ",")
+		for i := range cfg.Apps {
+			cfg.Apps[i] = strings.TrimSpace(cfg.Apps[i])
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return harness.Config{}, err
+	}
+	return cfg, nil
+}
+
+// OpenJournal opens the journal the flags name (nil when -journal is
+// unset). -resume without -journal is rejected here, and a journal path
+// naming a directory is rejected by the store, each with a clear error —
+// neither silently runs uncached.
+func (f *SweepFlags) OpenJournal() (*harness.Journal, error) {
+	if f.Resume && f.Journal == "" {
+		return nil, errors.New("-resume requires -journal")
+	}
+	if f.Journal == "" {
+		return nil, nil
+	}
+	return harness.OpenJournal(f.Journal, f.Resume)
+}

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -299,13 +300,21 @@ func TestJournalRoundTripPreservesResult(t *testing.T) {
 		t.Fatal(err)
 	}
 	key := sp.key(c)
-	entry := toEntry(key, res)
-	key2, back, err := entry.restore()
+	rec := NewRunRecord(res)
+	buf, err := json.Marshal(storedRun{Request: key, Result: rec})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if key2 != key {
-		t.Fatalf("key round-trip: %+v vs %+v", key2, key)
+	var sr storedRun
+	if err := json.Unmarshal(buf, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Request != key {
+		t.Fatalf("key round-trip: %+v vs %+v", sr.Request, key)
+	}
+	back, err := sr.Result.Restore(sr.Request)
+	if err != nil {
+		t.Fatal(err)
 	}
 	if back.ExecTime != res.ExecTime || back.EnergyJ != res.EnergyJ ||
 		back.DiskRequests != res.DiskRequests || back.SpinUps != res.SpinUps {

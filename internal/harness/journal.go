@@ -1,61 +1,46 @@
 package harness
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
-	"os"
-	"sync"
 
 	"sdds/internal/cluster"
 	"sdds/internal/metrics"
 	"sdds/internal/power"
 	"sdds/internal/probe"
 	"sdds/internal/sim"
+	"sdds/internal/store"
 )
 
-// journalEntry is one completed cluster run in the crash-safe result
-// journal: the full cache key plus a portable mirror of the result. One
-// JSON object per line, append-only.
-type journalEntry struct {
-	App        string
-	Policy     string
-	Scheduling bool
-	Scale      float64
-	Seed       int64
-	Variant    string `json:",omitempty"`
-	Faults     string `json:",omitempty"`
-	Result     journalResult
+// RunRecord is the portable, JSON-serializable mirror of cluster.Result:
+// what the journal persists and the sddsd service returns. The compiler
+// output is deliberately not recorded (it is large and no experiment
+// reads it from cached runs); a restored result therefore carries
+// Compile == nil.
+type RunRecord struct {
+	ExecTimeUS         int64                      `json:"exec_time_us"`
+	EnergyJ            float64                    `json:"energy_j"`
+	NodeEnergyJ        []float64                  `json:"node_energy_j,omitempty"`
+	Idle               *metrics.HistogramSnapshot `json:"idle,omitempty"`
+	BufferHits         int64                      `json:"buffer_hits"`
+	BufferMisses       int64                      `json:"buffer_misses"`
+	PrefetchIssued     int64                      `json:"prefetch_issued"`
+	StorageCacheHits   int64                      `json:"storage_cache_hits"`
+	StorageCacheMisses int64                      `json:"storage_cache_misses"`
+	AgentMoved         int64                      `json:"agent_moved"`
+	AgentIssued        int64                      `json:"agent_issued"`
+	AgentBlocked       int64                      `json:"agent_blocked"`
+	AgentDeferred      int64                      `json:"agent_deferred"`
+	DiskRequests       int64                      `json:"disk_requests"`
+	SpinUps            int64                      `json:"spin_ups"`
+	RPMShifts          int64                      `json:"rpm_shifts"`
+	Metrics            []probe.Metric             `json:"metrics,omitempty"`
+	Faults             *cluster.FaultStats        `json:"faults,omitempty"`
 }
 
-// journalResult mirrors cluster.Result with every field exported and
-// JSON-serializable. The compiler output is deliberately not journaled
-// (it is large and no experiment reads it from session-cached runs); a
-// restored result therefore carries Compile == nil.
-type journalResult struct {
-	ExecTimeUS         int64
-	EnergyJ            float64
-	NodeEnergyJ        []float64
-	Idle               *metrics.HistogramSnapshot
-	BufferHits         int64
-	BufferMisses       int64
-	PrefetchIssued     int64
-	StorageCacheHits   int64
-	StorageCacheMisses int64
-	AgentMoved         int64
-	AgentIssued        int64
-	AgentBlocked       int64
-	AgentDeferred      int64
-	DiskRequests       int64
-	SpinUps            int64
-	RPMShifts          int64
-	Metrics            []probe.Metric      `json:",omitempty"`
-	Faults             *cluster.FaultStats `json:",omitempty"`
-}
-
-// toEntry converts a completed run to its journal form.
-func toEntry(key runKey, res *cluster.Result) journalEntry {
-	jr := journalResult{
+// NewRunRecord converts a completed run's result to its portable form.
+func NewRunRecord(res *cluster.Result) RunRecord {
+	rr := RunRecord{
 		ExecTimeUS:         int64(res.ExecTime),
 		EnergyJ:            res.EnergyJ,
 		NodeEnergyJ:        res.NodeEnergyJ,
@@ -75,224 +60,161 @@ func toEntry(key runKey, res *cluster.Result) journalEntry {
 		Faults:             res.Faults,
 	}
 	if res.Idle != nil {
-		jr.Idle = res.Idle.Snapshot()
+		rr.Idle = res.Idle.Snapshot()
 	}
-	return journalEntry{
-		App:        key.app,
-		Policy:     key.kind.String(),
-		Scheduling: key.scheduling,
-		Scale:      key.scale,
-		Seed:       key.seed,
-		Variant:    key.variant,
-		Faults:     key.faults,
-		Result:     jr,
-	}
+	return rr
 }
 
-// restore converts a journal entry back into a cache key and result.
-func (e journalEntry) restore() (runKey, *cluster.Result, error) {
-	kind, err := power.ParseKind(e.Policy)
+// Restore converts the record back into a full result under the request
+// it was recorded for (the request supplies Program/Policy/Scheduling).
+// The request must be normalized — records are only ever stored under
+// canonical requests, so a journal round-trip preserves the invariant.
+func (rr RunRecord) Restore(req Request) (*cluster.Result, error) {
+	kind, err := power.ParseKind(req.Policy)
 	if err != nil {
-		return runKey{}, nil, err
-	}
-	key := runKey{
-		app:        e.App,
-		kind:       kind,
-		scheduling: e.Scheduling,
-		scale:      e.Scale,
-		seed:       e.Seed,
-		variant:    e.Variant,
-		faults:     e.Faults,
+		return nil, err
 	}
 	res := &cluster.Result{
-		Program:            e.App,
+		Program:            req.App,
 		Policy:             kind,
-		Scheduling:         e.Scheduling,
-		ExecTime:           sim.Duration(e.Result.ExecTimeUS),
-		EnergyJ:            e.Result.EnergyJ,
-		NodeEnergyJ:        e.Result.NodeEnergyJ,
-		BufferHits:         e.Result.BufferHits,
-		BufferMisses:       e.Result.BufferMisses,
-		PrefetchIssued:     e.Result.PrefetchIssued,
-		StorageCacheHits:   e.Result.StorageCacheHits,
-		StorageCacheMisses: e.Result.StorageCacheMisses,
-		AgentMoved:         e.Result.AgentMoved,
-		AgentIssued:        e.Result.AgentIssued,
-		AgentBlocked:       e.Result.AgentBlocked,
-		AgentDeferred:      e.Result.AgentDeferred,
-		DiskRequests:       e.Result.DiskRequests,
-		SpinUps:            e.Result.SpinUps,
-		RPMShifts:          e.Result.RPMShifts,
-		Metrics:            e.Result.Metrics,
-		Faults:             e.Result.Faults,
+		Scheduling:         req.Scheduling,
+		ExecTime:           sim.Duration(rr.ExecTimeUS),
+		EnergyJ:            rr.EnergyJ,
+		NodeEnergyJ:        rr.NodeEnergyJ,
+		BufferHits:         rr.BufferHits,
+		BufferMisses:       rr.BufferMisses,
+		PrefetchIssued:     rr.PrefetchIssued,
+		StorageCacheHits:   rr.StorageCacheHits,
+		StorageCacheMisses: rr.StorageCacheMisses,
+		AgentMoved:         rr.AgentMoved,
+		AgentIssued:        rr.AgentIssued,
+		AgentBlocked:       rr.AgentBlocked,
+		AgentDeferred:      rr.AgentDeferred,
+		DiskRequests:       rr.DiskRequests,
+		SpinUps:            rr.SpinUps,
+		RPMShifts:          rr.RPMShifts,
+		Metrics:            rr.Metrics,
+		Faults:             rr.Faults,
 	}
-	if e.Result.Idle != nil {
-		h, err := metrics.FromSnapshot(e.Result.Idle)
+	if rr.Idle != nil {
+		h, err := metrics.FromSnapshot(rr.Idle)
 		if err != nil {
-			return runKey{}, nil, err
+			return nil, err
 		}
 		res.Idle = h
 	}
-	return key, res, nil
+	return res, nil
 }
 
-// Journal is a crash-safe append-only record of completed cluster runs:
-// one JSON line per run, fsynced after each append so a killed sweep
-// loses at most the line being written. Opened in resume mode it reloads
-// every intact line — a torn trailing line (the kill point) is dropped —
-// and NewSession preloads the entries into the run cache, so a re-run
-// completes only the missing configurations.
+// storedRun is the store value under a request's content key: the full
+// canonical request (so entries are self-describing and listable) plus
+// the recorded result.
+type storedRun struct {
+	Request Request   `json:"request"`
+	Result  RunRecord `json:"result"`
+}
+
+// Journal is the crash-safe record of completed cluster runs: a typed
+// view over a content-addressed store, keyed by Request.ContentKey. Every
+// append is fsynced, so a killed sweep loses at most the run being
+// written. Opened in resume mode it reloads every intact entry — a torn
+// trailing line (the kill point) is dropped — and NewSession preloads
+// the entries into the run cache, so a re-run completes only the missing
+// configurations. The same file backs the sddsd service's persistent
+// result store.
 type Journal struct {
-	mu      sync.Mutex
-	f       *os.File
-	path    string
-	entries []journalEntry
-	appends int64
+	s *store.Store
 }
 
 // OpenJournal opens (or creates) the journal at path. With resume=false
 // any existing journal is truncated; with resume=true its intact entries
 // are loaded for NewSession to preload, and appends continue after them.
+// A path naming a directory is rejected.
 func OpenJournal(path string, resume bool) (*Journal, error) {
-	j := &Journal{path: path}
-	if !resume {
-		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
-		if err != nil {
-			return nil, fmt.Errorf("harness: journal: %w", err)
-		}
-		j.f = f
-		return j, nil
-	}
-	entries, validBytes, err := loadJournal(path)
-	if err != nil {
-		return nil, err
-	}
-	j.entries = entries
-	// Drop any torn trailing line before appending after it: the journal
-	// must stay one-JSON-object-per-line.
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	s, err := store.Open(path, !resume)
 	if err != nil {
 		return nil, fmt.Errorf("harness: journal: %w", err)
 	}
-	if err := f.Truncate(validBytes); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("harness: journal: %w", err)
-	}
-	if _, err := f.Seek(0, 2); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("harness: journal: %w", err)
-	}
-	j.f = f
-	return j, nil
+	return &Journal{s: s}, nil
 }
 
-// loadJournal parses the intact prefix of a journal file: every complete,
-// well-formed line. It returns the entries and the byte length of the
-// valid prefix. A missing file is an empty journal.
-func loadJournal(path string) ([]journalEntry, int64, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		if os.IsNotExist(err) {
-			return nil, 0, nil
-		}
-		return nil, 0, fmt.Errorf("harness: journal: %w", err)
-	}
-	defer f.Close()
-	var (
-		entries []journalEntry
-		valid   int64
-	)
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
-	for sc.Scan() {
-		line := sc.Bytes()
-		var e journalEntry
-		if err := json.Unmarshal(line, &e); err != nil {
-			break // torn or corrupt line: keep the intact prefix only
-		}
-		if _, _, err := e.restore(); err != nil {
-			break
-		}
-		entries = append(entries, e)
-		valid += int64(len(line)) + 1
-	}
-	if err := sc.Err(); err != nil {
-		return nil, 0, fmt.Errorf("harness: journal: %w", err)
-	}
-	return entries, valid, nil
-}
+// Len reports how many distinct runs the journal holds.
+func (j *Journal) Len() int { return j.s.Len() }
 
-// Len reports how many intact entries resume loaded.
-func (j *Journal) Len() int {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return len(j.entries)
-}
-
-// Appends reports how many entries this process has appended.
-func (j *Journal) Appends() int64 {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.appends
-}
+// Appends reports how many runs this process has appended.
+func (j *Journal) Appends() int64 { return j.s.Appends() }
 
 // Path returns the journal file path.
-func (j *Journal) Path() string { return j.path }
+func (j *Journal) Path() string { return j.s.Path() }
 
-// append writes one completed run and fsyncs, making it durable before
-// the session reports the run finished.
-func (j *Journal) append(e journalEntry) error {
-	buf, err := json.Marshal(e)
+// Store exposes the backing content-addressed store (for integrity scans
+// and raw listing; the service's /v1/doctor uses it).
+func (j *Journal) Store() *store.Store { return j.s }
+
+// append records one completed run under its content key and fsyncs,
+// making it durable before the session reports the run finished. key
+// must be canonical (session memo keys are).
+func (j *Journal) append(key Request, res *cluster.Result) error {
+	err := j.s.Put(key.ContentKey(), storedRun{Request: key.canonical(), Result: NewRunRecord(res)})
 	if err != nil {
 		return fmt.Errorf("harness: journal: %w", err)
 	}
-	buf = append(buf, '\n')
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.f == nil {
-		return fmt.Errorf("harness: journal %s is closed", j.path)
-	}
-	if _, err := j.f.Write(buf); err != nil {
-		return fmt.Errorf("harness: journal: %w", err)
-	}
-	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("harness: journal: %w", err)
-	}
-	j.appends++
 	return nil
 }
 
-// Close flushes and closes the journal file. Further appends fail.
-func (j *Journal) Close() error {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.f == nil {
-		return nil
+// Lookup returns the stored request and result under a content key
+// (Request.ContentKey form), reporting whether it exists.
+func (j *Journal) Lookup(key string) (Request, *cluster.Result, bool, error) {
+	var sr storedRun
+	ok, err := j.s.Get(key, &sr)
+	if err != nil || !ok {
+		return Request{}, nil, ok, err
 	}
-	err := j.f.Close()
-	j.f = nil
-	return err
+	res, err := sr.Result.Restore(sr.Request)
+	if err != nil {
+		return Request{}, nil, true, fmt.Errorf("harness: journal: key %s: %w", key, err)
+	}
+	return sr.Request, res, true, nil
 }
 
-// preload seeds a session's memo with the journal's loaded entries,
+// Tail returns the last n stored requests in append order.
+func (j *Journal) Tail(n int) []Request {
+	keys := j.s.Tail(n)
+	out := make([]Request, 0, len(keys))
+	for _, k := range keys {
+		var sr storedRun
+		if ok, err := j.s.Get(k, &sr); err == nil && ok {
+			out = append(out, sr.Request)
+		}
+	}
+	return out
+}
+
+// Close flushes and closes the journal file. Further appends fail.
+func (j *Journal) Close() error { return j.s.Close() }
+
+// preload seeds a session's memo with the journal's stored entries,
 // returning how many were installed. Entries that fail to restore are
 // skipped (they will simply be re-simulated).
-func (j *Journal) preload(memo map[runKey]*memoEntry) int {
-	j.mu.Lock()
-	defer j.mu.Unlock()
+func (j *Journal) preload(memo map[Request]*memoEntry) int {
 	n := 0
-	for _, e := range j.entries {
-		key, res, err := e.restore()
-		if err != nil {
-			continue
+	j.s.Each(func(key string, raw json.RawMessage) error {
+		var sr storedRun
+		if err := json.Unmarshal(raw, &sr); err != nil {
+			return nil
 		}
-		if _, exists := memo[key]; exists {
-			continue
+		res, err := sr.Result.Restore(sr.Request)
+		if err != nil {
+			return nil
+		}
+		if _, exists := memo[sr.Request]; exists {
+			return nil
 		}
 		done := make(chan struct{})
 		close(done)
-		memo[key] = &memoEntry{done: done, res: res}
+		memo[sr.Request] = &memoEntry{done: done, res: res}
 		n++
-	}
+		return nil
+	})
 	return n
 }

@@ -11,31 +11,13 @@ import (
 	"time"
 
 	"sdds/internal/cluster"
+	"sdds/internal/loop"
 	"sdds/internal/power"
 	"sdds/internal/probe"
 	"sdds/internal/workloads"
 )
 
-// runKey identifies one cluster simulation configuration. Two runs with
-// equal keys are guaranteed identical (the simulator is deterministic in
-// its seed), so the session executes each distinct key exactly once.
-type runKey struct {
-	app        string
-	kind       power.Kind
-	scheduling bool
-	scale      float64
-	seed       int64
-	// variant tags a deviation from the default cluster config ("" = the
-	// Table II defaults). Tags are canonical: a given tag must always denote
-	// the same config mutation, which is what lets experiments share runs
-	// (fig14a and fig14b both use "theta=N").
-	variant string
-	// faults is the canonical fault-injection spec (fault.Config.Canon; ""
-	// = no injector). Two runs differing only in fault config are distinct.
-	faults string
-}
-
-// runSpec couples a key with the config mutation it denotes.
+// runSpec couples a cache key with the config mutation it denotes.
 type runSpec struct {
 	app        string
 	kind       power.Kind
@@ -55,8 +37,23 @@ func variantSpec(app string, kind power.Kind, scheduling bool, tag string, mutat
 	return runSpec{app: app, kind: kind, scheduling: scheduling, variant: tag, mutate: mutate}
 }
 
-func (sp runSpec) key(c Config) runKey {
-	return runKey{sp.app, sp.kind, sp.scheduling, c.Scale, c.Seed, sp.variant, c.Faults.Canon()}
+// key renders the spec as a canonical Request — the session cache key.
+// Two runs with equal keys are guaranteed identical (the simulator is
+// deterministic in its inputs), so the session executes each distinct key
+// exactly once. Variant tags are canonical: a given tag must always denote
+// the same config mutation, which is what lets experiments share runs
+// (fig14a and fig14b both use "theta=N") and lets service-submitted
+// requests share cache slots with in-process plans.
+func (sp runSpec) key(c Config) Request {
+	return Request{
+		App:        sp.app,
+		Policy:     sp.kind.String(),
+		Scheduling: sp.scheduling,
+		Scale:      c.Scale,
+		Seed:       c.Seed,
+		Variant:    sp.variant,
+		Faults:     c.Faults.Canon(),
+	}
 }
 
 // tag renders the spec for progress lines: "sar/history+sched (theta=4)".
@@ -71,25 +68,37 @@ func (sp runSpec) tag() string {
 	return s
 }
 
-// simulate builds and executes the spec's cluster run. pr is the session's
-// probe (nil or span-only — ring-bearing probes must not be shared across
-// the concurrent worker pool), letting the run's compile/simulate spans
-// land in the session trace.
-func (sp runSpec) simulate(ctx context.Context, c Config, pr *probe.Probe) (*cluster.Result, error) {
+// build resolves the spec to its simulation inputs: the scaled workload
+// program and the derived cluster config. It is the single translation
+// from the canonical request model to cluster.RunContext arguments —
+// Request.BuildRun and the session workers share it.
+func (sp runSpec) build(c Config) (*loop.Program, cluster.Config, error) {
 	spec, err := workloads.ByName(sp.app)
 	if err != nil {
-		return nil, err
+		return nil, cluster.Config{}, err
 	}
 	prog := spec.Build(c.Scale)
 	cfg := cluster.DefaultConfig()
 	cfg.Seed = c.Seed
 	cfg.Policy = power.Config{Kind: sp.kind}
 	cfg.Scheduling = sp.scheduling
-	cfg.Probe = pr
 	cfg.Faults = c.Faults
 	if sp.mutate != nil {
 		sp.mutate(&cfg)
 	}
+	return prog, cfg, nil
+}
+
+// simulate builds and executes the spec's cluster run. pr is the session's
+// probe (nil or span-only — ring-bearing probes must not be shared across
+// the concurrent worker pool), letting the run's compile/simulate spans
+// land in the session trace.
+func (sp runSpec) simulate(ctx context.Context, c Config, pr *probe.Probe) (*cluster.Result, error) {
+	prog, cfg, err := sp.build(c)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Probe = pr
 	return cluster.RunContext(ctx, prog, cfg)
 }
 
@@ -174,8 +183,10 @@ type Session struct {
 	runTimeout time.Duration // per-run deadline; 0 = none
 	journal    *Journal      // crash-safe result journal; nil = none
 
+	progMu sync.Mutex // serializes RunRequest progress emissions
+
 	mu        sync.Mutex
-	memo      map[runKey]*memoEntry
+	memo      map[Request]*memoEntry
 	preloaded int // runs seeded from a resumed journal
 
 	simulated atomic.Int64 // cluster runs actually executed
@@ -208,7 +219,7 @@ func NewSession(o SessionOptions) *Session {
 		sem:        make(chan struct{}, w),
 		runTimeout: o.RunTimeout,
 		journal:    o.Journal,
-		memo:       make(map[runKey]*memoEntry),
+		memo:       make(map[Request]*memoEntry),
 	}
 	if o.Journal != nil {
 		s.preloaded = o.Journal.preload(s.memo)
@@ -281,7 +292,7 @@ func (s *Session) run(ctx context.Context, c Config, sp runSpec) (*cluster.Resul
 }
 
 // execute runs a claimed entry under a worker-pool slot.
-func (s *Session) execute(ctx context.Context, c Config, sp runSpec, key runKey, e *memoEntry) (*cluster.Result, error) {
+func (s *Session) execute(ctx context.Context, c Config, sp runSpec, key Request, e *memoEntry) (*cluster.Result, error) {
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
@@ -316,7 +327,7 @@ func (s *Session) execute(ctx context.Context, c Config, sp runSpec, key runKey,
 	close(e.done)
 	s.simulated.Add(1)
 	if err == nil && s.journal != nil {
-		if jerr := s.journal.append(toEntry(key, res)); jerr != nil {
+		if jerr := s.journal.append(key, res); jerr != nil {
 			// The run itself succeeded and stays cached; surface the
 			// journal failure to this caller so the sweep stops cleanly
 			// (a dead journal cannot protect a crash-resume).
@@ -328,7 +339,7 @@ func (s *Session) execute(ctx context.Context, c Config, sp runSpec, key runKey,
 
 // abandon releases a claimed-but-unsimulated entry so other waiters can
 // re-claim the key under their own contexts.
-func (s *Session) abandon(key runKey, e *memoEntry) {
+func (s *Session) abandon(key Request, e *memoEntry) {
 	s.mu.Lock()
 	delete(s.memo, key)
 	s.mu.Unlock()
@@ -339,7 +350,7 @@ func (s *Session) abandon(key runKey, e *memoEntry) {
 // planFor derives the complete distinct run plan the experiments need, in
 // deterministic order (first experiment to need a key wins its slot).
 func planFor(exps []Experiment, c Config) []runSpec {
-	seen := make(map[runKey]bool)
+	seen := make(map[Request]bool)
 	var out []runSpec
 	for _, e := range exps {
 		if e.plan == nil {
@@ -461,4 +472,83 @@ func (s *Session) RunAll(ctx context.Context, exps []Experiment, c Config) ([]*R
 		out = append(out, r)
 	}
 	return out, nil
+}
+
+// RunRequest resolves one canonical Request through the session cache and
+// worker pool: a cached key returns immediately, an in-flight key waits on
+// the existing execution, and a new key simulates under a worker slot
+// (journaled when the session has a store attached). The bool reports
+// whether the run was served from cache. A positive Request.TimeoutMS
+// bounds this call's wall time without poisoning the cache — unlike the
+// session-wide RunTimeout, it is a property of the caller, not of the
+// configuration.
+func (s *Session) RunRequest(ctx context.Context, req Request) (*cluster.Result, bool, error) {
+	sp, c, err := req.plan()
+	if err != nil {
+		return nil, false, err
+	}
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	start := time.Now()
+	res, hit, err := s.run(ctx, c, sp)
+	if s.progress != nil {
+		p := Progress{
+			Done: 1, Total: 1,
+			Key: sp.tag(), Elapsed: time.Since(start),
+			Hit: hit, Err: err,
+		}
+		if hit {
+			p.Hits = 1
+		}
+		if res != nil {
+			p.Metrics = res.Metrics
+		}
+		s.progMu.Lock()
+		s.progress(p)
+		s.progMu.Unlock()
+	}
+	return res, hit, err
+}
+
+// Cached reports the session's resolved verdict for req, if it has one:
+// the result (or the cached failure) and true, without executing or
+// waiting on anything. An unknown or still-in-flight key returns false.
+func (s *Session) Cached(req Request) (*cluster.Result, error, bool) {
+	sp, c, err := req.plan()
+	if err != nil {
+		return nil, err, false
+	}
+	s.mu.Lock()
+	e, ok := s.memo[sp.key(c)]
+	s.mu.Unlock()
+	if !ok {
+		return nil, nil, false
+	}
+	select {
+	case <-e.done:
+	default:
+		return nil, nil, false // still simulating
+	}
+	if errors.Is(e.err, errAbandoned) {
+		return nil, nil, false
+	}
+	return e.res, e.err, true
+}
+
+// InFlight reports how many claimed configurations are still simulating.
+func (s *Session) InFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, e := range s.memo {
+		select {
+		case <-e.done:
+		default:
+			n++
+		}
+	}
+	return n
 }

@@ -1,0 +1,69 @@
+package probe
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders the registry snapshot in the Prometheus text
+// exposition format (version 0.0.4): a # TYPE line per metric — counters
+// stay counters, high-water gauges become gauges — followed by its value.
+// Metric names are sanitized to the Prometheus charset (runs of other
+// characters collapse to "_"). Output is sorted by name, so two snapshots
+// of equal registries render identically.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	type row struct {
+		name  string
+		value float64
+		gauge bool
+	}
+	rows := make([]row, 0, len(r.values))
+	for i, n := range r.names {
+		rows = append(rows, row{name: promName(n), value: r.values[i], gauge: r.isGauge[i]})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	for _, rw := range rows {
+		typ := "counter"
+		if rw.gauge {
+			typ = "gauge"
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %g\n", rw.name, typ, rw.name, rw.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps a registry metric name ("disk.spinups", "sweep/runs") to
+// the Prometheus charset [a-zA-Z0-9_:].
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	pendingSep := false
+	for _, c := range name {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+		if !ok {
+			pendingSep = b.Len() > 0
+			continue
+		}
+		if pendingSep {
+			b.WriteByte('_')
+			pendingSep = false
+		}
+		b.WriteRune(c)
+	}
+	if b.Len() == 0 {
+		return "metric"
+	}
+	out := b.String()
+	if out[0] >= '0' && out[0] <= '9' {
+		out = "_" + out
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package service
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// hub fans run-progress events out to SSE subscribers. Subscribers get a
+// buffered channel; a subscriber that falls behind loses events rather
+// than blocking the session's progress callback (SSE is a best-effort
+// monitor — the store is the source of truth).
+type hub struct {
+	mu     sync.Mutex
+	subs   map[chan []byte]struct{}
+	closed bool
+	done   chan struct{} // closed at shutdown, ending every subscriber
+}
+
+func newHub() *hub {
+	return &hub{
+		subs: make(map[chan []byte]struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// subscribe registers a new event channel; cancel deregisters it.
+// Subscribing to a shut-down hub returns a channel that never delivers
+// (the caller's select on h.done exits immediately).
+func (h *hub) subscribe() (ch chan []byte, cancel func()) {
+	ch = make(chan []byte, 64)
+	h.mu.Lock()
+	if !h.closed {
+		h.subs[ch] = struct{}{}
+	}
+	h.mu.Unlock()
+	return ch, func() {
+		h.mu.Lock()
+		delete(h.subs, ch)
+		h.mu.Unlock()
+	}
+}
+
+// broadcast marshals v once and offers it to every subscriber,
+// non-blocking.
+func (h *hub) broadcast(v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for ch := range h.subs {
+		select {
+		case ch <- buf:
+		default: // slow subscriber: drop rather than stall the session
+		}
+	}
+}
+
+// count reports the live subscriber count.
+func (h *hub) count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// shutdown ends every subscriber stream and refuses new ones.
+// Idempotent.
+func (h *hub) shutdown() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	close(h.done)
+	clear(h.subs)
+}

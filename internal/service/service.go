@@ -1,0 +1,311 @@
+// Package service implements sddsd, the resident experiment service: a
+// long-lived HTTP/JSON server wrapping harness.Session behind the
+// canonical harness.Request submission model. Every run is
+// content-addressed (Request.ContentKey) into a persistent store shared
+// across process lifetimes, so identical submissions — from any client,
+// before or after a restart — dedup onto one simulation. The endpoint
+// surface is versioned under /v1: runs, sweeps, run lookup, an SSE
+// progress stream, status, doctor, and Prometheus metrics.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sdds/internal/harness"
+	"sdds/internal/probe"
+	"sdds/internal/store"
+)
+
+// Options configures the service.
+type Options struct {
+	// StorePath is the persistent content-addressed result store (the
+	// crash-safe JSONL journal). Required; the service always opens it in
+	// resume mode so results survive restarts.
+	StorePath string
+	// Workers bounds concurrent cluster simulations; ≤0 means GOMAXPROCS.
+	Workers int
+	// RunTimeout, when positive, bounds each simulation's wall time (the
+	// session-wide deadline; per-request TimeoutMS bounds individual calls).
+	RunTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown: inflight run handlers get this
+	// long to finish before the listener is torn down (default 30s).
+	DrainTimeout time.Duration
+	// Tail is how many recent store entries /v1/doctor reports (default 8).
+	Tail int
+}
+
+// Server is the service state: one session, one persistent store, one
+// event hub. Create with NewServer, serve with Serve (or mount Handler
+// under an existing mux), and Close when done.
+type Server struct {
+	opts    Options
+	journal *harness.Journal
+	sess    *harness.Session
+	hub     *hub
+	start   time.Time
+
+	// reg holds the service's own counters. probe.Registry is single-owner
+	// by contract, so every access goes through regMu.
+	regMu     sync.Mutex
+	reg       *probe.Registry
+	submitted probe.Counter
+	simulated probe.Counter
+	cached    probe.Counter
+	failed    probe.Counter
+	sweeps    probe.Counter
+
+	mu       sync.Mutex
+	seen     map[string]harness.Request // content key → request, for GET /v1/runs/{key}
+	inflight map[string]int             // content key → active submissions
+}
+
+// NewServer opens the store and builds the service around a fresh
+// session preloaded with every stored result.
+func NewServer(o Options) (*Server, error) {
+	if o.StorePath == "" {
+		return nil, errors.New("service: Options.StorePath is required")
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 30 * time.Second
+	}
+	if o.Tail <= 0 {
+		o.Tail = 8
+	}
+	j, err := harness.OpenJournal(o.StorePath, true)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		opts:     o,
+		journal:  j,
+		hub:      newHub(),
+		reg:      probe.NewRegistry(),
+		seen:     make(map[string]harness.Request),
+		inflight: make(map[string]int),
+	}
+	s.submitted = s.reg.Counter("sddsd.runs.submitted")
+	s.simulated = s.reg.Counter("sddsd.runs.simulated")
+	s.cached = s.reg.Counter("sddsd.runs.cached")
+	s.failed = s.reg.Counter("sddsd.runs.failed")
+	s.sweeps = s.reg.Counter("sddsd.sweeps.submitted")
+	s.sess = harness.NewSession(harness.SessionOptions{
+		Workers:    o.Workers,
+		RunTimeout: o.RunTimeout,
+		Journal:    j,
+		Progress:   s.onProgress,
+	})
+	s.start = time.Now() //sddsvet:ignore simdet -- wall-clock service uptime, not simulated time
+	return s, nil
+}
+
+// onProgress fans session run events into the SSE hub and the service
+// counters. The session serializes calls.
+func (s *Server) onProgress(p harness.Progress) {
+	ev := Event{
+		Key:       p.Key,
+		Done:      p.Done,
+		Total:     p.Total,
+		Hits:      p.Hits,
+		Hit:       p.Hit,
+		ElapsedMS: p.Elapsed.Milliseconds(),
+	}
+	if p.Err != nil {
+		ev.Err = p.Err.Error()
+	}
+	s.hub.broadcast(ev)
+}
+
+// runOne resolves one normalized request through the session, tracking
+// it as inflight for GET /v1/runs/{key} and counting the outcome.
+func (s *Server) runOne(ctx context.Context, req harness.Request) RunResponse {
+	key := req.ContentKey()
+	s.mu.Lock()
+	s.seen[key] = req
+	s.inflight[key]++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		if s.inflight[key]--; s.inflight[key] <= 0 {
+			delete(s.inflight, key)
+		}
+		s.mu.Unlock()
+	}()
+
+	s.regMu.Lock()
+	s.submitted.Inc()
+	s.regMu.Unlock()
+
+	start := time.Now() //sddsvet:ignore simdet -- wall-clock request latency, not simulated time
+	res, hit, err := s.sess.RunRequest(ctx, req)
+	resp := RunResponse{
+		Key:       key,
+		Request:   req,
+		Cached:    hit,
+		ElapsedMS: time.Since(start).Milliseconds(),
+	}
+	s.regMu.Lock()
+	switch {
+	case err != nil:
+		s.failed.Inc()
+	case hit:
+		s.cached.Inc()
+	default:
+		s.simulated.Inc()
+	}
+	s.regMu.Unlock()
+	if err != nil {
+		resp.Error = err.Error()
+		return resp
+	}
+	rec := harness.NewRunRecord(res)
+	resp.Result = &rec
+	return resp
+}
+
+// Status snapshots the service health surface behind GET /v1/status.
+func (s *Server) Status() StatusResponse {
+	simulated, hits := s.sess.Stats()
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.inflight))
+	for k := range s.inflight { //sddsvet:ignore simdet -- sorted immediately below
+		keys = append(keys, k)
+	}
+	s.mu.Unlock()
+	sort.Strings(keys)
+	return StatusResponse{
+		UptimeMS:     time.Since(s.start).Milliseconds(),
+		Workers:      s.sess.Workers(),
+		InFlight:     s.sess.InFlight(),
+		InFlightKeys: keys,
+		CacheEntries: s.sess.MemoSize(),
+		Preloaded:    s.sess.Preloaded(),
+		Simulated:    simulated,
+		CacheHits:    hits,
+		StoreEntries: s.journal.Len(),
+		StoreAppends: s.journal.Appends(),
+		StorePath:    s.journal.Path(),
+		Subscribers:  s.hub.count(),
+	}
+}
+
+// Doctor runs the diagnostic checks behind GET /v1/doctor: a store
+// integrity scan, worker-pool sanity, store↔cache consistency, the
+// journal tail, and the service metrics in Prometheus text form.
+func (s *Server) Doctor() DoctorResponse {
+	var checks []Check
+
+	rep, err := store.Verify(s.journal.Path())
+	switch {
+	case err != nil:
+		checks = append(checks, Check{Name: "store-integrity", Status: "fail", Detail: err.Error()})
+	case rep.TornBytes > 0:
+		checks = append(checks, Check{Name: "store-integrity", Status: "warn",
+			Detail: fmt.Sprintf("%d torn trailing bytes (recoverable: truncated on next open)", rep.TornBytes)})
+	case rep.DupKeys > 0:
+		checks = append(checks, Check{Name: "store-integrity", Status: "warn",
+			Detail: fmt.Sprintf("%d duplicate keys", rep.DupKeys)})
+	default:
+		checks = append(checks, Check{Name: "store-integrity", Status: "ok",
+			Detail: fmt.Sprintf("%d entries, %d bytes intact", rep.Entries, rep.ValidBytes)})
+	}
+
+	inflight, workers := s.sess.InFlight(), s.sess.Workers()
+	if inflight > workers {
+		checks = append(checks, Check{Name: "worker-pool", Status: "fail",
+			Detail: fmt.Sprintf("%d runs in flight exceeds the %d-worker pool", inflight, workers)})
+	} else {
+		checks = append(checks, Check{Name: "worker-pool", Status: "ok",
+			Detail: fmt.Sprintf("%d/%d workers busy", inflight, workers)})
+	}
+
+	// Every stored result is either preloaded at startup or appended after
+	// a run this process executed, so the cache must cover the store.
+	if sl, cl := s.journal.Len(), s.sess.MemoSize(); sl > cl {
+		checks = append(checks, Check{Name: "store-cache-consistency", Status: "warn",
+			Detail: fmt.Sprintf("store holds %d entries but cache only %d", sl, cl)})
+	} else {
+		checks = append(checks, Check{Name: "store-cache-consistency", Status: "ok",
+			Detail: fmt.Sprintf("cache (%d) covers store (%d)", cl, sl)})
+	}
+
+	status := "ok"
+	for _, c := range checks {
+		if c.Status == "fail" {
+			status = "fail"
+			break
+		}
+		if c.Status == "warn" {
+			status = "warn"
+		}
+	}
+
+	tailReqs := s.journal.Tail(s.opts.Tail)
+	tail := make([]TailRun, 0, len(tailReqs))
+	for _, r := range tailReqs {
+		tail = append(tail, TailRun{Key: r.ContentKey(), Request: r})
+	}
+
+	return DoctorResponse{
+		Status:  status,
+		Checks:  checks,
+		Store:   rep,
+		Tail:    tail,
+		Metrics: s.metricsText(),
+	}
+}
+
+// metricsText renders the service registry in Prometheus text form.
+func (s *Server) metricsText() string {
+	var b strings.Builder
+	s.regMu.Lock()
+	s.reg.WritePrometheus(&b)
+	s.regMu.Unlock()
+	return b.String()
+}
+
+// Serve runs the HTTP server on ln until ctx is cancelled, then shuts
+// down gracefully: the SSE stream is ended (so drain isn't held open by
+// long-lived subscribers), inflight run handlers get DrainTimeout to
+// finish through the session's context plumbing, and the store is closed
+// last so every drained run is durably journaled.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		s.Close()
+		return err
+	case <-ctx.Done():
+	}
+	s.hub.shutdown()
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.opts.DrainTimeout)
+	defer cancel()
+	err := srv.Shutdown(drainCtx)
+	if cerr := s.journal.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Close ends the event stream and closes the store. Serve does this
+// itself; Close is for servers mounted via Handler.
+func (s *Server) Close() error {
+	s.hub.shutdown()
+	return s.journal.Close()
+}

@@ -1,0 +1,144 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServiceSmokeBinary is the end-to-end daemon smoke test behind
+// `make service-smoke`: build the real sddsd binary, start it, submit a
+// run over HTTP, poll /v1/status until it resolves, hit /v1/doctor, then
+// SIGTERM and require a clean drained exit.
+func TestServiceSmokeBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the daemon; skipped in -short")
+	}
+	if runtime.GOOS == "windows" {
+		t.Skip("signal-driven shutdown test")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "sddsd")
+	build := exec.Command("go", "build", "-o", bin, "sdds/cmd/sddsd")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building sddsd: %v\n%s", err, out)
+	}
+
+	storePath := filepath.Join(dir, "store.jsonl")
+	addrFile := filepath.Join(dir, "addr")
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-addr-file", addrFile,
+		"-store", storePath,
+		"-workers", "2",
+		"-drain", "30s")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var waitErr error
+	exited := make(chan struct{})
+	go func() { waitErr = cmd.Wait(); close(exited) }()
+	defer func() {
+		select {
+		case <-exited:
+		default:
+			cmd.Process.Kill()
+			<-exited
+		}
+	}()
+
+	// The daemon writes its resolved address once the listener is up.
+	var base string
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); time.Sleep(20 * time.Millisecond) {
+		if buf, err := os.ReadFile(addrFile); err == nil && len(buf) > 0 {
+			base = "http://" + strings.TrimSpace(string(buf))
+			break
+		}
+		select {
+		case <-exited:
+			t.Fatalf("daemon exited during startup: %v\n%s", waitErr, stderr.String())
+		default:
+		}
+	}
+	if base == "" {
+		t.Fatalf("daemon never wrote %s\n%s", addrFile, stderr.String())
+	}
+
+	// Submit one small run.
+	body, _ := json.Marshal(map[string]any{"app": "sar", "scale": 0.02, "seed": 7})
+	resp, err := http.Post(base+"/v1/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/runs: %v\n%s", err, stderr.String())
+	}
+	var run struct {
+		Key    string          `json:"key"`
+		Error  string          `json:"error"`
+		Result json.RawMessage `json:"result"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&run)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK || len(run.Result) == 0 {
+		t.Fatalf("run: status %d err %v body %+v", resp.StatusCode, err, run)
+	}
+
+	// Poll /v1/status until the run is accounted for.
+	var st struct {
+		Simulated    int64 `json:"simulated"`
+		InFlight     int   `json:"inflight"`
+		StoreEntries int   `json:"store_entries"`
+	}
+	for deadline := time.Now().Add(10 * time.Second); ; time.Sleep(50 * time.Millisecond) {
+		resp, err := http.Get(base + "/v1/status")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Simulated == 1 && st.InFlight == 0 && st.StoreEntries == 1 {
+			break
+		}
+		if !time.Now().Before(deadline) {
+			t.Fatalf("status never settled: %+v", st)
+		}
+	}
+
+	// Doctor must report ok on a healthy store.
+	resp, err = http.Get(base + "/v1/doctor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Status string `json:"status"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if err != nil || doc.Status != "ok" {
+		t.Fatalf("doctor: %+v (err %v)", doc, err)
+	}
+
+	// Clean shutdown on SIGTERM.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-exited:
+		if waitErr != nil {
+			t.Fatalf("daemon exited uncleanly: %v\n%s", waitErr, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not exit within 30s of SIGTERM\n%s", stderr.String())
+	}
+}

@@ -104,6 +104,21 @@ type (
 	ExperimentResult = harness.Result
 )
 
+// The canonical run submission model and persistent results (PR 6).
+type (
+	// Request is the one JSON-serializable description of a cluster run —
+	// the same model sddsim flags, sddstables plans, and the sddsd HTTP
+	// service all reduce to. Normalize it, then Key()/ContentKey() name
+	// the run for caching and the content-addressed store.
+	Request = harness.Request
+	// RunRecord is the portable, JSON-stable mirror of RunResult that the
+	// journal and the service persist and return.
+	RunRecord = harness.RunRecord
+	// Journal is the crash-safe content-addressed store of completed runs
+	// (append-only JSONL; survives restarts; torn tails tolerated).
+	Journal = harness.Journal
+)
+
 // Parallel experiment execution (the Session API).
 type (
 	// Session owns a run cache and a bounded worker pool: it plans every
@@ -172,6 +187,15 @@ func RunContext(ctx context.Context, p *Program, cfg ClusterConfig) (*RunResult,
 // NewSession returns a parallel experiment engine with its own run cache.
 // A zero SessionOptions uses GOMAXPROCS workers and no progress hook.
 func NewSession(o SessionOptions) *Session { return harness.NewSession(o) }
+
+// OpenJournal opens (resume=true) or truncates (resume=false) a
+// persistent run store at path. Attach it via SessionOptions.Journal.
+func OpenJournal(path string, resume bool) (*Journal, error) {
+	return harness.OpenJournal(path, resume)
+}
+
+// NewRunRecord snapshots a run result into its portable stored form.
+func NewRunRecord(res *RunResult) RunRecord { return harness.NewRunRecord(res) }
 
 // DefaultClusterConfig returns the Table II system configuration.
 func DefaultClusterConfig() ClusterConfig { return cluster.DefaultConfig() }
