@@ -5,9 +5,9 @@ GO ?= go
 # sandboxes, air-gapped machines) skip it with a notice instead of failing.
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: ci lint vet sddsvet staticcheck build test race smoke trace-smoke fault-smoke service-smoke bench
+.PHONY: ci lint vet sddsvet staticcheck build test race smoke trace-smoke fault-smoke service-smoke bench bench-check
 
-ci: lint build race smoke trace-smoke fault-smoke service-smoke
+ci: lint build race smoke trace-smoke fault-smoke service-smoke bench-check
 
 # Fast static tier: runs in seconds, ahead of the (90-minute) race tier.
 lint: vet sddsvet staticcheck
@@ -76,11 +76,24 @@ service-smoke:
 
 # Perf trajectory: engine microbenchmarks (steady-state schedule+fire, the
 # container/heap baseline they are measured against) plus a fig12c-shape
-# experiment and a full scheduled cluster run, all with -benchmem, written
-# as BENCH_sim.json (benchmark name → ns/op, B/op, allocs/op, custom
-# virtual_* metrics) so future PRs can diff ns/event and allocs/event.
+# experiment, a full scheduled cluster run, and the compile-cache θ-sweep
+# pair (cold inline compiles vs a warmed artifact cache), all with
+# -benchmem, written as BENCH_sim.json (benchmark name → ns/op, B/op,
+# allocs/op, custom virtual_* metrics) so future PRs can diff ns/event and
+# allocs/event. BENCH_CMD is shared with bench-check so the recorded and
+# checked runs cannot drift.
+BENCH_CMD = { $(GO) test -bench . -benchmem -run '^$$' ./internal/sim && \
+	  $(GO) test -bench '^(BenchmarkFig12c|BenchmarkEndToEndScheduledRun|BenchmarkThetaSweepCold|BenchmarkThetaSweepWarm)$$' \
+	    -benchmem -benchtime 1x -run '^$$' . ; }
+
 bench:
-	{ $(GO) test -bench . -benchmem -run '^$$' ./internal/sim && \
-	  $(GO) test -bench '^(BenchmarkFig12c|BenchmarkEndToEndScheduledRun)$$' \
-	    -benchmem -benchtime 1x -run '^$$' . ; } | $(GO) run ./cmd/benchjson > BENCH_sim.json
+	$(BENCH_CMD) | $(GO) run ./cmd/benchjson > BENCH_sim.json
 	@cat BENCH_sim.json
+
+# Regression gate: re-run the recorded benchmarks and compare against the
+# committed BENCH_sim.json — ns/op may drift ±25%, allocs/op must stay
+# exact on zero-alloc baselines (and within 2% otherwise). Fails the build
+# on regression; refresh the baseline with `make bench` after intentional
+# perf changes.
+bench-check:
+	$(BENCH_CMD) | $(GO) run ./cmd/benchcheck -baseline BENCH_sim.json

@@ -9,12 +9,14 @@ package sdds_test
 
 import (
 	"context"
+	"fmt"
 	"strconv"
 	"strings"
 	"sync"
 	"testing"
 
 	"sdds/internal/cluster"
+	"sdds/internal/compilecache"
 	"sdds/internal/harness"
 	"sdds/internal/power"
 	"sdds/internal/workloads"
@@ -262,6 +264,61 @@ func BenchmarkSessionWorkers1(b *testing.B) { benchmarkSessionWorkers(b, 1) }
 // BenchmarkSessionWorkers4 is the same batch fanned out over four workers
 // (expected ≥2× faster than BenchmarkSessionWorkers1 on ≥4 cores).
 func BenchmarkSessionWorkers4(b *testing.B) { benchmarkSessionWorkers(b, 4) }
+
+// thetaSweepScale sizes the sweep benchmarks: at 0.15 the hf compile pass
+// is a large fraction of each scheduled run's wall time, which is the
+// regime the compile cache targets.
+const thetaSweepScale = 0.15
+
+// thetaSweepRequests is a θ×policy sweep over hf: four θ values sharing
+// their compile artifact across two power policies each — eight scheduled
+// runs, four distinct compile keys.
+func thetaSweepRequests() []harness.Request {
+	var reqs []harness.Request
+	for _, theta := range []int{2, 4, 8, 16} {
+		for _, policy := range []string{"default", "history"} {
+			reqs = append(reqs, harness.Request{
+				App: "hf", Policy: policy, Scheduling: true,
+				Scale: thetaSweepScale, Seed: 1,
+				Variant: fmt.Sprintf("theta=%d", theta),
+			})
+		}
+	}
+	return reqs
+}
+
+// runThetaSweep resolves the sweep on a fresh session (nothing memoized
+// across iterations except what opts carries in).
+func runThetaSweep(b *testing.B, opts harness.SessionOptions) {
+	b.Helper()
+	opts.Workers = 1
+	s := harness.NewSession(opts)
+	for _, req := range thetaSweepRequests() {
+		if _, _, err := s.RunRequest(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkThetaSweepCold is the inline-compile baseline: every scheduled
+// run of every iteration recompiles.
+func BenchmarkThetaSweepCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runThetaSweep(b, harness.SessionOptions{DisableCompileCache: true})
+	}
+}
+
+// BenchmarkThetaSweepWarm is the same sweep against a warmed shared
+// compile cache: simulations re-run, compiles are all memo hits. The
+// warm/cold ns/op ratio is the sweep-throughput gain the cache buys.
+func BenchmarkThetaSweepWarm(b *testing.B) {
+	cache := compilecache.New()
+	runThetaSweep(b, harness.SessionOptions{CompileCache: cache}) // warm untimed
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runThetaSweep(b, harness.SessionOptions{CompileCache: cache})
+	}
+}
 
 // BenchmarkEndToEndScheduledRun measures one full scheduled cluster run
 // (compile + execute) — the system's overall throughput.

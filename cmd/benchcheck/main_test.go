@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"sdds/internal/benchfmt"
+)
+
+func results(t *testing.T, stream string) benchfmt.Results {
+	t.Helper()
+	r, err := benchfmt.Parse(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestCompareRules(t *testing.T) {
+	baseline := results(t, `
+BenchmarkHot-8    1000  100 ns/op  0 allocs/op
+BenchmarkWarm-8   100   1000 ns/op  50 allocs/op
+BenchmarkOther-8  10    500 ns/op
+`)
+	cases := []struct {
+		name      string
+		stream    string
+		failures  int
+		notes     int
+		wantInMsg string
+	}{
+		{"clean", `
+BenchmarkHot-8    1000  110 ns/op  0 allocs/op
+BenchmarkWarm-8   100   900 ns/op  51 allocs/op
+BenchmarkOther-8  10    500 ns/op
+`, 0, 0, ""},
+		{"ns regression", `
+BenchmarkHot-8    1000  126 ns/op  0 allocs/op
+BenchmarkWarm-8   100   1000 ns/op  50 allocs/op
+BenchmarkOther-8  10    500 ns/op
+`, 1, 0, "ns/op"},
+		{"zero-alloc baseline broken", `
+BenchmarkHot-8    1000  100 ns/op  1 allocs/op
+BenchmarkWarm-8   100   1000 ns/op  50 allocs/op
+BenchmarkOther-8  10    500 ns/op
+`, 1, 0, "zero-alloc"},
+		{"alloc growth", `
+BenchmarkHot-8    1000  100 ns/op  0 allocs/op
+BenchmarkWarm-8   100   1000 ns/op  60 allocs/op
+BenchmarkOther-8  10    500 ns/op
+`, 1, 0, "allocs/op"},
+		{"missing benchmark", `
+BenchmarkHot-8    1000  100 ns/op  0 allocs/op
+BenchmarkWarm-8   100   1000 ns/op  50 allocs/op
+`, 1, 0, "missing"},
+		{"improvement notes only", `
+BenchmarkHot-8    1000  50 ns/op  0 allocs/op
+BenchmarkWarm-8   100   1000 ns/op  50 allocs/op
+BenchmarkOther-8  10    500 ns/op
+`, 0, 1, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			failures, notes := compare(baseline, results(t, tc.stream), 0.25)
+			if len(failures) != tc.failures {
+				t.Fatalf("failures = %v, want %d", failures, tc.failures)
+			}
+			if len(notes) != tc.notes {
+				t.Fatalf("notes = %v, want %d", notes, tc.notes)
+			}
+			if tc.wantInMsg != "" && !strings.Contains(strings.Join(failures, "\n"), tc.wantInMsg) {
+				t.Fatalf("failures %v missing %q", failures, tc.wantInMsg)
+			}
+		})
+	}
+}
+
+// Extra benchmarks in the current run (new, not yet recorded) are not an
+// error — only baseline coverage is enforced.
+func TestCompareIgnoresNewBenchmarks(t *testing.T) {
+	baseline := results(t, "BenchmarkA-8 10 100 ns/op")
+	cur := results(t, "BenchmarkA-8 10 100 ns/op\nBenchmarkNew-8 10 5 ns/op")
+	if failures, _ := compare(baseline, cur, 0.25); len(failures) != 0 {
+		t.Fatalf("failures = %v", failures)
+	}
+}

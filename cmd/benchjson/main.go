@@ -7,31 +7,20 @@
 // an entry {"BenchmarkX": {"iterations": N, "ns/op": 12.3, ...}}; custom
 // metrics reported via b.ReportMetric (virtual_J, virtual_s, ...) pass
 // through under their unit name. Non-benchmark lines are ignored, so the
-// full `go test` stream can be piped in unfiltered.
+// full `go test` stream can be piped in unfiltered. cmd/benchcheck
+// compares a later stream against the recorded file.
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"fmt"
 	"os"
-	"sort"
-	"strconv"
-	"strings"
+
+	"sdds/internal/benchfmt"
 )
 
 func main() {
-	results := make(map[string]map[string]float64)
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		name, vals, ok := parseLine(sc.Text())
-		if !ok {
-			continue
-		}
-		results[name] = vals
-	}
-	if err := sc.Err(); err != nil {
+	results, err := benchfmt.Parse(os.Stdin)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
@@ -39,7 +28,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
-	out, err := marshalSorted(results)
+	out, err := benchfmt.MarshalSorted(results)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -48,71 +37,4 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-}
-
-// parseLine extracts one benchmark result. The format is the fixed testing
-// package shape: name, iteration count, then (value, unit) pairs.
-func parseLine(line string) (string, map[string]float64, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return "", nil, false
-	}
-	iters, err := strconv.ParseFloat(fields[1], 64)
-	if err != nil {
-		return "", nil, false
-	}
-	name := fields[0]
-	// Drop the -GOMAXPROCS suffix so names are stable across machines.
-	if i := strings.LastIndex(name, "-"); i > 0 {
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
-			name = name[:i]
-		}
-	}
-	vals := map[string]float64{"iterations": iters}
-	for i := 2; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			return "", nil, false
-		}
-		vals[fields[i+1]] = v
-	}
-	return name, vals, true
-}
-
-// marshalSorted renders the results with deterministic key order so the
-// committed BENCH_sim.json diffs cleanly between runs.
-func marshalSorted(results map[string]map[string]float64) ([]byte, error) {
-	names := make([]string, 0, len(results))
-	for n := range results {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	var b strings.Builder
-	b.WriteString("{\n")
-	for i, n := range names {
-		keys := make([]string, 0, len(results[n]))
-		for k := range results[n] {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		nameJSON, _ := json.Marshal(n)
-		b.WriteString("  ")
-		b.Write(nameJSON)
-		b.WriteString(": {")
-		for j, k := range keys {
-			kJSON, _ := json.Marshal(k)
-			if j > 0 {
-				b.WriteString(", ")
-			}
-			b.Write(kJSON)
-			fmt.Fprintf(&b, ": %g", results[n][k])
-		}
-		if i+1 < len(names) {
-			b.WriteString("},\n")
-		} else {
-			b.WriteString("}\n")
-		}
-	}
-	b.WriteString("}\n")
-	return []byte(b.String()), nil
 }

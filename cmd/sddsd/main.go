@@ -43,6 +43,7 @@ func runCtx(ctx context.Context, args []string) error {
 		drain    = fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for inflight runs")
 		tail     = fs.Int("tail", 8, "recent store entries reported by /v1/doctor")
 		addrFile = fs.String("addr-file", "", "write the resolved listen address to this file (for scripts using port 0)")
+		artifact = fs.String("artifacts", "", "persistent compile-artifact store (JSONL; default <store>.artifacts, \"off\" disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,6 +57,7 @@ func runCtx(ctx context.Context, args []string) error {
 		RunTimeout:   *timeout,
 		DrainTimeout: *drain,
 		Tail:         *tail,
+		ArtifactPath: *artifact,
 	})
 	if err != nil {
 		return err

@@ -68,6 +68,14 @@ func runCtx(ctx context.Context, args []string) error {
 	if *trace != "" {
 		cfg.Probe = probe.NewProbe(*traceRing)
 	}
+	cache, _, err := cliutil.OpenCompileCache(rf.CompileCache)
+	if err != nil {
+		return err
+	}
+	if cache != nil {
+		cfg.CompileCache = cache
+		defer cache.Close()
+	}
 
 	if rf.Timeout > 0 {
 		var cancel context.CancelFunc
@@ -117,9 +125,13 @@ func runCtx(ctx context.Context, args []string) error {
 	if req.Scheduling {
 		fmt.Printf("client buffer:    %d hits / %d misses (agents issued %d prefetches, %d moved entries)\n",
 			res.BufferHits, res.BufferMisses, res.AgentIssued, res.AgentMoved)
-		fmt.Printf("compile:          %d accesses over %d slots in %v (profiler=%v)\n",
+		prov := ""
+		if s := res.CompileProvenance.String(); s != "" {
+			prov = ", " + s
+		}
+		fmt.Printf("compile:          %d accesses over %d slots in %v (profiler=%v%s)\n",
 			len(res.Compile.Accesses), res.Compile.Program.Slots(cfg.Procs),
-			res.Compile.CompileTime.Round(1e6), res.Compile.UsedProfiler)
+			res.Compile.CompileTime.Round(1e6), res.Compile.UsedProfiler, prov)
 	}
 	if fs := res.Faults; fs != nil {
 		fmt.Printf("faults injected:  %d (disk errors %d, remaps %d, spin-up fail/delay %d/%d, net drop/dup %d/%d, stalls %d)\n",

@@ -122,12 +122,21 @@ func runCtx(ctx context.Context, args []string) error {
 	if jrn != nil {
 		defer jrn.Close()
 	}
+	cache, cacheOff, err := sf.OpenCompileCache()
+	if err != nil {
+		return err
+	}
+	if cache != nil {
+		defer cache.Close()
+	}
 	sess := harness.NewSession(harness.SessionOptions{
-		Workers:    sf.Workers,
-		Progress:   combineProgress(metricsPrinter(*showMetric), progressLine(*progress, resolvedWorkers)),
-		Probe:      sessProbe,
-		RunTimeout: sf.Timeout,
-		Journal:    jrn,
+		Workers:             sf.Workers,
+		Progress:            combineProgress(metricsPrinter(*showMetric), progressLine(*progress, resolvedWorkers)),
+		Probe:               sessProbe,
+		RunTimeout:          sf.Timeout,
+		Journal:             jrn,
+		CompileCache:        cache,
+		DisableCompileCache: cacheOff,
 	})
 	if jrn != nil && sf.Resume {
 		fmt.Fprintf(os.Stderr, "journal %s: resumed %d completed runs\n", jrn.Path(), sess.Preloaded())
@@ -156,6 +165,10 @@ func runCtx(ctx context.Context, args []string) error {
 	if *progress {
 		fmt.Fprintf(os.Stderr, "%d distinct configurations simulated, %d reads served from cache, %d workers\n",
 			simulated, hits, sess.Workers())
+		if cc := sess.CompileCacheStats(); !cacheOff {
+			fmt.Fprintf(os.Stderr, "compile cache: %d compiled, %d memo hits, %d restored (%d artifact bytes); %d setup groups shared\n",
+				cc.Misses, cc.Hits, cc.Restores, cc.Bytes, sess.SetupGroups())
+		}
 	}
 	if jrn != nil {
 		fmt.Fprintf(os.Stderr, "journal %s: %d runs appended (%d resumed)\n",
@@ -233,6 +246,9 @@ func progressLine(enabled bool, workers int) harness.ProgressFunc {
 		start   time.Time     // first event's arrival, minus its run time
 		simTime time.Duration // summed wall time of completed simulations
 		simRuns int
+		memo    int // hits on runs this session executed
+		journal int // hits preloaded from a resumed journal
+		ccReuse int // simulated runs whose compile came from the cache
 	)
 	return func(p harness.Progress) {
 		if p.Err != nil {
@@ -241,11 +257,23 @@ func progressLine(enabled bool, workers int) harness.ProgressFunc {
 		if start.IsZero() {
 			start = time.Now().Add(-p.Elapsed)
 		}
-		if !p.Hit {
+		switch {
+		case p.FromJournal:
+			journal++
+		case p.Hit:
+			memo++
+		default:
 			simTime += p.Elapsed
 			simRuns++
+			if p.CompileProv == "memo" || p.CompileProv == "restored" {
+				ccReuse++
+			}
 		}
-		line := fmt.Sprintf("\r\x1b[K[%d/%d] %d hits", p.Done, p.Total, p.Hits)
+		line := fmt.Sprintf("\r\x1b[K[%d/%d] %d sim / %d memo / %d journal",
+			p.Done, p.Total, simRuns, memo, journal)
+		if ccReuse > 0 {
+			line += fmt.Sprintf(" / %d compile-cached", ccReuse)
+		}
 		if wall := time.Since(start); wall > 0 {
 			line += fmt.Sprintf(" | %.1f runs/s", float64(p.Done)/wall.Seconds())
 		}

@@ -13,6 +13,11 @@
 //   - inside functions annotated //sddsvet:hotpath, every per-call heap
 //     allocation is reported: capturing closures (wherever they flow),
 //     new(T), &T{...}, make, and slice/map composite literals.
+//
+//   - inside the same hotpath functions, any call into encoding/json is
+//     reported: (de)serialization belongs to the compile-artifact restore
+//     and store layers, which run once per process — a Marshal on the
+//     per-event path allocates and reflects per call.
 package hotalloc
 
 import (
@@ -32,8 +37,9 @@ var scheduleMethods = map[string]bool{"ScheduleFunc": true, "ScheduleArg": true}
 // Analyzer reports hot-path allocations.
 var Analyzer = &analysis.Analyzer{
 	Name: "hotalloc",
-	Doc: "flags capturing closures passed to sim.Engine.ScheduleFunc/ScheduleArg " +
-		"and any per-call allocation inside //sddsvet:hotpath functions",
+	Doc: "flags capturing closures passed to sim.Engine.ScheduleFunc/ScheduleArg, " +
+		"any per-call allocation inside //sddsvet:hotpath functions, and " +
+		"encoding/json (de)serialization on those hot paths",
 	Run: run,
 }
 
@@ -87,12 +93,15 @@ func checkHotpathBody(pass *analysis.Pass, fd *ast.FuncDecl) {
 			}
 			return true
 		case *ast.CallExpr:
+			if fn := analysis.CalleeFunc(pass.TypesInfo, n); fn != nil {
+				if fn.Pkg() != nil && fn.Pkg().Path() == "encoding/json" {
+					pass.Reportf(n.Pos(), "encoding/json.%s in hotpath function %s reflects and allocates per call; (de)serialization belongs in the restore/store layer, outside the event path", fn.Name(), name)
+				}
+				return true
+			}
 			id, ok := ast.Unparen(n.Fun).(*ast.Ident)
 			if !ok {
 				return true
-			}
-			if analysis.CalleeFunc(pass.TypesInfo, n) != nil {
-				return true // a real function named new/make shadowing the builtin
 			}
 			switch id.Name {
 			case "new":

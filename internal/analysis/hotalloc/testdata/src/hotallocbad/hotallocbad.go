@@ -4,6 +4,8 @@
 package hotallocbad
 
 import (
+	"encoding/json"
+
 	"sdds/internal/probe"
 	"sdds/internal/sim"
 )
@@ -102,6 +104,35 @@ func (e *emitter) emitBoxed(now sim.Time) {
 	_ = batch
 	grown := make([]probe.Record, 0, 1) // want `make\(\.\.\.\) in hotpath function emitBoxed`
 	_ = grown
+}
+
+// --- (de)serialization on the hot path ---------------------------------
+// The compile-artifact cache (de)serializes compiler results through
+// encoding/json — once per process, in the restore/store layer. Those
+// calls must never migrate into a //sddsvet:hotpath function: every
+// Marshal reflects over the value and allocates the output buffer.
+
+type cacheEntry struct {
+	key  string
+	blob []byte
+}
+
+//sddsvet:hotpath
+func (e *emitter) hotSerialize(entry *cacheEntry) {
+	blob, err := json.Marshal(entry.key) // want `encoding/json\.Marshal in hotpath function hotSerialize`
+	_, _ = blob, err
+	err = json.Unmarshal(entry.blob, &entry.key) // want `encoding/json\.Unmarshal in hotpath function hotSerialize`
+	_ = err
+}
+
+// coldSerialize is the restore/store layer's shape: unannotated, runs once
+// per process, allowed.
+func coldSerialize(entry *cacheEntry) error {
+	blob, err := json.Marshal(entry.key)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(blob, &entry.key)
 }
 
 func emitViaSchedule(e *emitter) {

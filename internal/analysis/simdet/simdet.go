@@ -18,7 +18,7 @@ import (
 // SimPackages selects the packages the analyzer applies to: the
 // discrete-event engine and every device/executor model whose behaviour
 // feeds the golden-compared results. Tests may override it.
-var SimPackages = regexp.MustCompile(`^sdds/internal/(sim|cluster|disk|power|sched|ionode|mpiio|netsim|fault|store|service)$`)
+var SimPackages = regexp.MustCompile(`^sdds/internal/(sim|cluster|disk|power|sched|ionode|mpiio|netsim|fault|store|service|compiler|compilecache)$`)
 
 // bannedRandFuncs are the package-level math/rand functions drawing from
 // the global source (randomly seeded since Go 1.20). Deterministic

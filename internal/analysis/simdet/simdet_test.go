@@ -24,12 +24,23 @@ func TestSimdetFaultFixture(t *testing.T) {
 	analysistest.Run(t, "testdata/src/faultbad", simdet.Analyzer)
 }
 
+// TestSimdetRestoreFixture proves the analyzer rejects map-iteration-order
+// dependence in artifact-restore-shaped code (ranging a deserialized points
+// map while building the schedule) while accepting the real restore's
+// slice-ordered and collect-then-sort shapes.
+func TestSimdetRestoreFixture(t *testing.T) {
+	defer overridePackages(t, regexp.MustCompile(`.`))()
+	analysistest.Run(t, "testdata/src/restorebad", simdet.Analyzer)
+}
+
 // TestSimdetCoversFaultPackage pins the default scope to include the
-// fault-injection package: its per-site streams feed golden-compared
-// results exactly like the device models do.
+// fault-injection package and the compile-cache layer: per-site fault
+// streams and restored compile artifacts both feed golden-compared results
+// exactly like the device models do.
 func TestSimdetCoversFaultPackage(t *testing.T) {
 	for _, pkg := range []string{
 		"sdds/internal/sim", "sdds/internal/fault", "sdds/internal/disk",
+		"sdds/internal/compiler", "sdds/internal/compilecache",
 	} {
 		if !simdet.SimPackages.MatchString(pkg) {
 			t.Errorf("SimPackages does not cover %s", pkg)

@@ -1,0 +1,64 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	name, vals, ok := ParseLine("BenchmarkFig12c-8  1  903406958 ns/op  414148576 B/op  4298756 allocs/op")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if name != "BenchmarkFig12c" {
+		t.Fatalf("name = %q (GOMAXPROCS suffix not stripped?)", name)
+	}
+	want := map[string]float64{"iterations": 1, "ns/op": 903406958, "B/op": 414148576, "allocs/op": 4298756}
+	for k, v := range want {
+		if vals[k] != v {
+			t.Errorf("%s = %g, want %g", k, vals[k], v)
+		}
+	}
+	for _, bad := range []string{
+		"PASS",
+		"ok  	sdds	1.2s",
+		"BenchmarkX only three",
+		"BenchmarkX-8 notanumber 3.4 ns/op",
+	} {
+		if _, _, ok := ParseLine(bad); ok {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestParseStreamAndRoundTrip(t *testing.T) {
+	stream := `goos: linux
+BenchmarkA-8   100   12.5 ns/op   3 allocs/op
+some test log line
+BenchmarkB   2   1000 ns/op   4.5 virtual_J
+PASS
+`
+	res, err := Parse(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(res))
+	}
+	out, err := MarshalSorted(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalBaseline(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back["BenchmarkA"]["allocs/op"] != 3 || back["BenchmarkB"]["virtual_J"] != 4.5 {
+		t.Fatalf("round trip lost values: %+v", back)
+	}
+	// Deterministic bytes.
+	out2, _ := MarshalSorted(res)
+	if string(out) != string(out2) {
+		t.Fatal("MarshalSorted not deterministic")
+	}
+}

@@ -13,9 +13,29 @@ import (
 	"time"
 
 	"sdds/internal/cluster"
+	"sdds/internal/compilecache"
 	"sdds/internal/fault"
 	"sdds/internal/harness"
 )
+
+// OpenCompileCache resolves the shared -compile-cache flag value: "" or
+// "on" builds an in-process cache, "off" disables caching entirely
+// (disabled=true, the inline-compile baseline), and any other value is
+// a path to a persistent artifact store shared across invocations.
+func OpenCompileCache(mode string) (cache *compilecache.Cache, disabled bool, err error) {
+	switch mode {
+	case "", "on":
+		return compilecache.New(), false, nil
+	case "off":
+		return nil, true, nil
+	default:
+		c, err := compilecache.Open(mode)
+		if err != nil {
+			return nil, false, err
+		}
+		return c, false, nil
+	}
+}
 
 // RunFlags are the single-run flags (sddsim, and the service's defaults):
 // one application under one policy on one cluster configuration.
@@ -31,6 +51,9 @@ type RunFlags struct {
 	Seed       int64
 	Faults     string
 	Timeout    time.Duration
+	// CompileCache is the -compile-cache mode: "on" (in-process), "off"
+	// (inline compile), or a persistent artifact-store path.
+	CompileCache string
 }
 
 // Register installs the run flags on fs with the Table II defaults.
@@ -47,6 +70,7 @@ func (f *RunFlags) Register(fs *flag.FlagSet) {
 	fs.Int64Var(&f.Seed, "seed", 1, "simulation seed")
 	fs.StringVar(&f.Faults, "faults", "", "deterministic fault-injection spec, e.g. 'read=0.01,spinup-fail=0.2,seed=7' (empty = no injection)")
 	fs.DurationVar(&f.Timeout, "timeout", 0, "wall-clock deadline for the run (0 = none)")
+	fs.StringVar(&f.CompileCache, "compile-cache", "on", "compile-artifact cache: on, off, or a persistent JSONL store path")
 }
 
 // Request translates the parsed flags into the canonical normalized
@@ -87,6 +111,9 @@ type SweepFlags struct {
 	Timeout time.Duration
 	Journal string
 	Resume  bool
+	// CompileCache is the -compile-cache mode: "on" (in-process), "off"
+	// (inline compile), or a persistent artifact-store path.
+	CompileCache string
 }
 
 // Register installs the sweep flags on fs.
@@ -99,6 +126,12 @@ func (f *SweepFlags) Register(fs *flag.FlagSet) {
 	fs.DurationVar(&f.Timeout, "timeout", 0, "per-run wall-clock deadline (0 = none); a run exceeding it fails with a deadline error")
 	fs.StringVar(&f.Journal, "journal", "", "append every completed run to this crash-safe JSONL journal")
 	fs.BoolVar(&f.Resume, "resume", false, "with -journal: reload its intact entries and simulate only the missing runs")
+	fs.StringVar(&f.CompileCache, "compile-cache", "on", "compile-artifact cache: on, off, or a persistent JSONL store path")
+}
+
+// OpenCompileCache resolves the sweep's -compile-cache flag.
+func (f *SweepFlags) OpenCompileCache() (*compilecache.Cache, bool, error) {
+	return OpenCompileCache(f.CompileCache)
 }
 
 // Config validates the parsed flags and returns the harness config scope.

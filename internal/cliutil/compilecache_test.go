@@ -1,0 +1,33 @@
+package cliutil
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestOpenCompileCacheModes(t *testing.T) {
+	if c, off, err := OpenCompileCache(""); err != nil || off || c == nil {
+		t.Fatalf("default mode: cache=%v off=%v err=%v", c, off, err)
+	}
+	if c, off, err := OpenCompileCache("on"); err != nil || off || c == nil {
+		t.Fatalf("on: cache=%v off=%v err=%v", c, off, err)
+	}
+	if c, off, err := OpenCompileCache("off"); err != nil || !off || c != nil {
+		t.Fatalf("off: cache=%v off=%v err=%v", c, off, err)
+	}
+	path := filepath.Join(t.TempDir(), "artifacts.jsonl")
+	c, off, err := OpenCompileCache(path)
+	if err != nil || off || c == nil {
+		t.Fatalf("path mode: cache=%v off=%v err=%v", c, off, err)
+	}
+	if got := c.Store().Path(); got != path {
+		t.Fatalf("store path = %q, want %q", got, path)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A directory path is a store-open error, not a silent in-process cache.
+	if _, _, err := OpenCompileCache(t.TempDir()); err == nil {
+		t.Fatal("directory path accepted")
+	}
+}

@@ -8,12 +8,14 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 
 	"sdds/internal/compiler"
 	"sdds/internal/disk"
 	"sdds/internal/fault"
 	"sdds/internal/ionode"
+	"sdds/internal/loop"
 	"sdds/internal/netsim"
 	"sdds/internal/power"
 	"sdds/internal/probe"
@@ -71,6 +73,21 @@ type Config struct {
 	// its own seeded stream (mixed with Seed). A nil config — or one with
 	// all-zero rates — leaves the run bit-identical to a fault-free run.
 	Faults *fault.Config
+	// CompileCache, when non-nil, resolves the compile pass through a
+	// shared artifact cache (internal/compilecache) instead of compiling
+	// inline. Like Probe, it is a runtime knob rather than part of run
+	// identity: cached artifacts are round-trip-pinned to the live compile,
+	// so equal configs produce bit-identical results with the cache off,
+	// warm, or restored from disk.
+	CompileCache CompileService
+}
+
+// CompileService resolves a compile pass, possibly from a cache, and
+// reports where the result came from. internal/compilecache implements it;
+// cluster depends only on this interface so the cache can layer on
+// internal/store without an import cycle.
+type CompileService interface {
+	CompileContext(ctx context.Context, p *loop.Program, opts compiler.Options) (*compiler.Result, compiler.Provenance, error)
 }
 
 // DefaultConfig returns the Table II system: 32 clients, 8 I/O nodes with

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -10,6 +11,8 @@ import (
 	"strconv"
 	"testing"
 
+	"sdds/internal/compilecache"
+	"sdds/internal/compiler"
 	"sdds/internal/power"
 	"sdds/internal/probe"
 	"sdds/internal/workloads"
@@ -153,5 +156,123 @@ func TestGoldenResultsStable(t *testing.T) {
 				t.Errorf("%s: field %q, golden %q", k, g[i], w[i])
 			}
 		}
+	}
+}
+
+// loadGolden reads the committed golden fingerprints.
+func loadGolden(t *testing.T) map[string][]string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "golden.json"))
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	want := make(map[string][]string)
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// TestGoldenCacheModes runs the full 24-config matrix under the compile
+// cache in its three modes — cold store-backed cache (compiling and
+// persisting artifacts), warm in-process cache (memo hits), and a fresh
+// cache restoring artifacts from the persisted store — and demands every
+// fingerprint stay bit-identical to the committed golden file. This is
+// the contract that makes artifact reuse safe: a restored compile must be
+// indistinguishable from a live one.
+func TestGoldenCacheModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden matrix")
+	}
+	if *goldenUpdate {
+		t.Skip("golden file being regenerated")
+	}
+	want := loadGolden(t)
+	artifacts := filepath.Join(t.TempDir(), "artifacts.jsonl")
+
+	type mode struct {
+		name string
+		// wantProv is the acceptable provenance set for scheduled runs.
+		// The cold pass compiles once per distinct compile key; runs that
+		// share a key (same app, different power policy) legitimately hit
+		// the memo even on the first pass.
+		wantProv map[compiler.Provenance]bool
+	}
+	runMatrix := func(t *testing.T, cache *compilecache.Cache, m mode) {
+		for _, spec := range workloads.All() {
+			prog := spec.Build(goldenScale)
+			for _, kind := range []power.Kind{power.KindDefault, power.KindHistory} {
+				for _, scheduling := range []bool{false, true} {
+					cfg := DefaultConfig()
+					cfg.Seed = goldenSeed
+					cfg.Policy = power.Config{Kind: kind}
+					cfg.Scheduling = scheduling
+					cfg.CompileCache = cache
+					res, err := RunContext(context.Background(), prog, cfg)
+					if err != nil {
+						t.Fatalf("%s/%v/sched=%v: %v", spec.Name, kind, scheduling, err)
+					}
+					key := goldenKey(spec.Name, kind, scheduling)
+					if scheduling {
+						if !m.wantProv[res.CompileProvenance] {
+							t.Errorf("%s: provenance %q unexpected in mode %s",
+								key, res.CompileProvenance, m.name)
+						}
+					} else if res.CompileProvenance != compiler.ProvNone {
+						t.Errorf("%s: scheduling-off run has provenance %q", key, res.CompileProvenance)
+					}
+					fp := goldenFingerprint(res)
+					w, ok := want[key]
+					if !ok {
+						t.Fatalf("%s: missing from golden file", key)
+					}
+					if len(fp) != len(w) {
+						t.Fatalf("%s: %d fields vs golden %d", key, len(fp), len(w))
+					}
+					for i := range w {
+						if fp[i] != w[i] {
+							t.Errorf("%s: mode %s: field %q, golden %q", key, m.name, fp[i], w[i])
+						}
+					}
+				}
+			}
+		}
+	}
+
+	cold, err := compilecache.Open(artifacts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runMatrix(t, cold, mode{name: "cold", wantProv: map[compiler.Provenance]bool{
+		compiler.ProvCompiled: true, compiler.ProvMemory: true,
+	}})
+	apps := len(workloads.All())
+	if st := cold.Stats(); int(st.Misses) != apps {
+		t.Errorf("cold pass misses = %d, want %d (one compile per app)", st.Misses, apps)
+	}
+	if n := cold.Store().Len(); n != apps {
+		t.Errorf("persisted artifacts = %d, want %d", n, apps)
+	}
+
+	// Warm pass: every scheduled run is now an in-process memo hit.
+	runMatrix(t, cold, mode{name: "warm", wantProv: map[compiler.Provenance]bool{
+		compiler.ProvMemory: true,
+	}})
+	if err := cold.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restored pass: a fresh cache over the persisted store must serve
+	// every compile from disk without compiling anything.
+	restored, err := compilecache.Open(artifacts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	runMatrix(t, restored, mode{name: "restored", wantProv: map[compiler.Provenance]bool{
+		compiler.ProvStore: true, compiler.ProvMemory: true,
+	}})
+	if st := restored.Stats(); st.Misses != 0 || int(st.Restores) != apps {
+		t.Errorf("restored pass stats = %+v, want 0 misses and %d restores", st, apps)
 	}
 }

@@ -35,6 +35,13 @@ type Result struct {
 
 	// Compile is the compiler output (nil when Scheduling is off).
 	Compile *compiler.Result
+	// CompileProvenance records where the compile pass came from this
+	// execution (fresh compile, in-process memo, restored artifact);
+	// ProvNone when Scheduling is off. It is execution provenance, not
+	// simulation output — excluded from golden fingerprints and from the
+	// persisted RunRecord, which must stay byte-identical regardless of
+	// cache state.
+	CompileProvenance compiler.Provenance
 
 	// Buffer and cache behaviour.
 	BufferHits, BufferMisses int64
@@ -73,13 +80,27 @@ func Run(prog *loop.Program, cfg Config) (*Result, error) {
 // error) when ctx is cancelled, both during the compiler pass and inside
 // the discrete-event loop.
 func RunContext(ctx context.Context, prog *loop.Program, cfg Config) (*Result, error) {
+	setup, err := NewSetup(prog, cfg.Procs)
+	if err != nil {
+		return nil, err
+	}
+	return RunPrepared(ctx, setup, cfg)
+}
+
+// RunPrepared executes cfg against a prebuilt Setup, sharing the
+// program-derived state (instance index, slot metadata) across runs that
+// differ only in runtime knobs. The setup is only read, so one Setup may
+// serve any number of concurrent RunPrepared calls. cfg.Procs must match
+// the setup's process count.
+func RunPrepared(ctx context.Context, setup *Setup, cfg Config) (*Result, error) {
 	cfg = cfg.normalized()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if err := prog.Validate(); err != nil {
-		return nil, err
+	if cfg.Procs != setup.procs {
+		return nil, fmt.Errorf("cluster: config procs %d does not match setup procs %d", cfg.Procs, setup.procs)
 	}
+	prog := setup.prog
 
 	eng := sim.NewEngine(cfg.Seed)
 	// Attach the flight recorder before any model is constructed — models
@@ -142,18 +163,30 @@ func RunContext(ctx context.Context, prog *loop.Program, cfg Config) (*Result, e
 		mw:     mw,
 		nodes:  nodes,
 		flt:    inj,
-		slots:  prog.Slots(cfg.Procs),
+		slots:  setup.slots,
 		procAt: make([]int, cfg.Procs),
 		finish: make([]sim.Time, cfg.Procs),
+		// Shared read-only program-derived state; slice headers only.
+		ioFlat:       setup.ioFlat,
+		ioOff:        setup.ioOff,
+		slotNest:     setup.slotNest,
+		slotLoc:      setup.slotLoc,
+		nestBodyCost: setup.nestBodyCost,
 	}
-	ex.prepareIOIndex(prog.Instances(cfg.Procs))
-	ex.prepareSlotMeta()
 	ex.prepareProcState()
 
 	// The framework: compile and stand up the runtime scheduler.
+	var compileProv compiler.Provenance
 	if cfg.Scheduling {
 		compileSpan := cfg.Probe.StartSpan(probe.TrackRun, "compile "+prog.Name)
-		comp, err := compiler.CompileContext(ctx, prog, cfg.Compiler)
+		var comp *compiler.Result
+		var err error
+		if cfg.CompileCache != nil {
+			comp, compileProv, err = cfg.CompileCache.CompileContext(ctx, prog, cfg.Compiler)
+		} else {
+			comp, err = compiler.CompileContext(ctx, prog, cfg.Compiler)
+			compileProv = compiler.ProvCompiled
+		}
 		compileSpan.End()
 		if err != nil {
 			return nil, err
@@ -201,13 +234,14 @@ func RunContext(ctx context.Context, prog *loop.Program, cfg Config) (*Result, e
 	// Close trailing idle gaps and collect results.
 	execEnd := ex.maxFinish()
 	res := &Result{
-		Program:     prog.Name,
-		Policy:      cfg.Policy.Kind,
-		Scheduling:  cfg.Scheduling,
-		ExecTime:    execEnd,
-		Idle:        idle,
-		Compile:     ex.comp,
-		NodeEnergyJ: make([]float64, len(nodes)),
+		Program:           prog.Name,
+		Policy:            cfg.Policy.Kind,
+		Scheduling:        cfg.Scheduling,
+		ExecTime:          execEnd,
+		Idle:              idle,
+		Compile:           ex.comp,
+		CompileProvenance: compileProv,
+		NodeEnergyJ:       make([]float64, len(nodes)),
 	}
 	for i, n := range nodes {
 		n.FlushIdleGaps(execEnd)
@@ -323,9 +357,10 @@ type executor struct {
 	finish []sim.Time
 	done   int
 
-	// Flat I/O-instance index: the instances of (proc p, slot s) are
-	// ioFlat[ioOff[p*slots+s]:ioOff[p*slots+s+1]], in statement order —
-	// one slice header away instead of a map lookup per slot.
+	// Flat I/O-instance index shared from the run's Setup: the instances
+	// of (proc p, slot s) are ioFlat[ioOff[p*slots+s]:ioOff[p*slots+s+1]],
+	// in statement order — one slice header away instead of a map lookup
+	// per slot. Read-only: the Setup may be serving concurrent runs.
 	ioFlat []loop.IOInstance
 	ioOff  []int32
 
@@ -354,7 +389,8 @@ type executor struct {
 	ioAbandoned    int64
 	fetchFallbacks int64
 
-	// Slot metadata: nest index, slot-within-nest, per-nest body cost.
+	// Slot metadata shared from the run's Setup (read-only): nest index,
+	// slot-within-nest, per-nest body cost.
 	slotNest     []int
 	slotLoc      []int
 	nestBodyCost []sim.Duration
@@ -370,27 +406,6 @@ type executor struct {
 	comp   *compiler.Result
 	buf    *sched.GlobalBuffer
 	agents []*sched.Agent
-}
-
-// prepareIOIndex builds the flat instance index with a counting sort keyed
-// by (proc, slot); Instances' statement order within a (proc, slot) pair is
-// preserved.
-func (ex *executor) prepareIOIndex(insts []loop.IOInstance) {
-	cells := ex.cfg.Procs * ex.slots
-	ex.ioOff = make([]int32, cells+1)
-	for _, in := range insts {
-		ex.ioOff[in.Proc*ex.slots+in.Slot+1]++
-	}
-	for k := 0; k < cells; k++ {
-		ex.ioOff[k+1] += ex.ioOff[k]
-	}
-	ex.ioFlat = make([]loop.IOInstance, len(insts))
-	cur := make([]int32, cells)
-	for _, in := range insts {
-		k := in.Proc*ex.slots + in.Slot
-		ex.ioFlat[ex.ioOff[k]+cur[k]] = in
-		cur[k]++
-	}
 }
 
 // prepareProcState binds the per-process continuation handlers and seeds
@@ -492,35 +507,6 @@ func (ex *executor) Fetch(file int, offset, length int64, done func(now sim.Time
 // incrementally by setProcAt, so the per-event queries the agents make are
 // O(1) instead of an O(Procs) scan.
 func (ex *executor) MinSlot() int { return ex.minSlot }
-
-func (ex *executor) prepareSlotMeta() {
-	ex.slotNest = make([]int, ex.slots)
-	ex.slotLoc = make([]int, ex.slots)
-	s := 0
-	for ni := range ex.prog.Nests {
-		base := ex.prog.NestSlotOffset(ex.cfg.Procs, ni)
-		next := ex.slots
-		if ni+1 < len(ex.prog.Nests) {
-			next = ex.prog.NestSlotOffset(ex.cfg.Procs, ni+1)
-		}
-		for ; s < next && s >= base; s++ {
-			ex.slotNest[s] = ni
-			ex.slotLoc[s] = s - base
-		}
-	}
-	// The compute cost of a nest body never varies per iteration: sum it
-	// once here instead of walking n.Body on every (proc, slot).
-	ex.nestBodyCost = make([]sim.Duration, len(ex.prog.Nests))
-	for ni, n := range ex.prog.Nests {
-		var c sim.Duration
-		for _, st := range n.Body {
-			if st.Kind == loop.StmtCompute {
-				c += st.Cost
-			}
-		}
-		ex.nestBodyCost[ni] = c
-	}
-}
 
 // computeCost returns the computation time of one slot for a process.
 func (ex *executor) computeCost(proc, slot int) sim.Duration {

@@ -1,0 +1,146 @@
+package compiler
+
+import (
+	"encoding/json"
+	"testing"
+
+	"sdds/internal/core"
+)
+
+// roundTrip compiles, serializes the artifact through JSON, restores it,
+// and asserts the restored result is equivalent to the live compile.
+func roundTrip(t *testing.T, opts Options) (*Result, *Result) {
+	t.Helper()
+	p := testProgram()
+	res, err := Compile(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(res.Artifact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art Artifact
+	if err := json.Unmarshal(raw, &art); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := art.Restore(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := EquivalentResults(res, restored); err != nil {
+		t.Fatalf("restored result not equivalent: %v", err)
+	}
+	return res, restored
+}
+
+func TestArtifactRoundTrip(t *testing.T) {
+	roundTrip(t, DefaultOptions(4))
+}
+
+// The coalesced path is the subtle one: schedule points live in
+// full-resolution slots while the scheduler ran over coalesced slots, and
+// table entries are re-anchored access copies.
+func TestArtifactRoundTripCoalesced(t *testing.T) {
+	opts := DefaultOptions(4)
+	opts.CoalesceD = 3
+	roundTrip(t, opts)
+}
+
+func TestArtifactRoundTripProfiler(t *testing.T) {
+	opts := DefaultOptions(4)
+	opts.ForceProfile = true
+	res, restored := roundTrip(t, opts)
+	if !res.UsedProfiler || !restored.UsedProfiler {
+		t.Fatal("UsedProfiler lost in round trip")
+	}
+}
+
+// Restored results must serve the executor-facing lookups identically.
+func TestArtifactRestoreLookups(t *testing.T) {
+	res, restored := roundTrip(t, DefaultOptions(4))
+	for _, s := range res.Slacks {
+		a, okA := res.AccessFor(s.Inst)
+		b, okB := restored.AccessFor(s.Inst)
+		if okA != okB || a != b {
+			t.Fatalf("AccessFor(%+v): %d,%v vs %d,%v", s.Inst, a, okA, b, okB)
+		}
+	}
+	for id := range res.Accesses {
+		if res.WriterSlotOf(id) != restored.WriterSlotOf(id) {
+			t.Fatalf("WriterSlotOf(%d) differs", id)
+		}
+		ia, okA := res.InstanceOf(id)
+		ib, okB := restored.InstanceOf(id)
+		if okA != okB || ia != ib {
+			t.Fatalf("InstanceOf(%d) differs", id)
+		}
+	}
+}
+
+// Artifact bytes must be deterministic: two equal compiles marshal to the
+// same bytes (the property the content-addressed store's immutability
+// check relies on across processes).
+func TestArtifactBytesDeterministic(t *testing.T) {
+	opts := DefaultOptions(4)
+	a, err := Compile(testProgram(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compile(testProgram(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, _ := json.Marshal(a.Artifact())
+	rb, _ := json.Marshal(b.Artifact())
+	if string(ra) != string(rb) {
+		t.Fatal("equal compiles produced different artifact bytes")
+	}
+}
+
+// Restore must defend against artifacts for a different compilation.
+func TestArtifactRestoreMismatch(t *testing.T) {
+	opts := DefaultOptions(4)
+	res, err := Compile(testProgram(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := res.Artifact()
+
+	wrongProcs := opts
+	wrongProcs.Procs = 8
+	if _, err := art.Restore(testProgram(), wrongProcs); err == nil {
+		t.Fatal("restore accepted wrong procs")
+	}
+	p := testProgram()
+	p.Name = "other"
+	if _, err := art.Restore(p, opts); err == nil {
+		t.Fatal("restore accepted wrong program")
+	}
+	bad := *art
+	bad.Version = ArtifactVersion + 1
+	if _, err := bad.Restore(testProgram(), opts); err == nil {
+		t.Fatal("restore accepted wrong version")
+	}
+	corrupt := *art
+	corrupt.Points = append([]core.Assignment(nil), art.Points...)
+	corrupt.Points[0].ID = len(art.Slacks) + 5
+	if _, err := corrupt.Restore(testProgram(), opts); err == nil {
+		t.Fatal("restore accepted out-of-range access reference")
+	}
+}
+
+func TestProvenanceStrings(t *testing.T) {
+	cases := map[Provenance]string{
+		ProvNone:        "",
+		ProvCompiled:    "compiled",
+		ProvMemory:      "memo",
+		ProvStore:       "restored",
+		ProvUncacheable: "uncacheable",
+	}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), want)
+		}
+	}
+}

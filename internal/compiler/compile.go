@@ -106,11 +106,78 @@ type Result struct {
 	// UsedProfiler reports whether the profiling path ran (non-affine
 	// program or ForceProfile).
 	UsedProfiler bool
-	// CompileTime is the wall-clock duration of the whole pass.
+	// CompileTime is the wall-clock duration of the whole pass (or of the
+	// artifact restore, for results rehydrated from the compile cache).
 	CompileTime time.Duration
 
+	procs        int
 	params       core.Params
 	accessByInst map[instKey]int
+}
+
+// coalesceFactor normalizes CoalesceD: 0 and 1 both mean no coalescing.
+func coalesceFactor(opts Options) int {
+	if opts.CoalesceD < 1 {
+		return 1
+	}
+	return opts.CoalesceD
+}
+
+// fullSlack returns an access's slack window in full-resolution slots,
+// with the MaxAdvance clamp applied — the window both the initial access
+// build and the Rescale re-anchoring reason in.
+func fullSlack(s loop.Slack, opts Options) (begin, end int) {
+	begin = s.Begin
+	if opts.MaxAdvance > 0 && begin < s.End-opts.MaxAdvance {
+		begin = s.End - opts.MaxAdvance
+	}
+	return begin, s.End
+}
+
+// buildAccesses converts analyzed slacks into scheduler inputs (ID =
+// index) plus the dynamic-instance index. It is shared between the live
+// compile pass and the artifact restore path so both derive identical
+// accesses from identical slacks.
+func buildAccesses(slacks []loop.Slack, opts Options, d int) ([]*core.Access, map[instKey]int) {
+	accesses := make([]*core.Access, 0, len(slacks))
+	byInst := make(map[instKey]int, len(slacks))
+	for i, s := range slacks {
+		length := 1
+		if opts.SlotBytes > 0 && s.Inst.Length > opts.SlotBytes {
+			length = int((s.Inst.Length + opts.SlotBytes - 1) / opts.SlotBytes)
+		}
+		if d > 1 {
+			// A coalesced slot carries d iterations' worth of I/O.
+			length = (length + d - 1) / d
+		}
+		begin, end := fullSlack(s, opts)
+		a := &core.Access{
+			ID:     i,
+			Proc:   s.Inst.Proc,
+			Begin:  begin / d,
+			End:    end / d,
+			Length: length,
+			Sig:    opts.Layout.SignatureFor(s.Inst.Offset, s.Inst.Length),
+			Orig:   end / d,
+		}
+		accesses = append(accesses, a)
+		byInst[instKey{s.Inst.Proc, s.Inst.Slot, s.Inst.Nest, s.Inst.Stmt}] = i
+	}
+	return accesses, byInst
+}
+
+// schedParams derives the scheduler parameters from the options and the
+// coalesced slot count — shared by compile and restore.
+func schedParams(opts Options, coalesced int) core.Params {
+	return core.Params{
+		NumSlots:   coalesced,
+		NumNodes:   opts.Layout.NumNodes,
+		Delta:      opts.Delta,
+		Theta:      opts.Theta,
+		Order:      opts.Order,
+		NoWeights:  opts.NoWeights,
+		RandomTies: opts.RandomTies,
+	}
 }
 
 // Compile runs the full pass.
@@ -122,7 +189,7 @@ func Compile(p *loop.Program, opts Options) (*Result, error) {
 // boundaries (before slack analysis and before scheduling — the two
 // dominant costs of the pass).
 func CompileContext(ctx context.Context, p *loop.Program, opts Options) (*Result, error) {
-	start := time.Now()
+	start := time.Now() //sddsvet:ignore simdet -- wall-clock compile cost for CompileTime reporting, never feeds simulated results
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -154,51 +221,14 @@ func CompileContext(ctx context.Context, p *loop.Program, opts Options) (*Result
 	}
 
 	numSlots := p.Slots(opts.Procs)
-	d := opts.CoalesceD
-	if d < 1 {
-		d = 1
-	}
+	d := coalesceFactor(opts)
 	coalesced := (numSlots + d - 1) / d
-	accesses := make([]*core.Access, 0, len(slacks))
-	byInst := make(map[instKey]int, len(slacks))
-	for i, s := range slacks {
-		length := 1
-		if opts.SlotBytes > 0 && s.Inst.Length > opts.SlotBytes {
-			length = int((s.Inst.Length + opts.SlotBytes - 1) / opts.SlotBytes)
-		}
-		if d > 1 {
-			// A coalesced slot carries d iterations' worth of I/O.
-			length = (length + d - 1) / d
-		}
-		begin := s.Begin
-		if opts.MaxAdvance > 0 && begin < s.End-opts.MaxAdvance {
-			begin = s.End - opts.MaxAdvance
-		}
-		a := &core.Access{
-			ID:     i,
-			Proc:   s.Inst.Proc,
-			Begin:  begin / d,
-			End:    s.End / d,
-			Length: length,
-			Sig:    opts.Layout.SignatureFor(s.Inst.Offset, s.Inst.Length),
-			Orig:   s.End / d,
-		}
-		accesses = append(accesses, a)
-		byInst[instKey{s.Inst.Proc, s.Inst.Slot, s.Inst.Nest, s.Inst.Stmt}] = i
-	}
+	accesses, byInst := buildAccesses(slacks, opts, d)
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	params := core.Params{
-		NumSlots:   coalesced,
-		NumNodes:   opts.Layout.NumNodes,
-		Delta:      opts.Delta,
-		Theta:      opts.Theta,
-		Order:      opts.Order,
-		NoWeights:  opts.NoWeights,
-		RandomTies: opts.RandomTies,
-	}
+	params := schedParams(opts, coalesced)
 	sched, err := core.NewScheduler(params)
 	if err != nil {
 		return nil, err
@@ -211,12 +241,7 @@ func CompileContext(ctx context.Context, p *loop.Program, opts Options) (*Result
 		// Map the coalesced schedule back to full-resolution slots so the
 		// runtime scheduler and the executor keep a single slot space.
 		schedule = schedule.Rescale(d, numSlots, func(id int) (begin, end int) {
-			s := slacks[id]
-			begin = s.Begin
-			if opts.MaxAdvance > 0 && begin < s.End-opts.MaxAdvance {
-				begin = s.End - opts.MaxAdvance
-			}
-			return begin, s.End
+			return fullSlack(slacks[id], opts)
 		})
 	}
 
@@ -227,6 +252,7 @@ func CompileContext(ctx context.Context, p *loop.Program, opts Options) (*Result
 		Schedule:     schedule,
 		UsedProfiler: usedProfiler,
 		CompileTime:  time.Since(start),
+		procs:        opts.Procs,
 		params:       params,
 		accessByInst: byInst,
 	}, nil

@@ -1,0 +1,109 @@
+package compiler
+
+import (
+	"testing"
+
+	"sdds/internal/core"
+	"sdds/internal/stripe"
+)
+
+func mustKey(t *testing.T, opts Options) string {
+	t.Helper()
+	key, ok := KeyFor(testProgram(), opts)
+	if !ok {
+		t.Fatalf("KeyFor uncacheable for %+v", opts)
+	}
+	return key
+}
+
+// The key must be invariant to how the options were written down: a
+// zero-value CoalesceD and an explicit 1 denote the same compilation.
+func TestKeyZeroValueDefaults(t *testing.T) {
+	base := DefaultOptions(4)
+	explicit := base
+	explicit.CoalesceD = 1
+	if mustKey(t, base) != mustKey(t, explicit) {
+		t.Fatal("CoalesceD 0 and 1 produced different keys")
+	}
+}
+
+// Every semantic option must move the key.
+func TestKeySemanticSensitivity(t *testing.T) {
+	base := DefaultOptions(4)
+	mutations := map[string]func(*Options){
+		"procs":        func(o *Options) { o.Procs = 8 },
+		"theta":        func(o *Options) { o.Theta = 8 },
+		"delta":        func(o *Options) { o.Delta = 40 },
+		"slotbytes":    func(o *Options) { o.SlotBytes = 128 << 10 },
+		"maxadvance":   func(o *Options) { o.MaxAdvance = 10 },
+		"coalesce":     func(o *Options) { o.CoalesceD = 2 },
+		"forceprofile": func(o *Options) { o.ForceProfile = true },
+		"order":        func(o *Options) { o.Order = core.OrderInput },
+		"noweights":    func(o *Options) { o.NoWeights = true },
+		"layout-nodes": func(o *Options) { o.Layout.NumNodes = 16 },
+		"layout-size":  func(o *Options) { o.Layout.StripeSize = 128 << 10 },
+		"layout-first": func(o *Options) { o.Layout.FirstNode = 3 },
+	}
+	baseKey := mustKey(t, base)
+	seen := map[string]string{"base": baseKey}
+	for name, mut := range mutations {
+		o := base
+		mut(&o)
+		k := mustKey(t, o)
+		if k == baseKey {
+			t.Errorf("%s: key unchanged by semantic option", name)
+		}
+		for prev, pk := range seen {
+			if pk == k {
+				t.Errorf("%s collides with %s", name, prev)
+			}
+		}
+		seen[name] = k
+	}
+}
+
+// The key is also a function of the program content.
+func TestKeyProgramSensitivity(t *testing.T) {
+	opts := DefaultOptions(4)
+	base, ok := KeyFor(testProgram(), opts)
+	if !ok {
+		t.Fatal("uncacheable")
+	}
+	p := testProgram()
+	p.Nests[1].Trips = 64
+	k, ok := KeyFor(p, opts)
+	if !ok {
+		t.Fatal("uncacheable")
+	}
+	if k == base {
+		t.Fatal("key unchanged by program trip count")
+	}
+	p2 := testProgram()
+	p2.Nests[1].Body[0].Region.Len = 16 << 10
+	if k2, _ := KeyFor(p2, opts); k2 == base {
+		t.Fatal("key unchanged by statement region")
+	}
+}
+
+// Non-serializable inputs defeat keying: a custom region function or a
+// random tie breaker must mark the compile uncacheable.
+func TestKeyUncacheableInputs(t *testing.T) {
+	opts := DefaultOptions(4)
+	opts.RandomTies = func(n int) int { return 0 }
+	if _, ok := KeyFor(testProgram(), opts); ok {
+		t.Fatal("RandomTies keyed as cacheable")
+	}
+	p := testProgram()
+	p.Nests[1].Body[1].Custom = func(i, proc int) (int64, int64) { return 0, 32 << 10 }
+	if _, ok := KeyFor(p, DefaultOptions(4)); ok {
+		t.Fatal("custom region keyed as cacheable")
+	}
+}
+
+// Layout defaults: two independently-constructed equal option sets agree.
+func TestKeyDeterministic(t *testing.T) {
+	a := Options{Procs: 4, Layout: stripe.DefaultLayout(), Delta: 20, Theta: 4, SlotBytes: 256 << 10, MaxAdvance: 40}
+	if mustKey(t, a) != mustKey(t, DefaultOptions(4)) {
+		t.Fatal("structurally equal options produced different keys")
+	}
+}

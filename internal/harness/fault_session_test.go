@@ -60,9 +60,9 @@ func TestWorkerPanicIsolated(t *testing.T) {
 	}
 	// The panic verdict is cached like any failure: a waiter sees it
 	// without re-simulating.
-	_, hit, err := s.run(context.Background(), c, boom)
-	if err == nil || !hit {
-		t.Fatalf("cached panic verdict: hit=%v err=%v", hit, err)
+	_, out, err := s.run(context.Background(), c, boom)
+	if err == nil || !out.hit {
+		t.Fatalf("cached panic verdict: hit=%v err=%v", out.hit, err)
 	}
 }
 
@@ -78,9 +78,9 @@ func TestRunTimeoutDeadlineExceeded(t *testing.T) {
 		t.Fatalf("err = %v, want DeadlineExceeded", err)
 	}
 	// The deadline verdict is a property of the configuration: cached.
-	_, hit, err2 := s.run(context.Background(), c, defaultSpec("sar", power.KindDefault, false))
-	if !errors.Is(err2, context.DeadlineExceeded) || !hit {
-		t.Fatalf("cached deadline verdict: hit=%v err=%v", hit, err2)
+	_, out, err2 := s.run(context.Background(), c, defaultSpec("sar", power.KindDefault, false))
+	if !errors.Is(err2, context.DeadlineExceeded) || !out.hit {
+		t.Fatalf("cached deadline verdict: hit=%v err=%v", out.hit, err2)
 	}
 	simulated, _ := s.Stats()
 	if simulated != 1 {

@@ -212,7 +212,7 @@ func (j *Journal) preload(memo map[Request]*memoEntry) int {
 		}
 		done := make(chan struct{})
 		close(done)
-		memo[sr.Request] = &memoEntry{done: done, res: res}
+		memo[sr.Request] = &memoEntry{done: done, res: res, preloaded: true}
 		n++
 		return nil
 	})

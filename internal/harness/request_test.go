@@ -202,11 +202,11 @@ func TestSessionRunRequest(t *testing.T) {
 	}
 	// A plan-driven run of the same config must also hit.
 	sp := defaultSpec("sar", power.KindDefault, false)
-	_, hit3, err := s.run(context.Background(), Config{Scale: 0.02, Seed: 7}.withDefaults(), sp)
+	_, out3, err := s.run(context.Background(), Config{Scale: 0.02, Seed: 7}.withDefaults(), sp)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !hit3 {
+	if !out3.hit {
 		t.Fatal("plan-driven run of the same config missed the request's cache slot")
 	}
 }

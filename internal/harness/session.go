@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"sdds/internal/cluster"
+	"sdds/internal/compilecache"
 	"sdds/internal/loop"
 	"sdds/internal/power"
 	"sdds/internal/probe"
@@ -89,31 +90,79 @@ func (sp runSpec) build(c Config) (*loop.Program, cluster.Config, error) {
 	return prog, cfg, nil
 }
 
-// simulate builds and executes the spec's cluster run. pr is the session's
-// probe (nil or span-only — ring-bearing probes must not be shared across
-// the concurrent worker pool), letting the run's compile/simulate spans
-// land in the session trace.
-func (sp runSpec) simulate(ctx context.Context, c Config, pr *probe.Probe) (*cluster.Result, error) {
+// simulate builds and executes the spec's cluster run through the
+// session's shared-prefix machinery: the run's (app, scale, procs) Setup
+// is resolved through the setup cache (built once per sweep group, forked
+// per variant) and the compile pass goes through the session's compile
+// cache when one is enabled. The session probe is attached so the run's
+// compile/simulate spans land in the session trace.
+func (s *Session) simulate(ctx context.Context, c Config, sp runSpec) (*cluster.Result, error) {
 	prog, cfg, err := sp.build(c)
 	if err != nil {
 		return nil, err
 	}
-	cfg.Probe = pr
-	return cluster.RunContext(ctx, prog, cfg)
+	cfg.Probe = s.probe
+	if s.compileCache != nil {
+		cfg.CompileCache = s.compileCache
+	}
+	setup, err := s.setupFor(ctx, setupKey{app: sp.app, scale: c.Scale, procs: cfg.Procs}, prog)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.RunPrepared(ctx, setup, cfg)
 }
 
 // safeSimulate runs the spec's simulation, converting a panic anywhere in
 // the compile or event loop into a per-run error carrying the stack. One
 // misbehaving configuration then fails only its own run; sibling runs on
 // the worker pool complete normally.
-func safeSimulate(ctx context.Context, c Config, sp runSpec, pr *probe.Probe) (res *cluster.Result, err error) {
+func (s *Session) safeSimulate(ctx context.Context, c Config, sp runSpec) (res *cluster.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = nil
 			err = fmt.Errorf("harness: run %s panicked: %v\n%s", sp.tag(), r, debug.Stack())
 		}
 	}()
-	return sp.simulate(ctx, c, pr)
+	return s.simulate(ctx, c, sp)
+}
+
+// setupKey identifies one shared pre-simulation snapshot: sweep variants
+// that agree on workload, scale and process count fork off one Setup.
+type setupKey struct {
+	app   string
+	scale float64
+	procs int
+}
+
+// setupEntry is a singleflight cell for one Setup build.
+type setupEntry struct {
+	done  chan struct{}
+	setup *cluster.Setup
+	err   error
+}
+
+// setupFor resolves the shared Setup for key through the session's setup
+// cache: the first run of a sweep group builds it, every sibling variant
+// waits and then forks off the same immutable snapshot. Build errors are
+// deterministic properties of (app, scale, procs) and are cached like
+// results.
+func (s *Session) setupFor(ctx context.Context, key setupKey, prog *loop.Program) (*cluster.Setup, error) {
+	s.setupMu.Lock()
+	if e, ok := s.setups[key]; ok {
+		s.setupMu.Unlock()
+		select {
+		case <-e.done:
+			return e.setup, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	e := &setupEntry{done: make(chan struct{})}
+	s.setups[key] = e
+	s.setupMu.Unlock()
+	e.setup, e.err = cluster.NewSetup(prog, key.procs)
+	close(e.done)
+	return e.setup, e.err
 }
 
 // Progress is one run-level progress event, delivered after each planned
@@ -135,6 +184,15 @@ type Progress struct {
 	// Metrics is the run's counter/gauge snapshot (nil when the run
 	// failed). Cache hits carry the metrics of the original execution.
 	Metrics []probe.Metric
+	// FromJournal reports whether a hit was served from an entry a resumed
+	// journal preloaded (a cross-process store hit) rather than from a run
+	// this session executed.
+	FromJournal bool
+	// CompileProv names where the run's compile pass came from
+	// ("compiled", "memo", "restored", "uncacheable"); empty for
+	// scheduling-off runs and journal-restored results (the journal does
+	// not record compiler output).
+	CompileProv string
 }
 
 // ProgressFunc observes session progress. Calls are serialized; the
@@ -164,6 +222,15 @@ type SessionOptions struct {
 	// resumed journal loaded, so an interrupted sweep re-executes only the
 	// missing configurations.
 	Journal *Journal
+	// CompileCache, when non-nil, is the shared compile-artifact cache
+	// every scheduled run resolves its compile pass through — share one
+	// across sessions (or back it with a persistent store) to reuse
+	// artifacts beyond this session's lifetime. When nil the session
+	// creates its own in-process cache.
+	CompileCache *compilecache.Cache
+	// DisableCompileCache compiles every scheduled run inline (the
+	// pre-cache behaviour); for A/B measurement and ablation.
+	DisableCompileCache bool
 }
 
 // Session owns a run cache and a bounded worker pool for executing
@@ -189,6 +256,13 @@ type Session struct {
 	memo      map[Request]*memoEntry
 	preloaded int // runs seeded from a resumed journal
 
+	// compileCache memoizes compile artifacts across the worker pool (and,
+	// when store-backed, across processes); nil when disabled.
+	compileCache *compilecache.Cache
+	// setups shares the pre-simulation Setup per (app, scale, procs).
+	setupMu sync.Mutex
+	setups  map[setupKey]*setupEntry
+
 	simulated atomic.Int64 // cluster runs actually executed
 	hits      atomic.Int64 // cache hits (completed or in-flight)
 }
@@ -199,6 +273,9 @@ type memoEntry struct {
 	done chan struct{}
 	res  *cluster.Result
 	err  error
+	// preloaded marks entries seeded from a resumed journal, so hits on
+	// them report store provenance instead of in-process provenance.
+	preloaded bool
 }
 
 // errAbandoned marks an entry whose owner was cancelled before the
@@ -220,11 +297,37 @@ func NewSession(o SessionOptions) *Session {
 		runTimeout: o.RunTimeout,
 		journal:    o.Journal,
 		memo:       make(map[Request]*memoEntry),
+		setups:     make(map[setupKey]*setupEntry),
+	}
+	if !o.DisableCompileCache {
+		if o.CompileCache != nil {
+			s.compileCache = o.CompileCache
+		} else {
+			s.compileCache = compilecache.New()
+		}
 	}
 	if o.Journal != nil {
 		s.preloaded = o.Journal.preload(s.memo)
 	}
 	return s
+}
+
+// CompileCacheStats snapshots the session's compile-cache counters; the
+// zero Stats when the cache is disabled.
+func (s *Session) CompileCacheStats() compilecache.Stats {
+	if s.compileCache == nil {
+		return compilecache.Stats{}
+	}
+	return s.compileCache.Stats()
+}
+
+// SetupGroups reports how many distinct (app, scale, procs) setup
+// snapshots the session has built — the sweep groups sharing a
+// pre-simulation fork point.
+func (s *Session) SetupGroups() int {
+	s.setupMu.Lock()
+	defer s.setupMu.Unlock()
+	return len(s.setups)
 }
 
 // Preloaded reports how many runs the session cache was seeded with from
@@ -261,13 +364,21 @@ func (s *Session) Stats() (simulated, hits int64) {
 	return s.simulated.Load(), s.hits.Load()
 }
 
+// runOutcome reports how run resolved a spec: served from the session
+// cache or simulated fresh, and — for hits — whether the entry came from
+// a resumed journal rather than a run this session executed.
+type runOutcome struct {
+	hit         bool
+	fromJournal bool
+}
+
 // run resolves one spec through the cache, simulating it under a worker
-// slot if this call is the first to want it. The bool reports a cache hit.
-func (s *Session) run(ctx context.Context, c Config, sp runSpec) (*cluster.Result, bool, error) {
+// slot if this call is the first to want it.
+func (s *Session) run(ctx context.Context, c Config, sp runSpec) (*cluster.Result, runOutcome, error) {
 	key := sp.key(c)
 	for {
 		if err := ctx.Err(); err != nil {
-			return nil, false, err
+			return nil, runOutcome{}, err
 		}
 		s.mu.Lock()
 		if e, ok := s.memo[key]; ok {
@@ -275,19 +386,19 @@ func (s *Session) run(ctx context.Context, c Config, sp runSpec) (*cluster.Resul
 			select {
 			case <-e.done:
 			case <-ctx.Done():
-				return nil, false, ctx.Err()
+				return nil, runOutcome{}, ctx.Err()
 			}
 			if errors.Is(e.err, errAbandoned) {
 				continue // owner cancelled before simulating; re-claim
 			}
 			s.hits.Add(1)
-			return e.res, true, e.err
+			return e.res, runOutcome{hit: true, fromJournal: e.preloaded}, e.err
 		}
 		e := &memoEntry{done: make(chan struct{})}
 		s.memo[key] = e
 		s.mu.Unlock()
 		res, err := s.execute(ctx, c, sp, key, e)
-		return res, false, err
+		return res, runOutcome{}, err
 	}
 }
 
@@ -309,7 +420,7 @@ func (s *Session) execute(ctx context.Context, c Config, sp runSpec, key Request
 	if s.runTimeout > 0 {
 		runCtx, cancel = context.WithTimeout(ctx, s.runTimeout)
 	}
-	res, err := safeSimulate(runCtx, c, sp, s.probe)
+	res, err := s.safeSimulate(runCtx, c, sp)
 	cancel()
 	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 		if ctx.Err() != nil {
@@ -401,11 +512,11 @@ func (s *Session) Prime(ctx context.Context, exps []Experiment, c Config) error 
 			for sp := range work {
 				start := time.Now()
 				runSpan := s.probe.StartSpan(track, sp.tag())
-				res, hit, err := s.run(ctx, c, sp)
+				res, out, err := s.run(ctx, c, sp)
 				runSpan.End()
 				pmu.Lock()
 				done++
-				if hit {
+				if out.hit {
 					hits++
 				}
 				if err != nil && firstErr == nil {
@@ -415,10 +526,11 @@ func (s *Session) Prime(ctx context.Context, exps []Experiment, c Config) error 
 					p := Progress{
 						Done: done, Total: total, Hits: hits,
 						Key: sp.tag(), Elapsed: time.Since(start),
-						Hit: hit, Err: err,
+						Hit: out.hit, FromJournal: out.fromJournal, Err: err,
 					}
 					if res != nil {
 						p.Metrics = res.Metrics
+						p.CompileProv = res.CompileProvenance.String()
 					}
 					s.progress(p)
 				}
@@ -493,24 +605,25 @@ func (s *Session) RunRequest(ctx context.Context, req Request) (*cluster.Result,
 		defer cancel()
 	}
 	start := time.Now()
-	res, hit, err := s.run(ctx, c, sp)
+	res, out, err := s.run(ctx, c, sp)
 	if s.progress != nil {
 		p := Progress{
 			Done: 1, Total: 1,
 			Key: sp.tag(), Elapsed: time.Since(start),
-			Hit: hit, Err: err,
+			Hit: out.hit, FromJournal: out.fromJournal, Err: err,
 		}
-		if hit {
+		if out.hit {
 			p.Hits = 1
 		}
 		if res != nil {
 			p.Metrics = res.Metrics
+			p.CompileProv = res.CompileProvenance.String()
 		}
 		s.progMu.Lock()
 		s.progress(p)
 		s.progMu.Unlock()
 	}
-	return res, hit, err
+	return res, out.hit, err
 }
 
 // Cached reports the session's resolved verdict for req, if it has one:

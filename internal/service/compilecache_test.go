@@ -1,0 +1,117 @@
+package service
+
+import (
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sdds/internal/harness"
+)
+
+// TestServiceCompileCacheSurfaces drives a scheduled run through the
+// service and asserts the compile cache shows up everywhere it should:
+// status, doctor, Prometheus metrics — and that a restarted service
+// restores the artifact from the persisted store instead of recompiling.
+func TestServiceCompileCacheSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	storePath := filepath.Join(dir, "runs.jsonl")
+	s, ts := newTestServer(t, storePath, 2)
+
+	req := harness.Request{App: "sar", Scheduling: true, Scale: 0.02, Seed: 7}
+	var rr RunResponse
+	if code := postJSON(t, ts.URL+"/v1/runs", req, &rr); code != http.StatusOK {
+		t.Fatalf("run status %d (%s)", code, rr.Error)
+	}
+
+	var st StatusResponse
+	if code := getJSON(t, ts.URL+"/v1/status", &st); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if st.CompileCache == nil {
+		t.Fatal("status has no compile_cache block")
+	}
+	if st.CompileCache.Misses != 1 || st.CompileCache.Entries != 1 {
+		t.Errorf("compile cache stats = %+v, want 1 miss / 1 entry", st.CompileCache)
+	}
+	if want := storePath + ".artifacts"; st.ArtifactPath != want {
+		t.Errorf("artifact path = %q, want %q", st.ArtifactPath, want)
+	}
+	if st.SetupGroups != 1 {
+		t.Errorf("setup groups = %d, want 1", st.SetupGroups)
+	}
+
+	var doc DoctorResponse
+	if code := getJSON(t, ts.URL+"/v1/doctor", &doc); code != http.StatusOK {
+		t.Fatalf("doctor %d: %+v", code, doc)
+	}
+	found := false
+	for _, c := range doc.Checks {
+		if c.Name == "compile-cache" {
+			found = true
+			if c.Status != "ok" {
+				t.Errorf("compile-cache check = %+v", c)
+			}
+			if !strings.Contains(c.Detail, "1 entries") {
+				t.Errorf("compile-cache detail = %q, want entry count", c.Detail)
+			}
+		}
+	}
+	if !found {
+		t.Error("doctor has no compile-cache check")
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"compile_cache_misses 1", "compile_cache_entries 1"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	// Restart: the run itself is journal-preloaded, but a sibling seed
+	// forces a real simulation whose compile must restore from the
+	// artifact store rather than recompile.
+	ts.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, ts2 := newTestServer(t, storePath, 2)
+	req2 := req
+	req2.Seed = 8
+	var rr2 RunResponse
+	if code := postJSON(t, ts2.URL+"/v1/runs", req2, &rr2); code != http.StatusOK {
+		t.Fatalf("restarted run status %d (%s)", code, rr2.Error)
+	}
+	if cs := s2.sess.CompileCacheStats(); cs.Restores != 1 || cs.Misses != 0 {
+		t.Errorf("restarted compile cache stats = %+v, want 1 restore / 0 misses", cs)
+	}
+}
+
+// TestServiceCompileCacheDisabled pins the "off" spelling: no cache, no
+// status block, and the doctor check reports disabled.
+func TestServiceCompileCacheDisabled(t *testing.T) {
+	s, err := NewServer(Options{
+		StorePath:    filepath.Join(t.TempDir(), "runs.jsonl"),
+		Workers:      1,
+		ArtifactPath: "off",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if st := s.Status(); st.CompileCache != nil || st.ArtifactPath != "" {
+		t.Errorf("disabled cache leaked into status: %+v", st)
+	}
+	doc := s.Doctor()
+	for _, c := range doc.Checks {
+		if c.Name == "compile-cache" && c.Detail != "disabled" {
+			t.Errorf("compile-cache check = %+v, want disabled", c)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"sync"
 
+	"sdds/internal/compilecache"
 	"sdds/internal/harness"
 	"sdds/internal/store"
 	"sdds/internal/workloads"
@@ -122,6 +123,15 @@ type StatusResponse struct {
 	StoreAppends int64    `json:"store_appends"`
 	StorePath    string   `json:"store_path"`
 	Subscribers  int      `json:"subscribers"`
+	// SetupGroups counts the distinct (app, scale, procs) pre-simulation
+	// snapshots the session has built for sweep forking.
+	SetupGroups int `json:"setup_groups"`
+	// CompileCache reports the compile-artifact cache counters; absent
+	// when the cache is disabled.
+	CompileCache *compilecache.Stats `json:"compile_cache,omitempty"`
+	// ArtifactPath is the persistent compile-artifact store; empty when
+	// the cache is disabled.
+	ArtifactPath string `json:"artifact_path,omitempty"`
 }
 
 // Check is one doctor diagnostic: status is "ok", "warn", or "fail".
@@ -156,6 +166,12 @@ type Event struct {
 	Hit       bool   `json:"hit"`
 	ElapsedMS int64  `json:"elapsed_ms"`
 	Err       string `json:"err,omitempty"`
+	// FromJournal marks a hit served from a result persisted by an
+	// earlier process lifetime.
+	FromJournal bool `json:"from_journal,omitempty"`
+	// CompileProv names where a scheduled run's compile pass came from
+	// ("compiled", "memo", "restored", "uncacheable").
+	CompileProv string `json:"compile_prov,omitempty"`
 }
 
 // errorResponse is the uniform JSON error body.

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"sdds/internal/compilecache"
 	"sdds/internal/harness"
 	"sdds/internal/probe"
 	"sdds/internal/store"
@@ -41,6 +42,11 @@ type Options struct {
 	DrainTimeout time.Duration
 	// Tail is how many recent store entries /v1/doctor reports (default 8).
 	Tail int
+	// ArtifactPath is the persistent compile-artifact store backing the
+	// session's compile cache, so scheduled runs skip recompilation across
+	// restarts. Empty derives StorePath + ".artifacts"; "off" disables the
+	// compile cache entirely.
+	ArtifactPath string
 }
 
 // Server is the service state: one session, one persistent store, one
@@ -53,6 +59,10 @@ type Server struct {
 	hub     *hub
 	start   time.Time
 
+	// compile is the persistent compile-artifact cache shared by every
+	// scheduled run the session executes; nil when disabled.
+	compile *compilecache.Cache
+
 	// reg holds the service's own counters. probe.Registry is single-owner
 	// by contract, so every access goes through regMu.
 	regMu     sync.Mutex
@@ -62,6 +72,13 @@ type Server struct {
 	cached    probe.Counter
 	failed    probe.Counter
 	sweeps    probe.Counter
+	// Compile-cache gauges, refreshed from the cache's counters each time
+	// the registry is rendered (/v1/metrics, /v1/doctor).
+	ccHits     probe.Gauge
+	ccMisses   probe.Gauge
+	ccRestores probe.Gauge
+	ccBytes    probe.Gauge
+	ccEntries  probe.Gauge
 
 	mu       sync.Mutex
 	seen     map[string]harness.Request // content key → request, for GET /v1/runs/{key}
@@ -83,6 +100,9 @@ func NewServer(o Options) (*Server, error) {
 	if o.Tail <= 0 {
 		o.Tail = 8
 	}
+	if o.ArtifactPath == "" {
+		o.ArtifactPath = o.StorePath + ".artifacts"
+	}
 	j, err := harness.OpenJournal(o.StorePath, true)
 	if err != nil {
 		return nil, err
@@ -95,16 +115,30 @@ func NewServer(o Options) (*Server, error) {
 		seen:     make(map[string]harness.Request),
 		inflight: make(map[string]int),
 	}
+	if o.ArtifactPath != "off" {
+		s.compile, err = compilecache.Open(o.ArtifactPath)
+		if err != nil {
+			j.Close()
+			return nil, err
+		}
+	}
 	s.submitted = s.reg.Counter("sddsd.runs.submitted")
 	s.simulated = s.reg.Counter("sddsd.runs.simulated")
 	s.cached = s.reg.Counter("sddsd.runs.cached")
 	s.failed = s.reg.Counter("sddsd.runs.failed")
 	s.sweeps = s.reg.Counter("sddsd.sweeps.submitted")
+	s.ccHits = s.reg.Gauge("compile_cache.hits")
+	s.ccMisses = s.reg.Gauge("compile_cache.misses")
+	s.ccRestores = s.reg.Gauge("compile_cache.restores")
+	s.ccBytes = s.reg.Gauge("compile_cache.bytes")
+	s.ccEntries = s.reg.Gauge("compile_cache.entries")
 	s.sess = harness.NewSession(harness.SessionOptions{
-		Workers:    o.Workers,
-		RunTimeout: o.RunTimeout,
-		Journal:    j,
-		Progress:   s.onProgress,
+		Workers:             o.Workers,
+		RunTimeout:          o.RunTimeout,
+		Journal:             j,
+		Progress:            s.onProgress,
+		CompileCache:        s.compile,
+		DisableCompileCache: s.compile == nil,
 	})
 	s.start = time.Now() //sddsvet:ignore simdet -- wall-clock service uptime, not simulated time
 	return s, nil
@@ -114,12 +148,14 @@ func NewServer(o Options) (*Server, error) {
 // counters. The session serializes calls.
 func (s *Server) onProgress(p harness.Progress) {
 	ev := Event{
-		Key:       p.Key,
-		Done:      p.Done,
-		Total:     p.Total,
-		Hits:      p.Hits,
-		Hit:       p.Hit,
-		ElapsedMS: p.Elapsed.Milliseconds(),
+		Key:         p.Key,
+		Done:        p.Done,
+		Total:       p.Total,
+		Hits:        p.Hits,
+		Hit:         p.Hit,
+		FromJournal: p.FromJournal,
+		CompileProv: p.CompileProv,
+		ElapsedMS:   p.Elapsed.Milliseconds(),
 	}
 	if p.Err != nil {
 		ev.Err = p.Err.Error()
@@ -184,7 +220,7 @@ func (s *Server) Status() StatusResponse {
 	}
 	s.mu.Unlock()
 	sort.Strings(keys)
-	return StatusResponse{
+	resp := StatusResponse{
 		UptimeMS:     time.Since(s.start).Milliseconds(),
 		Workers:      s.sess.Workers(),
 		InFlight:     s.sess.InFlight(),
@@ -197,7 +233,14 @@ func (s *Server) Status() StatusResponse {
 		StoreAppends: s.journal.Appends(),
 		StorePath:    s.journal.Path(),
 		Subscribers:  s.hub.count(),
+		SetupGroups:  s.sess.SetupGroups(),
 	}
+	if s.compile != nil {
+		st := s.sess.CompileCacheStats()
+		resp.CompileCache = &st
+		resp.ArtifactPath = s.compile.Store().Path()
+	}
+	return resp
 }
 
 // Doctor runs the diagnostic checks behind GET /v1/doctor: a store
@@ -240,6 +283,25 @@ func (s *Server) Doctor() DoctorResponse {
 			Detail: fmt.Sprintf("cache (%d) covers store (%d)", cl, sl)})
 	}
 
+	// Compile-artifact store integrity plus the cache's live counters.
+	if s.compile == nil {
+		checks = append(checks, Check{Name: "compile-cache", Status: "ok", Detail: "disabled"})
+	} else {
+		st := s.sess.CompileCacheStats()
+		detail := fmt.Sprintf("%d entries, %d hits, %d misses, %d restores, %d artifact bytes",
+			st.Entries, st.Hits, st.Misses, st.Restores, st.Bytes)
+		arep, err := store.Verify(s.compile.Store().Path())
+		switch {
+		case err != nil:
+			checks = append(checks, Check{Name: "compile-cache", Status: "fail", Detail: err.Error()})
+		case arep.TornBytes > 0:
+			checks = append(checks, Check{Name: "compile-cache", Status: "warn",
+				Detail: fmt.Sprintf("%s; %d torn trailing bytes", detail, arep.TornBytes)})
+		default:
+			checks = append(checks, Check{Name: "compile-cache", Status: "ok", Detail: detail})
+		}
+	}
+
 	status := "ok"
 	for _, c := range checks {
 		if c.Status == "fail" {
@@ -266,10 +328,18 @@ func (s *Server) Doctor() DoctorResponse {
 	}
 }
 
-// metricsText renders the service registry in Prometheus text form.
+// metricsText renders the service registry in Prometheus text form,
+// refreshing the compile-cache gauges from the cache's live counters
+// first so scrapes always see current values.
 func (s *Server) metricsText() string {
+	st := s.sess.CompileCacheStats()
 	var b strings.Builder
 	s.regMu.Lock()
+	s.ccHits.Set(float64(st.Hits))
+	s.ccMisses.Set(float64(st.Misses))
+	s.ccRestores.Set(float64(st.Restores))
+	s.ccBytes.Set(float64(st.Bytes))
+	s.ccEntries.Set(float64(st.Entries))
 	s.reg.WritePrometheus(&b)
 	s.regMu.Unlock()
 	return b.String()
@@ -297,15 +367,26 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	drainCtx, cancel := context.WithTimeout(context.Background(), s.opts.DrainTimeout)
 	defer cancel()
 	err := srv.Shutdown(drainCtx)
-	if cerr := s.journal.Close(); err == nil {
+	if cerr := s.closeStores(); err == nil {
 		err = cerr
 	}
 	return err
 }
 
-// Close ends the event stream and closes the store. Serve does this
+// closeStores closes the result journal and the compile-artifact store.
+func (s *Server) closeStores() error {
+	err := s.journal.Close()
+	if s.compile != nil {
+		if cerr := s.compile.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Close ends the event stream and closes the stores. Serve does this
 // itself; Close is for servers mounted via Handler.
 func (s *Server) Close() error {
 	s.hub.shutdown()
-	return s.journal.Close()
+	return s.closeStores()
 }
