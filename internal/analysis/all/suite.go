@@ -1,0 +1,67 @@
+package all
+
+import (
+	"sdds/internal/analysis"
+	"sdds/internal/analysis/callsum"
+)
+
+// AuditName is the pseudo-analyzer name under which stale-suppression
+// findings are reported. It is not a registered analyzer (there is nothing
+// to run per package); it exists so audit findings flow through the same
+// Finding/baseline/output machinery as everything else.
+const AuditName = "ignoreaudit"
+
+// SuiteOptions configures RunSuite.
+type SuiteOptions struct {
+	// Audit enables the stale-suppression audit. Only sound when the full
+	// analyzer suite runs: under a -run subset, directives for the skipped
+	// analyzers are legitimately unused and would be misreported as stale.
+	Audit bool
+}
+
+// RunSuite runs the analyzers over every selected package of mod and
+// returns the findings in position order.
+//
+// With opts.Audit, effect summaries are forced for every selected package
+// up front — a //sddsvet:ignore whose only job is keeping a justified
+// intrinsic out of a summary (a warm-up allocation, an observability
+// wall-clock read) is "used" even if no analyzer ever consults that
+// summary — and every directive that still suppressed nothing is reported
+// as an AuditName finding.
+func RunSuite(mod *analysis.Module, analyzers []*analysis.Analyzer, opts SuiteOptions) ([]analysis.Finding, error) {
+	if opts.Audit {
+		sums := callsum.Of(mod)
+		for _, pkg := range mod.Selected {
+			sums.ForPackage(pkg)
+		}
+	}
+	var findings []analysis.Finding
+	for _, pkg := range mod.Selected {
+		diags, err := analysis.RunAnalyzers(mod, pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range diags {
+			findings = append(findings, mod.NewFinding(pkg, d))
+		}
+	}
+	if opts.Audit {
+		for _, pkg := range mod.Selected {
+			for _, d := range mod.Ignores(pkg).Stale() {
+				kind := "//sddsvet:ignore"
+				if d.FileLevel {
+					kind = "//sddsvet:ignore-file"
+				}
+				findings = append(findings, analysis.Finding{
+					File:     mod.RelPath(d.File),
+					Line:     d.Line,
+					Col:      1,
+					Analyzer: AuditName,
+					Message:  "stale " + kind + " " + d.Name + ": suppresses no diagnostic or summary effect; delete it",
+				})
+			}
+		}
+	}
+	analysis.SortFindings(findings)
+	return findings, nil
+}

@@ -52,8 +52,27 @@ type Pass struct {
 	PkgPath string
 	// TypesInfo holds the type-checker's results for Files.
 	TypesInfo *types.Info
+	// Mod is the whole loaded module: the summary-driven analyzers reach
+	// through it (via callsum.Of) to see effects across package
+	// boundaries.
+	Mod *Module
 
 	report func(Diagnostic)
+}
+
+// ChainStep is one frame of an interprocedural call chain attached to a
+// diagnostic: the function, where in it the effect enters (a call site, or
+// the intrinsic operation itself at the leaf), and a note ("allocates",
+// "time.Now") on the leaf.
+type ChainStep struct {
+	// Func is the displayed function name ("disk.(*Disk).transfer" or
+	// "fmt.Sprintf").
+	Func string
+	// Pos locates the call site (or the leaf operation); NoPos for
+	// external leaves whose source isn't loaded.
+	Pos token.Pos
+	// Note annotates the leaf step with the intrinsic effect.
+	Note string
 }
 
 // Diagnostic is one finding.
@@ -61,11 +80,23 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Analyzer string
 	Message  string
+	// Chain, when non-empty, is the call chain from the reported site down
+	// to the intrinsic effect (summary-driven analyzers only).
+	Chain []ChainStep
 }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// ReportChain records a finding at pos carrying an interprocedural call
+// chain.
+func (p *Pass) ReportChain(pos token.Pos, chain []ChainStep, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos: pos, Analyzer: p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...), Chain: chain,
+	})
 }
 
 // ---------------------------------------------------------------------------

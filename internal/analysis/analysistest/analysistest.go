@@ -54,15 +54,15 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 		t.Fatal(err)
 	}
 	root := moduleRoot(t)
-	pkgs, err := analysis.Load(root, abs)
+	mod, err := analysis.LoadModule(root, abs)
 	if err != nil {
 		t.Fatalf("loading %s: %v", dir, err)
 	}
-	if len(pkgs) != 1 {
-		t.Fatalf("loaded %d packages from %s, want 1", len(pkgs), dir)
+	if len(mod.Selected) != 1 {
+		t.Fatalf("loaded %d packages from %s, want 1", len(mod.Selected), dir)
 	}
-	pkg := pkgs[0]
-	diags, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+	pkg := mod.Selected[0]
+	diags, err := analysis.RunAnalyzers(mod, pkg, []*analysis.Analyzer{a})
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Baseline is the committed set of tolerated findings (sddsvet.baseline at
+// the repo root). CI fails only on findings not in it, so the analyzer
+// suite can grow stricter without blocking on a full clean-up, while every
+// tolerated finding stays visible in the file under review.
+//
+// Format: one Finding.Key per line ("file: analyzer: message"), '#'
+// comments and blank lines ignored. Duplicate lines tolerate that many
+// identical findings in the file (a multiset): if the file has two
+// baselined hotalloc findings and a third appears, it is new.
+type Baseline struct {
+	counts map[string]int
+}
+
+// LoadBaseline reads a baseline file; a missing file is an empty baseline
+// (every finding is new), so a repo without one behaves like pre-baseline
+// sddsvet.
+func LoadBaseline(path string) (*Baseline, error) {
+	b := &Baseline{counts: make(map[string]int)}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return b, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		b.counts[line]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Apply matches findings against the baseline, marking matched ones
+// Baselined in place. It returns the new (unmatched) findings and the
+// stale baseline entries — lines whose finding no longer occurs, which
+// deserve deletion just like stale ignore directives.
+func (b *Baseline) Apply(findings []Finding) (newFindings []Finding, stale []string) {
+	remaining := make(map[string]int, len(b.counts))
+	for k, n := range b.counts {
+		remaining[k] = n
+	}
+	for i := range findings {
+		k := findings[i].Key()
+		if remaining[k] > 0 {
+			remaining[k]--
+			findings[i].Baselined = true
+		} else {
+			newFindings = append(newFindings, findings[i])
+		}
+	}
+	for k, n := range remaining {
+		for ; n > 0; n-- {
+			stale = append(stale, k)
+		}
+	}
+	sort.Strings(stale)
+	return newFindings, stale
+}
+
+// WriteBaseline writes the canonical baseline for the given findings:
+// sorted keys, one per line, with a header comment. Used by
+// `sddsvet -write-baseline` to (re)generate sddsvet.baseline.
+func WriteBaseline(w io.Writer, findings []Finding) error {
+	keys := make([]string, 0, len(findings))
+	for _, f := range findings {
+		keys = append(keys, f.Key())
+	}
+	sort.Strings(keys)
+	if _, err := fmt.Fprintf(w, "# sddsvet baseline: tolerated findings, one \"file: analyzer: message\" per line.\n# Regenerate with: go run ./cmd/sddsvet -write-baseline sddsvet.baseline ./...\n"); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		if _, err := fmt.Fprintln(w, k); err != nil {
+			return err
+		}
+	}
+	return nil
+}

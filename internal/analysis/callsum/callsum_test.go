@@ -1,0 +1,69 @@
+package callsum_test
+
+import (
+	"testing"
+
+	"sdds/internal/analysis"
+	"sdds/internal/analysis/callsum"
+)
+
+// TestRecursionFixpoint proves the SCC pass converges on cycles and
+// propagates effects through them: mutual recursion picks up the
+// wall-clock effect from the recursion floor, self recursion keeps its
+// allocation, and an effect-free cycle stays clean.
+func TestRecursionFixpoint(t *testing.T) {
+	mod, err := analysis.LoadModule("../../..", "internal/analysis/callsum/testdata/src/recursion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := mod.Selected[0]
+	sums := callsum.Of(mod)
+	sums.ForPackage(pkg)
+
+	sumOf := func(name string) *callsum.Summary {
+		t.Helper()
+		fn := sums.LookupFunc(pkg.PkgPath, "", name)
+		if fn == nil {
+			t.Fatalf("LookupFunc(%q) = nil", name)
+		}
+		sum := sums.ForFunc(fn)
+		if sum == nil {
+			t.Fatalf("ForFunc(%s) = nil", name)
+		}
+		return sum
+	}
+
+	// Every member of the pingPong/pong SCC carries the wall-clock effect
+	// that enters through base.
+	for _, name := range []string{"pingPong", "pong", "base"} {
+		if sumOf(name).Effect(callsum.WallClock) == nil {
+			t.Errorf("%s: no wall-clock effect after fixpoint", name)
+		}
+	}
+	// Self recursion keeps its allocation.
+	if sumOf("grow").Effect(callsum.Alloc) == nil {
+		t.Error("grow: no alloc effect after fixpoint")
+	}
+	// The effect-free cycle converges clean.
+	for _, name := range []string{"pure", "pureTwin"} {
+		for _, k := range []callsum.EffectKind{callsum.Alloc, callsum.WallClock, callsum.GlobalRand, callsum.MapOrder, callsum.RetainEvent} {
+			if c := sumOf(name).Effect(k); c != nil {
+				t.Errorf("%s: unexpected %v effect: %+v", name, k, c)
+			}
+		}
+	}
+
+	// Chain reconstruction terminates despite the cycle and bottoms out at
+	// the intrinsic leaf.
+	fn := sums.LookupFunc(pkg.PkgPath, "", "pingPong")
+	chain := sums.EffectChain(fn, callsum.WallClock)
+	if len(chain) == 0 {
+		t.Fatal("pingPong: empty wall-clock chain")
+	}
+	if got := chain[len(chain)-1].Note; got != "time.Now" {
+		t.Errorf("chain leaf note = %q, want %q (chain: %s)", got, "time.Now", callsum.Render(chain))
+	}
+	if len(chain) > 32 {
+		t.Errorf("chain length %d blew past the recursion cap", len(chain))
+	}
+}

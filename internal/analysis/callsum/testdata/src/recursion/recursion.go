@@ -1,0 +1,39 @@
+// Package recursion exercises the summary engine's SCC handling: mutual
+// recursion (a multi-node cycle needing fixpoint iteration), self
+// recursion, and an effect-free function that must stay clean through the
+// same pass.
+package recursion
+
+import "time"
+
+// pingPong and pong form one SCC. The wall-clock effect enters through
+// base at the recursion floor and must propagate to every member.
+func pingPong(n int) int64 {
+	if n <= 0 {
+		return base()
+	}
+	return pong(n - 1)
+}
+
+func pong(n int) int64 { return pingPong(n - 1) }
+
+func base() int64 { return time.Now().UnixNano() }
+
+// grow is self-recursive with an allocation at the floor.
+func grow(n int) []int {
+	if n <= 1 {
+		return make([]int, 1)
+	}
+	return grow(n - 1)
+}
+
+// pure is effect-free and mutually recursive with pureTwin: the fixpoint
+// must converge without inventing effects.
+func pure(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return pureTwin(n - 1)
+}
+
+func pureTwin(n int) int { return pure(n) }

@@ -1,0 +1,95 @@
+// Package detflow implements the interprocedural determinism analyzer for
+// the golden-fingerprint cone outside the simulation packages proper:
+// harness orchestration, core schedule math, metrics, workload generators,
+// and the benchmark/CLI plumbing whose output is compared byte-for-byte.
+// simdet checks the simulation packages themselves (syntactically and
+// transitively); detflow closes the remaining hole where deterministic
+// code reaches time.Now, the global math/rand source, or order-sensitive
+// map iteration through a helper in another package.
+//
+// detflow is purely summary-driven: each function's callsum summary either
+// is clean, carries an intrinsic cause inside the function (reported
+// directly), or carries the effect via a call whose callee lies outside
+// every determinism-checked scope (reported with the full call chain).
+// Effects reaching through an in-scope callee are deliberately not
+// reported — that callee's own package report covers them — so each root
+// cause surfaces exactly once, at the boundary where it enters checked
+// code. One finding per function per effect kind: the first cause in
+// source order wins, matching the summary lattice.
+package detflow
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"sdds/internal/analysis"
+	"sdds/internal/analysis/callsum"
+	"sdds/internal/analysis/simdet"
+)
+
+// DetPackages selects the deterministic, golden-feeding packages checked
+// by this analyzer. internal/probe is deliberately absent: its whole job
+// is wall-clock observability spans, and its intrinsic sites carry
+// //sddsvet:ignore detflow so they never taint callers' summaries. Tests
+// may override it.
+var DetPackages = regexp.MustCompile(`^sdds/(internal/(core|metrics|harness|stripe|workloads|loop|polyhedral|cache|trace|benchfmt|cliutil|strutil)|cmd/benchcheck)$`)
+
+// checkedKinds are the nondeterminism effects detflow gates on.
+var checkedKinds = []callsum.EffectKind{callsum.WallClock, callsum.GlobalRand, callsum.MapOrder}
+
+// Analyzer reports nondeterminism reachable from deterministic packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "detflow",
+	Doc: "flags wall-clock reads, global math/rand draws, and order-sensitive " +
+		"map iteration reachable (through any call chain) from the " +
+		"deterministic golden-fingerprint packages outside the sim core",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !DetPackages.MatchString(pass.PkgPath) {
+		return nil
+	}
+	sums := callsum.Of(pass.Mod)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			checkFunc(pass, sums, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, sums *callsum.Summaries, fn *types.Func) {
+	sum := sums.ForFunc(fn)
+	if sum == nil {
+		return
+	}
+	for _, k := range checkedKinds {
+		c := sum.Effect(k)
+		if c == nil {
+			continue
+		}
+		if c.Callee == nil {
+			pass.Reportf(c.Pos, "%s (%s) in deterministic package %s: results must not depend on it",
+				c.Detail, k, pass.Pkg.Name())
+			continue
+		}
+		// Reported only at the boundary where the effect leaves checked
+		// code; in-scope callees get their own report.
+		calleePath := c.Callee.Pkg().Path()
+		if DetPackages.MatchString(calleePath) || simdet.SimPackages.MatchString(calleePath) {
+			continue
+		}
+		chain := sums.EffectChain(fn, k)
+		pass.ReportChain(c.Pos, chain, "%s reached from deterministic code: %s", k, callsum.Render(chain))
+	}
+}

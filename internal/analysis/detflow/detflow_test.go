@@ -1,0 +1,31 @@
+package detflow_test
+
+import (
+	"testing"
+
+	"sdds/internal/analysis/detflow"
+)
+
+// TestDetflowScope pins the deterministic cone: the compiler-side and
+// tooling packages whose outputs are golden-compared (or feed files that
+// are) are in; the simulation packages (simdet's territory), the probe
+// (wall-clock by design), and the service (host-side) stay out.
+func TestDetflowScope(t *testing.T) {
+	for _, pkg := range []string{
+		"sdds/internal/core", "sdds/internal/metrics", "sdds/internal/harness",
+		"sdds/internal/benchfmt", "sdds/internal/cliutil", "sdds/cmd/benchcheck",
+		"sdds/internal/trace", "sdds/internal/workloads",
+	} {
+		if !detflow.DetPackages.MatchString(pkg) {
+			t.Errorf("DetPackages does not cover %s", pkg)
+		}
+	}
+	for _, pkg := range []string{
+		"sdds/internal/sim", "sdds/internal/disk", "sdds/internal/probe",
+		"sdds/internal/service", "sdds/cmd/sddsvet",
+	} {
+		if detflow.DetPackages.MatchString(pkg) {
+			t.Errorf("DetPackages must not cover %s", pkg)
+		}
+	}
+}

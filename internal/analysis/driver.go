@@ -2,17 +2,17 @@ package analysis
 
 import (
 	"fmt"
-	"io"
 	"path/filepath"
 	"sort"
 	"strings"
 )
 
 // RunAnalyzers executes every analyzer over one loaded package, applying
-// //sddsvet:ignore suppression, and returns the surviving diagnostics
-// sorted by position.
-func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	idx := buildIgnoreIndex(pkg)
+// //sddsvet:ignore suppression through the module's shared index (so the
+// stale-suppression audit sees these uses alongside the summary engine's),
+// and returns the surviving diagnostics sorted by position.
+func RunAnalyzers(mod *Module, pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	idx := mod.Ignores(pkg)
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -22,8 +22,9 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Pkg:       pkg.Types,
 			PkgPath:   pkg.PkgPath,
 			TypesInfo: pkg.Info,
+			Mod:       mod,
 			report: func(d Diagnostic) {
-				if !idx.suppressed(d.Analyzer, d.Pos) {
+				if !idx.Suppressed(d.Analyzer, d.Pos) {
 					diags = append(diags, d)
 				}
 			},
@@ -41,34 +42,88 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	return diags, nil
 }
 
-// Run loads the packages selected by patterns under root, runs every
-// analyzer over each, and writes one "file:line:col: analyzer: message"
-// line per finding to w (paths relative to root when possible). It returns
-// the number of findings.
-func Run(w io.Writer, root string, patterns []string, analyzers []*Analyzer) (int, error) {
-	pkgs, err := Load(root, patterns...)
-	if err != nil {
-		return 0, err
+// Finding is one externalized diagnostic: position resolved, paths
+// relative to the module root, ready for text/JSON/SARIF output and
+// baseline matching.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	// Chain is the interprocedural path from the reported site to the
+	// intrinsic effect, outermost first (summary-driven analyzers only).
+	Chain []ChainLoc `json:"chain,omitempty"`
+	// Baselined marks findings matched by the committed baseline: known,
+	// tolerated, and excluded from the failure count.
+	Baselined bool `json:"baselined,omitempty"`
+}
+
+// ChainLoc is one resolved step of a Finding's call chain.
+type ChainLoc struct {
+	Func string `json:"func"`
+	File string `json:"file,omitempty"`
+	Line int    `json:"line,omitempty"`
+	Col  int    `json:"col,omitempty"`
+	Note string `json:"note,omitempty"`
+}
+
+// Key is the baseline identity of a finding: file, analyzer, and message —
+// no line numbers, so unrelated edits above a tolerated finding don't
+// un-baseline it. Messages must therefore never embed positions; chains
+// carry their positions in the structured form only.
+func (f Finding) Key() string {
+	return f.File + ": " + f.Analyzer + ": " + f.Message
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// NewFinding resolves one diagnostic against the module root.
+func (m *Module) NewFinding(pkg *Package, d Diagnostic) Finding {
+	pos := pkg.Fset.Position(d.Pos)
+	f := Finding{
+		File:     m.RelPath(pos.Filename),
+		Line:     pos.Line,
+		Col:      pos.Column,
+		Analyzer: d.Analyzer,
+		Message:  d.Message,
 	}
-	// Positions carry absolute filenames; relativize against the absolute root.
-	if abs, err := filepath.Abs(root); err == nil {
-		root = abs
-	}
-	total := 0
-	for _, pkg := range pkgs {
-		diags, err := RunAnalyzers(pkg, analyzers)
-		if err != nil {
-			return total, err
+	for _, st := range d.Chain {
+		loc := ChainLoc{Func: st.Func, Note: st.Note}
+		if st.Pos.IsValid() {
+			p := pkg.Fset.Position(st.Pos)
+			loc.File, loc.Line, loc.Col = m.RelPath(p.Filename), p.Line, p.Column
 		}
-		for _, d := range diags {
-			pos := pkg.Fset.Position(d.Pos)
-			name := pos.Filename
-			if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
-				name = rel
-			}
-			fmt.Fprintf(w, "%s:%d:%d: %s: %s\n", name, pos.Line, pos.Column, d.Analyzer, d.Message)
-			total++
-		}
+		f.Chain = append(f.Chain, loc)
 	}
-	return total, nil
+	return f
+}
+
+func (m *Module) RelPath(name string) string {
+	if rel, err := filepath.Rel(m.Root, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(name)
+}
+
+// SortFindings orders findings by file, line, column, analyzer, message.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
 }

@@ -8,39 +8,65 @@ import (
 
 	"sdds/internal/analysis"
 	"sdds/internal/analysis/all"
+	"sdds/internal/analysis/detflow"
 	"sdds/internal/analysis/floatorder"
+	"sdds/internal/analysis/locksafe"
 	"sdds/internal/analysis/simdet"
 )
 
 // TestMulticheckerOnKnownBad runs the full analyzer suite — exactly as
-// cmd/sddsvet does — over a fixture carrying one violation per analyzer plus
-// one suppressed line, and checks the count, the output format, and that
-// every analyzer contributed.
+// cmd/sddsvet does, suppression audit included — over two fixtures carrying
+// one violation per analyzer plus one suppressed line and one stale
+// suppression, and checks the count, the output format, and that every
+// analyzer contributed.
 func TestMulticheckerOnKnownBad(t *testing.T) {
-	defer override(t, regexp.MustCompile(`.`))()
+	defer override(t, regexp.MustCompile(`knownbad$`), regexp.MustCompile(`knownbaddet$`))()
 
-	var buf bytes.Buffer
-	n, err := analysis.Run(&buf, "../..", []string{"internal/analysis/testdata/src/knownbad"}, all.Analyzers)
+	mod, err := analysis.LoadModule("../..",
+		"internal/analysis/testdata/src/knownbad",
+		"internal/analysis/testdata/src/knownbaddet")
 	if err != nil {
 		t.Fatal(err)
 	}
+	findings, err := all.RunSuite(mod, all.Analyzers, all.SuiteOptions{Audit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	analysis.WriteText(&buf, findings)
 	out := buf.String()
-	// stamp (simdet), arm (hotalloc), keep (eventretain), reduce (simdet and
-	// floatorder share the line); the suppressed function contributes nothing.
-	if n != 5 {
-		t.Fatalf("got %d findings, want 5:\n%s", n, out)
+	// knownbad: stamp (simdet), arm (hotalloc), keep (eventretain), reduce
+	// (simdet and floatorder share the line); the suppressed function
+	// contributes nothing. knownbaddet: stampDet (detflow), badHandler
+	// (locksafe), and the deliberately stale directive (ignoreaudit).
+	if len(findings) != 8 {
+		t.Fatalf("got %d findings, want 8:\n%s", len(findings), out)
 	}
 	for _, a := range all.Analyzers {
 		if !strings.Contains(out, ": "+a.Name+": ") {
 			t.Errorf("no finding from %s in output:\n%s", a.Name, out)
 		}
 	}
-	lineRE := regexp.MustCompile(`(?m)^internal/analysis/testdata/src/knownbad/knownbad\.go:\d+:\d+: \w+: .+$`)
-	if got := len(lineRE.FindAllString(out, -1)); got != 5 {
-		t.Errorf("%d lines match the file:line:col: analyzer: message format, want 5:\n%s", got, out)
+	if !strings.Contains(out, ": "+all.AuditName+": ") {
+		t.Errorf("no finding from the suppression audit in output:\n%s", out)
+	}
+	lineRE := regexp.MustCompile(`(?m)^internal/analysis/testdata/src/knownbad(det)?/knownbad(det)?\.go:\d+:\d+: \w+: .+$`)
+	if got := len(lineRE.FindAllString(out, -1)); got != 8 {
+		t.Errorf("%d lines match the file:line:col: analyzer: message format, want 8:\n%s", got, out)
 	}
 	if strings.Contains(out, "suppression") {
 		t.Errorf("suppressed finding leaked into output:\n%s", out)
+	}
+	// The locksafe finding must name the lock, the critical root, and render
+	// the blocking chain.
+	if !strings.Contains(out, "knownbaddet.mu") || !strings.Contains(out, "criticalRoot") {
+		t.Errorf("locksafe finding does not name the lock and critical root:\n%s", out)
+	}
+	if !strings.Contains(out, " → ") {
+		t.Errorf("no rendered call chain in output:\n%s", out)
+	}
+	if !strings.Contains(out, "wall-clock") {
+		t.Errorf("detflow finding does not name the wall-clock effect:\n%s", out)
 	}
 }
 
@@ -61,23 +87,44 @@ func TestLoadSkipsTestdata(t *testing.T) {
 	}
 }
 
-// TestSuiteCleanOnRepo is the self-test the Makefile lint target relies on:
-// the shipped analyzer suite, at its default scopes, reports nothing on the
-// repository itself.
+// TestSuiteCleanOnRepo is the anchor the Makefile lint target relies on: the
+// shipped analyzer suite, at its default scopes and with the committed
+// baseline applied, reports nothing new on the repository itself — and the
+// baseline contains no stale entries.
 func TestSuiteCleanOnRepo(t *testing.T) {
-	var buf bytes.Buffer
-	n, err := analysis.Run(&buf, "../..", []string{"./..."}, all.Analyzers)
+	mod, err := analysis.LoadModule("../..", "./...")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 0 {
-		t.Errorf("analyzer suite reports %d findings on the repo, want 0:\n%s", n, buf.String())
+	findings, err := all.RunSuite(mod, all.Analyzers, all.SuiteOptions{Audit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := analysis.LoadBaseline("../../sddsvet.baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	newFindings, stale := base.Apply(findings)
+	if len(newFindings) != 0 {
+		var buf bytes.Buffer
+		analysis.WriteText(&buf, newFindings)
+		t.Errorf("analyzer suite reports %d new findings on the repo, want 0:\n%s", len(newFindings), buf.String())
+	}
+	for _, s := range stale {
+		t.Errorf("stale baseline entry (no longer occurs): %s", s)
 	}
 }
 
-func override(t *testing.T, re *regexp.Regexp) func() {
+func override(t *testing.T, simRE, detRE *regexp.Regexp) func() {
 	t.Helper()
-	oldSim, oldGold := simdet.SimPackages, floatorder.GoldenPackages
-	simdet.SimPackages, floatorder.GoldenPackages = re, re
-	return func() { simdet.SimPackages, floatorder.GoldenPackages = oldSim, oldGold }
+	oldSim, oldGold, oldDet := simdet.SimPackages, floatorder.GoldenPackages, detflow.DetPackages
+	oldRoots := locksafe.CriticalRoots
+	simdet.SimPackages, floatorder.GoldenPackages, detflow.DetPackages = simRE, simRE, detRE
+	locksafe.CriticalRoots = []locksafe.Root{
+		{PkgPath: "sdds/internal/analysis/testdata/src/knownbaddet", Name: "criticalRoot"},
+	}
+	return func() {
+		simdet.SimPackages, floatorder.GoldenPackages, detflow.DetPackages = oldSim, oldGold, oldDet
+		locksafe.CriticalRoots = oldRoots
+	}
 }

@@ -19,11 +19,11 @@ func TestEventretain(t *testing.T) {
 // of scope: its queue and free list legitimately hold events, and the
 // analyzer must not flag its internals.
 func TestEventretainSkipsEnginePackage(t *testing.T) {
-	pkgs, err := analysis.Load("../../..", "internal/sim")
+	mod, err := analysis.LoadModule("../../..", "internal/sim")
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags, err := analysis.RunAnalyzers(pkgs[0], []*analysis.Analyzer{eventretain.Analyzer})
+	diags, err := analysis.RunAnalyzers(mod, mod.Selected[0], []*analysis.Analyzer{eventretain.Analyzer})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,11 +20,11 @@ func TestFloatorder(t *testing.T) {
 // keeps the analyzer off non-golden code: the violation-dense fixture yields
 // zero diagnostics when its package path is out of scope.
 func TestFloatorderScopedToGoldenPackages(t *testing.T) {
-	pkgs, err := analysis.Load("../../..", "internal/analysis/floatorder/testdata/src/floatorderbad")
+	mod, err := analysis.LoadModule("../../..", "internal/analysis/floatorder/testdata/src/floatorderbad")
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags, err := analysis.RunAnalyzers(pkgs[0], []*analysis.Analyzer{floatorder.Analyzer})
+	diags, err := analysis.RunAnalyzers(mod, mod.Selected[0], []*analysis.Analyzer{floatorder.Analyzer})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -26,6 +26,7 @@ import (
 	"go/types"
 
 	"sdds/internal/analysis"
+	"sdds/internal/analysis/callsum"
 )
 
 const simPkg = "sdds/internal/sim"
@@ -96,7 +97,9 @@ func checkHotpathBody(pass *analysis.Pass, fd *ast.FuncDecl) {
 			if fn := analysis.CalleeFunc(pass.TypesInfo, n); fn != nil {
 				if fn.Pkg() != nil && fn.Pkg().Path() == "encoding/json" {
 					pass.Reportf(n.Pos(), "encoding/json.%s in hotpath function %s reflects and allocates per call; (de)serialization belongs in the restore/store layer, outside the event path", fn.Name(), name)
+					return true
 				}
+				checkTransitiveCall(pass, fd, n, fn)
 				return true
 			}
 			id, ok := ast.Unparen(n.Fun).(*ast.Ident)
@@ -126,4 +129,29 @@ func checkHotpathBody(pass *analysis.Pass, fd *ast.FuncDecl) {
 		}
 		return true
 	})
+}
+
+// checkTransitiveCall reports a hotpath call whose callee — any number of
+// levels down, across packages — performs a per-call allocation, carrying
+// the full chain ("disk.transfer → ionode.flushBatch → fmt.Sprintf
+// allocates"). Callees that are themselves //sddsvet:hotpath are skipped:
+// they are held to the same standard where they are declared, so the
+// violation is reported (or suppressed) exactly once, at the leaf-most
+// annotated function.
+func checkTransitiveCall(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr, fn *types.Func) {
+	if fn.Pkg() == nil || pass.Mod == nil || pass.Mod.Package(fn.Pkg().Path()) == nil {
+		return
+	}
+	sums := callsum.Of(pass.Mod)
+	sum := sums.ForFunc(fn)
+	if sum == nil || sum.Hotpath || sum.Effect(callsum.Alloc) == nil {
+		return
+	}
+	caller, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	chain := sums.CallChain(caller, call.Pos(), fn, callsum.Alloc)
+	pass.ReportChain(call.Pos(), chain,
+		"call allocates on the hot path: %s", callsum.Render(chain))
 }

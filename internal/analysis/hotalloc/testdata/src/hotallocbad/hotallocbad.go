@@ -74,6 +74,30 @@ func coldAllocs() *server {
 	return &server{eng: sim.NewEngine(7)}
 }
 
+// hotDeep allocates only through helpers, two levels down: nothing in its
+// own body allocates, so only the summary engine can flag it — with the
+// full chain from the call site to the make at the leaf.
+//
+//sddsvet:hotpath
+func (s *server) hotDeep(now sim.Time) {
+	growBatch(s) // want `call allocates on the hot path: hotallocbad\.server\.hotDeep → hotallocbad\.growBatch → hotallocbad\.newBatch → make\(\.\.\.\) allocates`
+	noteIdle(s)
+}
+
+func growBatch(s *server) {
+	_ = newBatch()
+}
+
+func newBatch() []int {
+	return make([]int, 0, 16)
+}
+
+// noteIdle is allocation-free all the way down: calling it from a hotpath
+// function is fine.
+func noteIdle(s *server) {
+	s.pending++
+}
+
 // --- probe emit path ---------------------------------------------------
 // The tracing layer's Probe.Emit carries //sddsvet:hotpath; these fixtures
 // pin down what the analyzer must allow on that path (value struct writes

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -14,27 +15,73 @@ import (
 // is the convention (reviewers should see why the pattern is safe); the
 // suppression works without it so a missing reason never masks a finding
 // the author meant to silence.
-const ignorePrefix = "//sddsvet:ignore"
+//
+// ignoreFilePrefix is the file-scoped variant: it suppresses the named
+// analyzers everywhere in the file it appears in. Reserve it for files
+// whose whole purpose violates a contract (wall-clock capture bundles,
+// generated code); prefer line directives everywhere else.
+const (
+	ignorePrefix     = "//sddsvet:ignore"
+	ignoreFilePrefix = "//sddsvet:ignore-file"
+)
 
-// ignoreIndex records, per file and line, which analyzers are suppressed.
-type ignoreIndex struct {
-	fset *token.FileSet
-	// byFile maps filename → line → analyzer names ("all" wildcards).
-	byFile map[string]map[int][]string
+// Directive is one parsed (analyzer, site) pair from a //sddsvet:ignore or
+// //sddsvet:ignore-file comment. A comment naming several analyzers
+// produces one Directive per name, so staleness is reported per analyzer:
+// in "hotalloc,simdet" the hotalloc half can be stale while the simdet
+// half still works.
+type Directive struct {
+	// Name is one analyzer name from the directive, or "all".
+	Name string
+	// File and Line locate the directive comment itself.
+	File string
+	Line int
+	Pos  token.Pos
+	// FileLevel marks //sddsvet:ignore-file directives.
+	FileLevel bool
+
+	used bool
 }
 
-// buildIgnoreIndex scans every comment in the package for ignore
-// directives. A directive suppresses matching diagnostics on its own line
-// (trailing comment) and on the following line (comment above the flagged
-// statement).
-func buildIgnoreIndex(pkg *Package) *ignoreIndex {
-	idx := &ignoreIndex{fset: pkg.Fset, byFile: make(map[string]map[int][]string)}
+// Used reports whether the directive suppressed at least one diagnostic or
+// summary-level effect during this run.
+func (d *Directive) Used() bool { return d.used }
+
+// IgnoreIndex records, per file and line, which analyzers are suppressed,
+// and tracks which directives actually did any suppressing so the audit
+// can report the stale ones.
+type IgnoreIndex struct {
+	fset *token.FileSet
+	// byLine maps filename → line → directives covering that line.
+	byLine map[string]map[int][]*Directive
+	// byFile maps filename → file-level directives.
+	byFile map[string][]*Directive
+	// all is every directive in the package, in source order.
+	all []*Directive
+}
+
+// NewIgnoreIndex scans every comment in the package for ignore directives.
+// A line directive suppresses matching diagnostics on its own line (as a
+// trailing comment) and on the following line (a comment above the flagged
+// statement); a file directive suppresses in its whole file.
+func NewIgnoreIndex(pkg *Package) *IgnoreIndex {
+	idx := &IgnoreIndex{
+		fset:   pkg.Fset,
+		byLine: make(map[string]map[int][]*Directive),
+		byFile: make(map[string][]*Directive),
+	}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
-				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
-					continue
+				fileLevel := false
+				rest, ok := strings.CutPrefix(c.Text, ignoreFilePrefix)
+				if ok && (rest == "" || rest[0] == ' ' || rest[0] == '\t') {
+					fileLevel = true
+				} else {
+					rest, ok = strings.CutPrefix(c.Text, ignorePrefix)
+					if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+						continue
+					}
 				}
 				names := strings.TrimSpace(rest)
 				if i := strings.Index(names, "--"); i >= 0 {
@@ -44,18 +91,27 @@ func buildIgnoreIndex(pkg *Package) *ignoreIndex {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				lines := idx.byFile[pos.Filename]
-				if lines == nil {
-					lines = make(map[int][]string)
-					idx.byFile[pos.Filename] = lines
-				}
 				for _, n := range strings.Split(names, ",") {
 					n = strings.TrimSpace(n)
 					if n == "" {
 						continue
 					}
-					lines[pos.Line] = append(lines[pos.Line], n)
-					lines[pos.Line+1] = append(lines[pos.Line+1], n)
+					d := &Directive{
+						Name: n, File: pos.Filename, Line: pos.Line,
+						Pos: c.Pos(), FileLevel: fileLevel,
+					}
+					idx.all = append(idx.all, d)
+					if fileLevel {
+						idx.byFile[pos.Filename] = append(idx.byFile[pos.Filename], d)
+						continue
+					}
+					lines := idx.byLine[pos.Filename]
+					if lines == nil {
+						lines = make(map[int][]*Directive)
+						idx.byLine[pos.Filename] = lines
+					}
+					lines[pos.Line] = append(lines[pos.Line], d)
+					lines[pos.Line+1] = append(lines[pos.Line+1], d)
 				}
 			}
 		}
@@ -63,14 +119,65 @@ func buildIgnoreIndex(pkg *Package) *ignoreIndex {
 	return idx
 }
 
-// suppressed reports whether a diagnostic from the named analyzer at pos is
-// covered by an ignore directive.
-func (idx *ignoreIndex) suppressed(analyzer string, pos token.Pos) bool {
+// Suppressed reports whether a diagnostic from the named analyzer at pos
+// is covered by an ignore directive, marking every covering directive as
+// used. Every match is marked (not just the first): two stacked
+// directives for one diagnostic are both doing their job.
+func (idx *IgnoreIndex) Suppressed(analyzer string, pos token.Pos) bool {
 	p := idx.fset.Position(pos)
-	for _, n := range idx.byFile[p.Filename][p.Line] {
-		if n == analyzer || n == "all" {
-			return true
+	hit := false
+	for _, d := range idx.byLine[p.Filename][p.Line] {
+		if d.Name == analyzer || d.Name == "all" {
+			d.used = true
+			hit = true
 		}
 	}
-	return false
+	for _, d := range idx.byFile[p.Filename] {
+		if d.Name == analyzer || d.Name == "all" {
+			d.used = true
+			hit = true
+		}
+	}
+	return hit
 }
+
+// SuppressedAny reports (and marks) suppression for any of the analyzer
+// names. The summary engine uses it where one effect feeds several
+// analyzers: a justified wall-clock site is justified for simdet and
+// detflow alike.
+func (idx *IgnoreIndex) SuppressedAny(analyzers []string, pos token.Pos) bool {
+	hit := false
+	for _, a := range analyzers {
+		if idx.Suppressed(a, pos) {
+			hit = true
+		}
+	}
+	return hit
+}
+
+// Stale returns the directives that suppressed nothing this run, in
+// source order. Only meaningful after the full analyzer suite has run
+// over the package (and after any summary-driven analyzer has had the
+// chance to consult the package's effects).
+func (idx *IgnoreIndex) Stale() []*Directive {
+	var out []*Directive
+	for _, d := range idx.all {
+		if !d.used {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Directives returns every directive in the package in source order
+// (tests and tooling).
+func (idx *IgnoreIndex) Directives() []*Directive { return idx.all }

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package.
@@ -159,12 +160,95 @@ func (l *loader) loadDir(dir, pkgPath string) (*Package, error) {
 	return pkg, nil
 }
 
-// Load type-checks the packages selected by patterns, resolved relative to
-// root (the module root). Supported patterns are "./..." (every package
-// under root), "dir/..." and plain directory paths. Directories named
-// testdata, hidden directories, and directories without non-test Go files
-// are skipped by the recursive patterns.
+// Module is the result of one load: the packages selected by the patterns
+// plus every module-local package pulled in as a type-check dependency. The
+// dependency closure is what lets the callsum summary engine follow calls
+// across package boundaries, and the shared ignore indexes are what lets
+// the stale-suppression audit see every consumer of a directive (direct
+// diagnostics and summary-effect suppression alike).
+type Module struct {
+	// Root is the absolute module root directory.
+	Root string
+	// Path is the module path from go.mod ("sdds").
+	Path string
+	// Selected are the packages matched by the load patterns, sorted by
+	// import path. Analyzers run over these.
+	Selected []*Package
+
+	pkgs map[string]*Package // every loaded module-local package, by path
+
+	mu      sync.Mutex
+	facts   map[string]any
+	ignores map[string]*IgnoreIndex // PkgPath → shared ignore index
+}
+
+// Package returns the loaded package with the given import path —
+// selected or dependency — or nil for paths outside the module (stdlib).
+func (m *Module) Package(pkgPath string) *Package { return m.pkgs[pkgPath] }
+
+// Packages returns every loaded module-local package sorted by import
+// path: the selected set plus type-check dependencies.
+func (m *Module) Packages() []*Package {
+	out := make([]*Package, 0, len(m.pkgs))
+	for _, p := range m.pkgs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out
+}
+
+// Fact memoizes a module-wide computation under key: the first caller
+// builds it, everyone after shares it. The callsum summary engine lives
+// here so that every analyzer in a run sees one set of summaries.
+func (m *Module) Fact(key string, build func(*Module) any) any {
+	m.mu.Lock()
+	v, ok := m.facts[key]
+	m.mu.Unlock()
+	if ok {
+		return v
+	}
+	v = build(m) // built outside the lock: build may recurse into Fact
+	m.mu.Lock()
+	if prev, ok := m.facts[key]; ok {
+		v = prev
+	} else {
+		m.facts[key] = v
+	}
+	m.mu.Unlock()
+	return v
+}
+
+// Ignores returns the package's suppression index, built once and shared:
+// the driver consults it to filter diagnostics and the summary engine to
+// drop justified intrinsic effects, and both kinds of use count when the
+// audit looks for stale directives.
+func (m *Module) Ignores(pkg *Package) *IgnoreIndex {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	idx, ok := m.ignores[pkg.PkgPath]
+	if !ok {
+		idx = NewIgnoreIndex(pkg)
+		m.ignores[pkg.PkgPath] = idx
+	}
+	return idx
+}
+
+// Load type-checks the packages selected by patterns and returns just the
+// selected set; see LoadModule for the module-wide view.
 func Load(root string, patterns ...string) ([]*Package, error) {
+	mod, err := LoadModule(root, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return mod.Selected, nil
+}
+
+// LoadModule type-checks the packages selected by patterns, resolved
+// relative to root (the module root). Supported patterns are "./..."
+// (every package under root), "dir/..." and plain directory paths.
+// Directories named testdata, hidden directories, and directories without
+// non-test Go files are skipped by the recursive patterns.
+func LoadModule(root string, patterns ...string) (*Module, error) {
 	l, err := newLoader(root)
 	if err != nil {
 		return nil, err
@@ -219,7 +303,14 @@ func Load(root string, patterns ...string) ([]*Package, error) {
 		pkgs = append(pkgs, pkg)
 	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
-	return pkgs, nil
+	return &Module{
+		Root:     l.root,
+		Path:     l.module,
+		Selected: pkgs,
+		pkgs:     l.pkgs,
+		facts:    make(map[string]any),
+		ignores:  make(map[string]*IgnoreIndex),
+	}, nil
 }
 
 // pathFor maps a directory to its import path: module-relative when under

@@ -1,0 +1,124 @@
+// Package locksafe implements the summary-driven analyzer guarding the
+// service's liveness contract: an HTTP/SSE handler must never block while
+// holding a lock that Session.RunRequest's progress emission (or the SSE
+// hub's broadcast) needs. PR 6 made RunRequest emit progress under
+// Session.progMu and broadcast fan out under hub.mu with non-blocking
+// select-with-default sends; a handler that parks on a channel or Wait
+// while transitively holding one of those locks stalls every in-flight
+// run's progress stream.
+//
+// The check is assembled from callsum summaries: the critical lock set is
+// everything the configured root functions may acquire (transitively), and
+// a handler is any declared function or method with the
+// func(http.ResponseWriter, *http.Request) signature. A handler whose
+// summary says "may block while holding L" for a critical L is reported
+// with the full acquire-then-block call chain. Handlers wrapped in
+// function literals have no summary and are not checked — the repo's
+// handlers are methods.
+package locksafe
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"sdds/internal/analysis"
+	"sdds/internal/analysis/callsum"
+)
+
+// Root names one function whose lock needs define the critical set.
+type Root struct {
+	PkgPath, Recv, Name string
+}
+
+// CriticalRoots are the progress-critical functions: every lock they can
+// transitively acquire must never be held across a blocking operation in a
+// handler. Roots that don't resolve in the loaded module are skipped, so
+// fixture tests override this with fixture-local roots.
+var CriticalRoots = []Root{
+	{"sdds/internal/harness", "Session", "RunRequest"},
+	{"sdds/internal/service", "hub", "broadcast"},
+}
+
+// Analyzer reports handlers that can block while holding a critical lock.
+var Analyzer = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc: "flags HTTP/SSE handlers that may block while holding a lock that " +
+		"Session.RunRequest progress emission or the SSE hub needs, " +
+		"stalling every in-flight run's event stream",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	sums := callsum.Of(pass.Mod)
+	critical := criticalLocks(sums)
+	if len(critical) == 0 {
+		return nil
+	}
+	ids := make([]string, 0, len(critical))
+	for id := range critical {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok || !isHandler(fn) {
+				continue
+			}
+			sum := sums.ForFunc(fn)
+			if sum == nil {
+				continue
+			}
+			for _, id := range ids {
+				c := sum.HeldBlocks[id]
+				if c == nil {
+					continue
+				}
+				chain := sums.HeldBlockChain(fn, id)
+				pass.ReportChain(c.Pos, chain,
+					"handler %s may block while holding %s, which %s needs to make progress: %s",
+					fn.Name(), id, callsum.FuncDisplay(critical[id]), callsum.Render(chain))
+			}
+		}
+	}
+	return nil
+}
+
+// criticalLocks unions the transitive lock sets of every resolvable root,
+// mapping each lock identity to the root that needs it.
+func criticalLocks(sums *callsum.Summaries) map[string]*types.Func {
+	critical := make(map[string]*types.Func)
+	for _, r := range CriticalRoots {
+		fn := sums.LookupFunc(r.PkgPath, r.Recv, r.Name)
+		if fn == nil {
+			continue
+		}
+		sum := sums.ForFunc(fn)
+		if sum == nil {
+			continue
+		}
+		for id := range sum.Locks {
+			if critical[id] == nil {
+				critical[id] = fn
+			}
+		}
+	}
+	return critical
+}
+
+// isHandler matches the net/http handler signature on a declared function
+// or method.
+func isHandler(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 2 || sig.Results().Len() != 0 {
+		return false
+	}
+	return analysis.IsNamedType(sig.Params().At(0).Type(), "net/http", "ResponseWriter") &&
+		analysis.IsPointerTo(sig.Params().At(1).Type(), "net/http", "Request")
+}

@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Report is the machine-readable result of a suite run (`sddsvet -json`):
+// the complete finding list (baselined ones included and marked), the
+// counts CI gates on, and any stale baseline entries.
+type Report struct {
+	Tool    string `json:"tool"`
+	Module  string `json:"module"`
+	Version string `json:"version"`
+	// Findings holds every finding, baselined or new, in position order.
+	Findings []Finding `json:"findings"`
+	// NewCount is the number of non-baselined findings: the exit-code gate.
+	NewCount       int `json:"new_count"`
+	BaselinedCount int `json:"baselined_count"`
+	// StaleBaseline lists baseline entries that matched nothing this run.
+	StaleBaseline []string `json:"stale_baseline,omitempty"`
+}
+
+// NewReport assembles a Report from the suite outcome.
+func NewReport(mod *Module, findings []Finding, stale []string) *Report {
+	r := &Report{Tool: "sddsvet", Module: mod.Path, Version: "1", Findings: findings, StaleBaseline: stale}
+	for _, f := range findings {
+		if f.Baselined {
+			r.BaselinedCount++
+		} else {
+			r.NewCount++
+		}
+	}
+	return r
+}
+
+// WriteText prints findings in the classic one-line-per-finding form,
+// with call chains indented underneath and baselined findings tagged.
+func WriteText(w io.Writer, findings []Finding) {
+	for _, f := range findings {
+		tag := ""
+		if f.Baselined {
+			tag = " [baselined]"
+		}
+		fmt.Fprintf(w, "%s%s\n", f.String(), tag)
+		for i, st := range f.Chain {
+			if i == 0 {
+				continue // the first step is the reported site itself
+			}
+			note := ""
+			if st.Note != "" {
+				note = " (" + st.Note + ")"
+			}
+			if st.File != "" {
+				fmt.Fprintf(w, "\tvia %s at %s:%d:%d%s\n", st.Func, st.File, st.Line, st.Col, note)
+			} else {
+				fmt.Fprintf(w, "\tvia %s%s\n", st.Func, note)
+			}
+		}
+	}
+}
+
+// WriteJSON emits the report as indented JSON.
+func WriteJSON(w io.Writer, r *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ---------------------------------------------------------------------------
+// SARIF 2.1.0 (static analysis results interchange format), the minimal
+// subset code-review tooling ingests: one run, one rule per analyzer, one
+// result per finding with the call chain as relatedLocations. Baselined
+// findings carry baselineState "unchanged" and level "note"; new ones are
+// "error".
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID           string          `json:"ruleId"`
+	Level            string          `json:"level"`
+	BaselineState    string          `json:"baselineState,omitempty"`
+	Message          sarifText       `json:"message"`
+	Locations        []sarifLocation `json:"locations"`
+	RelatedLocations []sarifLocation `json:"relatedLocations,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+	Message          *sarifText    `json:"message,omitempty"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           *sarifRegion  `json:"region,omitempty"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF emits the findings as a SARIF 2.1.0 log. rules should cover
+// every analyzer that ran (audit findings use the synthetic "ignoreaudit"
+// rule added automatically when present).
+func WriteSARIF(w io.Writer, findings []Finding, analyzers []*Analyzer) error {
+	driver := sarifDriver{Name: "sddsvet"}
+	seen := make(map[string]bool)
+	for _, a := range analyzers {
+		driver.Rules = append(driver.Rules, sarifRule{ID: a.Name, ShortDescription: sarifText{Text: a.Doc}})
+		seen[a.Name] = true
+	}
+	for _, f := range findings {
+		if !seen[f.Analyzer] {
+			seen[f.Analyzer] = true
+			driver.Rules = append(driver.Rules, sarifRule{
+				ID:               f.Analyzer,
+				ShortDescription: sarifText{Text: "sddsvet " + f.Analyzer},
+			})
+		}
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		res := sarifResult{
+			RuleID:        f.Analyzer,
+			Level:         "error",
+			BaselineState: "new",
+			Message:       sarifText{Text: f.Message},
+			Locations:     []sarifLocation{sarifLoc(f.File, f.Line, f.Col, "")},
+		}
+		if f.Baselined {
+			res.Level = "note"
+			res.BaselineState = "unchanged"
+		}
+		for _, st := range f.Chain {
+			if st.File == "" {
+				continue
+			}
+			label := st.Func
+			if st.Note != "" {
+				label += " — " + st.Note
+			}
+			res.RelatedLocations = append(res.RelatedLocations, sarifLoc(st.File, st.Line, st.Col, label))
+		}
+		results = append(results, res)
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+func sarifLoc(file string, line, col int, label string) sarifLocation {
+	loc := sarifLocation{PhysicalLocation: sarifPhysical{ArtifactLocation: sarifArtifact{URI: file}}}
+	if line > 0 {
+		loc.PhysicalLocation.Region = &sarifRegion{StartLine: line, StartColumn: col}
+	}
+	if label != "" {
+		loc.Message = &sarifText{Text: label}
+	}
+	return loc
+}

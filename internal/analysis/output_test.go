@@ -1,0 +1,152 @@
+package analysis_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"sdds/internal/analysis"
+	"sdds/internal/analysis/all"
+)
+
+// TestSARIFStructure is the structural validator for the -sarif output: it
+// decodes the emitted log as generic JSON and checks the SARIF 2.1.0
+// invariants code-review tooling relies on — version, schema, one run with
+// a named driver, unique rule ids, every result resolving to a declared
+// rule, region positions 1-based, chains as relatedLocations, and
+// baselined findings downgraded to note/unchanged.
+func TestSARIFStructure(t *testing.T) {
+	findings := []analysis.Finding{
+		{
+			File: "internal/disk/disk.go", Line: 3, Col: 7,
+			Analyzer: "hotalloc", Message: "call allocates on the hot path",
+			Chain: []analysis.ChainLoc{
+				{Func: "disk.Disk.transfer", File: "internal/disk/disk.go", Line: 3, Col: 7},
+				{Func: "ionode.flushBatch", File: "internal/ionode/node.go", Line: 9, Col: 2, Note: "fmt.Sprintf allocates"},
+			},
+		},
+		{
+			File: "internal/core/table.go", Line: 5, Col: 1,
+			Analyzer: "ignoreaudit", Message: "stale directive", Baselined: true,
+		},
+	}
+	var buf bytes.Buffer
+	if err := analysis.WriteSARIF(&buf, findings, all.Analyzers); err != nil {
+		t.Fatal(err)
+	}
+
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID        string `json:"ruleId"`
+				Level         string `json:"level"`
+				BaselineState string `json:"baselineState"`
+				Message       struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region *struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+				RelatedLocations []struct {
+					Message *struct {
+						Text string `json:"text"`
+					} `json:"message"`
+				} `json:"relatedLocations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("emitted SARIF is not valid JSON: %v", err)
+	}
+
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if log.Schema == "" {
+		t.Error("$schema missing")
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "sddsvet" {
+		t.Errorf("driver name = %q, want sddsvet", run.Tool.Driver.Name)
+	}
+
+	ruleIDs := make(map[string]bool)
+	for _, r := range run.Tool.Driver.Rules {
+		if r.ID == "" || r.ShortDescription.Text == "" {
+			t.Errorf("rule %+v missing id or description", r)
+		}
+		if ruleIDs[r.ID] {
+			t.Errorf("duplicate rule id %q", r.ID)
+		}
+		ruleIDs[r.ID] = true
+	}
+	for _, a := range all.Analyzers {
+		if !ruleIDs[a.Name] {
+			t.Errorf("analyzer %s has no rule entry", a.Name)
+		}
+	}
+	if !ruleIDs["ignoreaudit"] {
+		t.Error("no synthetic rule for the audit finding")
+	}
+
+	if len(run.Results) != len(findings) {
+		t.Fatalf("got %d results, want %d", len(run.Results), len(findings))
+	}
+	for i, res := range run.Results {
+		if !ruleIDs[res.RuleID] {
+			t.Errorf("result %d ruleId %q not declared in rules", i, res.RuleID)
+		}
+		if res.Message.Text == "" {
+			t.Errorf("result %d has empty message", i)
+		}
+		if len(res.Locations) != 1 {
+			t.Fatalf("result %d has %d locations, want 1", i, len(res.Locations))
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI == "" {
+			t.Errorf("result %d location has no uri", i)
+		}
+		if loc.Region == nil || loc.Region.StartLine < 1 {
+			t.Errorf("result %d region missing or startLine < 1", i)
+		}
+	}
+
+	if got := run.Results[0]; got.Level != "error" || got.BaselineState != "new" {
+		t.Errorf("new finding: level=%q baselineState=%q, want error/new", got.Level, got.BaselineState)
+	}
+	if got := run.Results[1]; got.Level != "note" || got.BaselineState != "unchanged" {
+		t.Errorf("baselined finding: level=%q baselineState=%q, want note/unchanged", got.Level, got.BaselineState)
+	}
+
+	rel := run.Results[0].RelatedLocations
+	if len(rel) != 2 {
+		t.Fatalf("chain finding has %d relatedLocations, want 2", len(rel))
+	}
+	if rel[1].Message == nil || rel[1].Message.Text != "ionode.flushBatch — fmt.Sprintf allocates" {
+		t.Errorf("leaf relatedLocation label = %+v, want func — note form", rel[1].Message)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"regexp"
 
 	"sdds/internal/analysis"
+	"sdds/internal/analysis/callsum"
 )
 
 // SimPackages selects the packages the analyzer applies to: the
@@ -20,28 +21,16 @@ import (
 // feeds the golden-compared results. Tests may override it.
 var SimPackages = regexp.MustCompile(`^sdds/internal/(sim|cluster|disk|power|sched|ionode|mpiio|netsim|fault|store|service|compiler|compilecache)$`)
 
-// bannedRandFuncs are the package-level math/rand functions drawing from
-// the global source (randomly seeded since Go 1.20). Deterministic
-// constructors (New, NewSource, NewZipf) stay allowed: model code must use
-// the engine's seeded RNG via sim.Engine.Rand.
-var bannedRandFuncs = map[string]bool{
-	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
-	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
-	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
-	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
-	// math/rand/v2 additions.
-	"N": true, "IntN": true, "Int32": true, "Int32N": true, "Int64N": true,
-	"Uint": true, "UintN": true, "Uint32N": true, "Uint64N": true,
-}
-
 // Analyzer flags time.Now, global math/rand draws, and order-sensitive map
-// iteration in simulation packages.
+// iteration in simulation packages — at direct sites syntactically, and
+// through any call chain leaving the sim-package scope via the callsum
+// effect summaries (banned global-rand functions are callsum.GlobalRandFuncs).
 var Analyzer = &analysis.Analyzer{
 	Name: "simdet",
 	Doc: "flags nondeterminism sources in simulation packages: time.Now, " +
 		"the global math/rand source, and ranging over maps where the body " +
 		"calls into sim state, schedules events, or mutates order-sensitive " +
-		"outer state",
+		"outer state — directly or through calls into non-sim packages",
 	Run: run,
 }
 
@@ -55,12 +44,55 @@ func run(pass *analysis.Pass) error {
 			case *ast.CallExpr:
 				checkCall(pass, n)
 			case *ast.RangeStmt:
-				checkMapRange(pass, n)
+				checkMapRange(pass, f, n)
 			}
 			return true
 		})
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkTransitive(pass, fd)
+			}
+		}
 	}
 	return nil
+}
+
+// transitiveKinds are the effects chased across package boundaries.
+var transitiveKinds = []callsum.EffectKind{callsum.WallClock, callsum.GlobalRand, callsum.MapOrder}
+
+// checkTransitive reports calls that leave the sim-package scope and reach
+// a nondeterminism source any number of levels down. Calls to other sim
+// packages are skipped: the callee's own package report covers them, so
+// each root cause surfaces once, at the boundary.
+func checkTransitive(pass *analysis.Pass, fd *ast.FuncDecl) {
+	caller, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sums := callsum.Of(pass.Mod)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || SimPackages.MatchString(fn.Pkg().Path()) {
+			return true
+		}
+		sum := sums.ForFunc(fn)
+		if sum == nil {
+			return true
+		}
+		for _, k := range transitiveKinds {
+			if sum.Effect(k) == nil {
+				continue
+			}
+			chain := sums.CallChain(caller, call.Pos(), fn, k)
+			pass.ReportChain(call.Pos(), chain,
+				"%s reached from a simulation package: %s", k, callsum.Render(chain))
+		}
+		return true
+	})
 }
 
 // checkCall reports wall-clock and global-RNG calls.
@@ -75,7 +107,7 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 			pass.Reportf(call.Pos(), "time.Now in a simulation package: model code must use the virtual clock (sim.Engine.Now)")
 		}
 	case "math/rand", "math/rand/v2":
-		if bannedRandFuncs[fn.Name()] && fn.Type().(*types.Signature).Recv() == nil {
+		if callsum.GlobalRandFuncs[fn.Name()] && fn.Type().(*types.Signature).Recv() == nil {
 			pass.Reportf(call.Pos(), "global math/rand.%s is randomly seeded and breaks run reproducibility: use the engine's seeded RNG (sim.Engine.Rand)", fn.Name())
 		}
 	}
@@ -89,8 +121,10 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 // Commutative updates keyed by the loop key are allowed without an ignore:
 // m2[k] = v and m2[k] += v visit each key exactly once, so iteration order
 // cannot change the result. Integer increments/decrements of outer scalars
-// are likewise exact and order-free.
-func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+// are likewise exact and order-free, as are stores of constants and the
+// collect-then-sort idiom (appending to a slice that a later sort.* call
+// puts into a fixed order).
+func checkMapRange(pass *analysis.Pass, f *ast.File, rng *ast.RangeStmt) {
 	t, ok := pass.TypesInfo.Types[rng.X]
 	if !ok {
 		return
@@ -112,14 +146,15 @@ func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
 			// Builtins: append into outer state is order-dependent.
 			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" && len(n.Args) > 0 {
 				if root := analysis.RootIdent(n.Args[0]); root != nil &&
-					analysis.DeclaredOutside(pass.TypesInfo, root, rng.Pos(), rng.End()) {
+					analysis.DeclaredOutside(pass.TypesInfo, root, rng.Pos(), rng.End()) &&
+					!callsum.SortedAfter(pass.TypesInfo, f, rng, root) {
 					pass.Reportf(n.Pos(), "append to %s inside map iteration produces a randomly-ordered slice; iterate sorted keys", root.Name)
 				}
 			}
 		case *ast.AssignStmt:
 			checkAssign(pass, rng, keyIdent, n)
 		case *ast.IncDecStmt:
-			if isOrderSensitiveStore(pass, rng, keyIdent, n.X, true) {
+			if callsum.OrderSensitiveStore(pass.TypesInfo, rng, keyIdent, n.X, true) {
 				pass.Reportf(n.Pos(), "float update of outer state inside map iteration accumulates in random order")
 			}
 		}
@@ -127,17 +162,23 @@ func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
 	})
 }
 
-// checkAssign flags order-sensitive stores to loop-external state.
+// checkAssign flags order-sensitive stores to loop-external state. The
+// order-sensitivity decision itself (per-key map stores and integer
+// compound updates are exempt) lives in callsum and is shared with the
+// summary engine's MapOrder intrinsic.
 func checkAssign(pass *analysis.Pass, rng *ast.RangeStmt, keyIdent *ast.Ident, as *ast.AssignStmt) {
 	if as.Tok == token.DEFINE {
 		return
 	}
 	commutative := as.Tok != token.ASSIGN // compound ops: only floats are order-sensitive
 	for i, lhs := range as.Lhs {
-		if i < len(as.Rhs) && isAppendCall(pass, as.Rhs[i]) {
+		if i < len(as.Rhs) && callsum.IsAppendCall(pass.TypesInfo, as.Rhs[i]) {
 			continue // s = append(s, ...) is owned by the append check
 		}
-		if isOrderSensitiveStore(pass, rng, keyIdent, lhs, commutative) {
+		if callsum.ConstantStore(pass.TypesInfo, as, i) {
+			continue // same value every iteration: order-free
+		}
+		if callsum.OrderSensitiveStore(pass.TypesInfo, rng, keyIdent, lhs, commutative) {
 			what := "assignment to outer state inside map iteration is last-writer-wins in random order"
 			if commutative {
 				what = "float accumulation into outer state inside map iteration rounds in random order"
@@ -145,50 +186,4 @@ func checkAssign(pass *analysis.Pass, rng *ast.RangeStmt, keyIdent *ast.Ident, a
 			pass.Reportf(as.Pos(), "%s; iterate sorted keys or justify with //sddsvet:ignore simdet", what)
 		}
 	}
-}
-
-// isAppendCall reports whether e is a call to the builtin append.
-func isAppendCall(pass *analysis.Pass, e ast.Expr) bool {
-	call, ok := ast.Unparen(e).(*ast.CallExpr)
-	if !ok || analysis.CalleeFunc(pass.TypesInfo, call) != nil {
-		return false
-	}
-	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
-	return ok && id.Name == "append"
-}
-
-// isOrderSensitiveStore decides whether storing through lhs inside the map
-// range can observe iteration order. commutativeOp marks += style updates,
-// which are exact (and therefore allowed) on integers but not on floats.
-func isOrderSensitiveStore(pass *analysis.Pass, rng *ast.RangeStmt, keyIdent *ast.Ident, lhs ast.Expr, commutativeOp bool) bool {
-	root := analysis.RootIdent(lhs)
-	if root == nil || root.Name == "_" {
-		return false
-	}
-	if !analysis.DeclaredOutside(pass.TypesInfo, root, rng.Pos(), rng.End()) {
-		return false
-	}
-	// Per-key stores into an outer map, indexed by the loop key itself,
-	// touch each slot exactly once: order-free for = and for compound ops.
-	if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && keyIdent != nil {
-		if baseT, ok := pass.TypesInfo.Types[idx.X]; ok {
-			if _, isMap := baseT.Type.Underlying().(*types.Map); isMap {
-				ko := analysis.ObjOf(pass.TypesInfo, keyIdent)
-				if id, ok := ast.Unparen(idx.Index).(*ast.Ident); ok && ko != nil &&
-					analysis.ObjOf(pass.TypesInfo, id) == ko {
-					return false
-				}
-			}
-		}
-	}
-	if commutativeOp {
-		// += and friends: only floating-point accumulation drifts with
-		// order (rounding); integer arithmetic is exact.
-		if t, ok := pass.TypesInfo.Types[lhs]; ok {
-			if b, ok := t.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat == 0 {
-				return false
-			}
-		}
-	}
-	return true
 }

@@ -33,6 +33,17 @@ func TestSimdetRestoreFixture(t *testing.T) {
 	analysistest.Run(t, "testdata/src/restorebad", simdet.Analyzer)
 }
 
+// TestSimdetTransitiveCrossPackage is the acceptance fixture for the
+// summary engine: simulation code reaching time.Now only through a helper
+// package is flagged at the boundary call with the full chain. The scope
+// override matches simtrans but not simtranshelper, so the helper is
+// outside the simulation cone — exactly the shape of a harness utility
+// leaking into model code.
+func TestSimdetTransitiveCrossPackage(t *testing.T) {
+	defer overridePackages(t, regexp.MustCompile(`simtrans$`))()
+	analysistest.Run(t, "testdata/src/simtrans", simdet.Analyzer)
+}
+
 // TestSimdetCoversFaultPackage pins the default scope to include the
 // fault-injection package and the compile-cache layer: per-site fault
 // streams and restored compile artifacts both feed golden-compared results
@@ -55,11 +66,11 @@ func TestSimdetCoversFaultPackage(t *testing.T) {
 // analyzer away from non-simulation code: the same violation-dense fixture
 // yields zero diagnostics when its package path is out of scope.
 func TestSimdetScopedToSimPackages(t *testing.T) {
-	pkgs, err := analysis.Load("../../..", "internal/analysis/simdet/testdata/src/simdetbad")
+	mod, err := analysis.LoadModule("../../..", "internal/analysis/simdet/testdata/src/simdetbad")
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags, err := analysis.RunAnalyzers(pkgs[0], []*analysis.Analyzer{simdet.Analyzer})
+	diags, err := analysis.RunAnalyzers(mod, mod.Selected[0], []*analysis.Analyzer{simdet.Analyzer})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,18 @@
+// Package simtrans is the cross-package acceptance fixture: simulation
+// code that reaches the wall clock only through another package. The
+// direct syntactic checker sees nothing here — only the summary engine's
+// transitive pass can flag it, and the diagnostic must carry the full
+// call chain down to the time.Now leaf.
+package simtrans
+
+import helper "sdds/internal/analysis/simdet/testdata/src/simtranshelper"
+
+// Stamp reaches time.Now one package away.
+func Stamp() int64 {
+	return helper.Wallclock() // want `wall-clock reached from a simulation package: simtrans\.Stamp → simtranshelper\.Wallclock → time\.Now`
+}
+
+// UsesPure calls an effect-free helper: allowed.
+func UsesPure(n int) int {
+	return helper.Pure(n)
+}

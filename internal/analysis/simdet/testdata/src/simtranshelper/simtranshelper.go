@@ -1,0 +1,13 @@
+// Package simtranshelper is the helper side of the cross-package transitive
+// fixture: a host-side utility that reads the wall clock. Harmless on its
+// own — the violation is simulation code calling into it (see simtrans).
+package simtranshelper
+
+import "time"
+
+// Wallclock returns the host time in nanoseconds.
+func Wallclock() int64 { return time.Now().UnixNano() }
+
+// Pure is effect-free: calls to it from simulation code must not be
+// flagged.
+func Pure(n int) int { return n + 1 }

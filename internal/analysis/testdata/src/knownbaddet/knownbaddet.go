@@ -1,0 +1,42 @@
+// Package knownbaddet extends the multichecker integration fixture into the
+// summary-driven analyzers' territory: one detflow violation, one locksafe
+// violation, and one deliberately stale suppression for the audit. The
+// driver test points detflow's DetPackages and locksafe's CriticalRoots at
+// this package.
+package knownbaddet
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+var mu sync.Mutex
+
+var ch = make(chan int)
+
+// criticalRoot stands in for Session.RunRequest: the locks it transitively
+// acquires define locksafe's critical set.
+func criticalRoot() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return 1
+}
+
+// detflow: wall clock directly in (test-scoped) deterministic code.
+func stampDet() int64 {
+	return time.Now().UnixNano()
+}
+
+// locksafe: parks on a channel receive while holding the critical lock.
+func badHandler(w http.ResponseWriter, r *http.Request) {
+	mu.Lock()
+	defer mu.Unlock()
+	<-ch
+}
+
+// ignoreaudit: nothing on this line or the next can trip hotalloc, so the
+// audit must report the directive as stale.
+//
+//sddsvet:ignore hotalloc -- fixture: deliberately stale for the audit test
+var answer = 42

@@ -116,7 +116,7 @@ type ValidationReport struct {
 func (s *Schedule) Validate() (ValidationReport, error) {
 	var rep ValidationReport
 	type ps struct{ proc, slot int }
-	seen := make(map[ps]int)
+	seen := make(map[ps]bool)
 	counts := make(map[int]map[int]int) // slot → node → count
 	for id, point := range s.points {
 		a := s.access[id]
@@ -135,16 +135,16 @@ func (s *Schedule) Validate() (ValidationReport, error) {
 			if _, dup := seen[key]; dup {
 				rep.ProcOverlaps++
 			}
-			seen[key] = id
+			seen[key] = true
 			m := counts[slot]
 			if m == nil {
 				m = make(map[int]int)
-				counts[slot] = m
+				counts[slot] = m //sddsvet:ignore detflow -- insert-once: stored only when absent; per-node counts update per-key
 			}
 			for _, n := range a.Sig.Nodes() {
 				m[n]++
 				if m[n] > rep.MaxPerNode {
-					rep.MaxPerNode = m[n]
+					rep.MaxPerNode = m[n] //sddsvet:ignore detflow -- max reduction: result independent of visit order
 				}
 			}
 		}
@@ -168,7 +168,7 @@ func (s *Schedule) NodeActivations() int {
 			g, ok := active[slot]
 			if !ok {
 				g = stripe.NewSignature(s.params.NumNodes)
-				active[slot] = g
+				active[slot] = g //sddsvet:ignore detflow -- insert-once: stored only when absent; updates OR in place (commutative)
 			}
 			g.OrInPlace(a.Sig)
 		}

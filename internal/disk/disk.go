@@ -431,7 +431,7 @@ func (d *Disk) completeRequest(now sim.Time, r *Request) {
 func (d *Disk) SpinDown() error {
 	now := d.eng.Now()
 	if d.state != StateIdle || d.current != nil || d.queue.Len() > 0 {
-		return fmt.Errorf("%w: state=%v queue=%d", ErrNotIdle, d.state, d.queue.Len())
+		return fmt.Errorf("%w: state=%v queue=%d", ErrNotIdle, d.state, d.queue.Len()) //sddsvet:ignore hotalloc -- error path: rejected transitions only
 	}
 	d.stats.SpinDowns++
 	d.pr.Emit(probe.KindSpinDown, int32(d.ID), int64(now), 0)
@@ -550,7 +550,7 @@ func (d *Disk) onSpinFail(t sim.Time) {
 // low-speed service). The speed snaps to the nearest valid level.
 func (d *Disk) SetTargetRPM(rpm int, rampFirst bool) error {
 	if !d.state.Spinning() {
-		return fmt.Errorf("%w: state=%v", ErrNotStandby, d.state)
+		return fmt.Errorf("%w: state=%v", ErrNotStandby, d.state) //sddsvet:ignore hotalloc -- error path: rejected transitions only
 	}
 	prev := d.targetRPM
 	d.targetRPM = d.params.ClampRPM(rpm)

@@ -34,7 +34,7 @@ func (q *elevator) Pop(headCyl int64) *Request {
 		return nil
 	}
 	// Index of first request at or above the head.
-	i := sort.Search(n, func(i int) bool { return q.pending[i].cylinder >= headCyl })
+	i := sort.Search(n, func(i int) bool { return q.pending[i].cylinder >= headCyl }) //sddsvet:ignore hotalloc -- sort.Search predicate does not escape: no per-call heap allocation
 	var pick int
 	if q.up {
 		if i < n {

@@ -510,7 +510,7 @@ func (s *Session) Prime(ctx context.Context, exps []Experiment, c Config) error 
 		go func() {
 			defer wg.Done()
 			for sp := range work {
-				start := time.Now()
+				start := time.Now() //sddsvet:ignore detflow -- wall-clock progress telemetry, not simulated time
 				runSpan := s.probe.StartSpan(track, sp.tag())
 				res, out, err := s.run(ctx, c, sp)
 				runSpan.End()
@@ -525,7 +525,7 @@ func (s *Session) Prime(ctx context.Context, exps []Experiment, c Config) error 
 				if s.progress != nil {
 					p := Progress{
 						Done: done, Total: total, Hits: hits,
-						Key: sp.tag(), Elapsed: time.Since(start),
+						Key: sp.tag(), Elapsed: time.Since(start), //sddsvet:ignore detflow -- wall-clock progress telemetry, not simulated time
 						Hit: out.hit, FromJournal: out.fromJournal, Err: err,
 					}
 					if res != nil {
@@ -604,12 +604,12 @@ func (s *Session) RunRequest(ctx context.Context, req Request) (*cluster.Result,
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
 		defer cancel()
 	}
-	start := time.Now()
+	start := time.Now() //sddsvet:ignore detflow -- wall-clock progress telemetry, not simulated time
 	res, out, err := s.run(ctx, c, sp)
 	if s.progress != nil {
 		p := Progress{
 			Done: 1, Total: 1,
-			Key: sp.tag(), Elapsed: time.Since(start),
+			Key: sp.tag(), Elapsed: time.Since(start), //sddsvet:ignore detflow -- wall-clock progress telemetry, not simulated time
 			Hit: out.hit, FromJournal: out.fromJournal, Err: err,
 		}
 		if out.hit {

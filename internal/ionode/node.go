@@ -372,7 +372,7 @@ func (n *Node) Flush(now sim.Time) {
 	// into the golden-compared results.
 	keys := make([]cache.Key, 0, len(batch))
 	for key := range batch {
-		keys = append(keys, key) //sddsvet:ignore simdet -- collect-then-sort: order fixed on the next line
+		keys = append(keys, key)
 	}
 	sort.Slice(keys, func(i, j int) bool {
 		if keys[i].File != keys[j].File {

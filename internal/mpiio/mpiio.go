@@ -108,7 +108,7 @@ func (m *Middleware) wrap(file int, offset int64) int64 {
 // whole call degrades to ok=false.
 func (m *Middleware) Read(file int, offset, length int64, done func(now sim.Time, ok bool)) error {
 	if length <= 0 {
-		return fmt.Errorf("mpiio: read length %d must be positive", length)
+		return fmt.Errorf("mpiio: read length %d must be positive", length) //sddsvet:ignore hotalloc -- error path: argument validation only
 	}
 	m.reads++
 	return m.forEachChunk(file, offset, length, func(c stripe.Chunk, chunkDone func(sim.Time, bool), chunkOK func(sim.Time)) error {
@@ -154,7 +154,7 @@ func (m *Middleware) Read(file int, offset, length int64, done func(now sim.Time
 // only when a chunk's write failed after every bounded retry.
 func (m *Middleware) Write(file int, offset, length int64, done func(now sim.Time, ok bool)) error {
 	if length <= 0 {
-		return fmt.Errorf("mpiio: write length %d must be positive", length)
+		return fmt.Errorf("mpiio: write length %d must be positive", length) //sddsvet:ignore hotalloc -- error path: argument validation only
 	}
 	m.writes++
 	return m.forEachChunk(file, offset, length, func(c stripe.Chunk, chunkDone func(sim.Time, bool), chunkOK func(sim.Time)) error {

@@ -230,7 +230,7 @@ func (p *Probe) StartSpan(track int32, name string) Span {
 	if p == nil {
 		return Span{}
 	}
-	now := time.Since(p.epoch).Microseconds()
+	now := time.Since(p.epoch).Microseconds() //sddsvet:ignore simdet,detflow -- host-side telemetry: span timestamps never feed golden output
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.spans = append(p.spans, spanRec{track: track, name: name, start: now, end: -1})
@@ -243,7 +243,7 @@ func (s Span) End() {
 	if s.p == nil {
 		return
 	}
-	now := time.Since(s.p.epoch).Microseconds()
+	now := time.Since(s.p.epoch).Microseconds() //sddsvet:ignore simdet,detflow -- host-side telemetry: span timestamps never feed golden output
 	s.p.mu.Lock()
 	defer s.p.mu.Unlock()
 	if s.p.spans[s.idx].end < 0 {

@@ -215,7 +215,7 @@ func (s *Server) Status() StatusResponse {
 	simulated, hits := s.sess.Stats()
 	s.mu.Lock()
 	keys := make([]string, 0, len(s.inflight))
-	for k := range s.inflight { //sddsvet:ignore simdet -- sorted immediately below
+	for k := range s.inflight {
 		keys = append(keys, k)
 	}
 	s.mu.Unlock()

@@ -186,7 +186,7 @@ func (s *Store) Keys() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]string, 0, len(s.values))
-	for k := range s.values { //sddsvet:ignore simdet -- sorted immediately below
+	for k := range s.values {
 		out = append(out, k)
 	}
 	sort.Strings(out)
