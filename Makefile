@@ -5,12 +5,12 @@ GO ?= go
 # sandboxes, air-gapped machines) skip it with a notice instead of failing.
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: ci lint vet sddsvet staticcheck build test race smoke trace-smoke fault-smoke service-smoke bench bench-check
+.PHONY: ci lint vet sddsvet staticcheck build test race smoke trace-smoke fault-smoke service-smoke diag-smoke bench bench-check
 
 # CI runs the lint tier strictly: silently skipping a linter there would
 # let findings land unreviewed.
 ci: LINT_STRICT = 1
-ci: lint build race smoke trace-smoke fault-smoke service-smoke bench-check
+ci: lint build race smoke trace-smoke fault-smoke service-smoke diag-smoke bench-check
 
 # Fast static tier: runs in seconds, ahead of the (90-minute) race tier.
 # LINT_STRICT=1 turns the offline staticcheck skip into a hard failure.
@@ -77,6 +77,22 @@ fault-smoke:
 	$(GO) run ./cmd/sddstables -experiment table3 -scale 0.05 -apps sar,hf \
 		-faults 'read=0.02,net-drop=0.01,stall=0.01,seed=7' \
 		-journal "$$tmp/sweep.journal" -resume -progress=false >/dev/null
+
+# Diagnostics capture end to end: a 1ms per-run deadline forces a timeout
+# failure under -capture-dir, then sddsdiag validates the captured bundle
+# (manifest hashes, trace shape, replayable request); a second pass runs the
+# same sweep with capture enabled but no deadline and succeeds — capture on
+# the success path must never perturb or fail a run.
+diag-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	! $(GO) run ./cmd/sddsim -app sar -scale 0.05 -timeout 1ms \
+		-capture-dir "$$tmp/diag" >/dev/null 2>&1 && \
+	$(GO) run ./cmd/sddsdiag -dir "$$tmp/diag" && \
+	id=$$(ls "$$tmp/diag" | sed -n 's/^bundle-//p' | head -n 1) && \
+	$(GO) run ./cmd/sddsdiag -dir "$$tmp/diag" "$$id" && \
+	$(GO) run ./cmd/sddstables -experiment table2 -scale 0.05 -apps sar \
+		-capture-dir "$$tmp/diag2" -watchdog 1000000 -log "$$tmp/run.log" \
+		-progress=false >/dev/null
 
 # Service end to end: builds the real sddsd binary, starts it against a
 # fresh store, submits a run over HTTP, polls /v1/status, checks

@@ -21,6 +21,7 @@ import (
 	"syscall"
 	"time"
 
+	"sdds/internal/cliutil"
 	"sdds/internal/service"
 )
 
@@ -45,19 +46,35 @@ func runCtx(ctx context.Context, args []string) error {
 		addrFile = fs.String("addr-file", "", "write the resolved listen address to this file (for scripts using port 0)")
 		artifact = fs.String("artifacts", "", "persistent compile-artifact store (JSONL; default <store>.artifacts, \"off\" disables)")
 	)
+	var df cliutil.DiagFlags
+	df.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *storeArg == "" {
 		return fmt.Errorf("-store is required (the persistent result store path)")
 	}
+	log, closeLog, err := df.NewLogger()
+	if err != nil {
+		return err
+	}
+	defer closeLog()
+	// The flag spells "<=0 disarms"; the service spells "0 means default".
+	// Translate so the flag semantics win.
+	watchdog := df.Watchdog
+	if watchdog <= 0 {
+		watchdog = -1
+	}
 	srv, err := service.NewServer(service.Options{
-		StorePath:    *storeArg,
-		Workers:      *workers,
-		RunTimeout:   *timeout,
-		DrainTimeout: *drain,
-		Tail:         *tail,
-		ArtifactPath: *artifact,
+		StorePath:      *storeArg,
+		Workers:        *workers,
+		RunTimeout:     *timeout,
+		DrainTimeout:   *drain,
+		Tail:           *tail,
+		ArtifactPath:   *artifact,
+		CaptureDir:     df.CaptureDir,
+		SlowMultiplier: watchdog,
+		Log:            log,
 	})
 	if err != nil {
 		return err

@@ -10,16 +10,20 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"sdds/internal/cliutil"
 	"sdds/internal/cluster"
+	"sdds/internal/diag"
 	"sdds/internal/disk"
 	"sdds/internal/fault"
+	"sdds/internal/harness"
 	"sdds/internal/metrics"
 	"sdds/internal/probe"
 	"sdds/internal/workloads"
@@ -41,6 +45,8 @@ func runCtx(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("sddsim", flag.ContinueOnError)
 	var rf cliutil.RunFlags
 	rf.Register(fs)
+	var df cliutil.DiagFlags
+	df.Register(fs)
 	var (
 		asJSON     = fs.Bool("json", false, "emit the run summary as JSON instead of text")
 		describe   = fs.Bool("describe", false, "print the application's loop-nest pseudo-code and exit")
@@ -65,7 +71,18 @@ func runCtx(ctx context.Context, args []string) error {
 		fmt.Print(prog.Render())
 		return nil
 	}
-	if *trace != "" {
+	log, closeLog, err := df.NewLogger()
+	if err != nil {
+		return err
+	}
+	defer closeLog()
+	recorder, err := df.NewRecorder(log)
+	if err != nil {
+		return err
+	}
+	// A bundle wants the run's flight-recorder trace, so a capture dir
+	// arms the probe ring even without -trace.
+	if *trace != "" || recorder != nil {
 		cfg.Probe = probe.NewProbe(*traceRing)
 	}
 	cache, _, err := cliutil.OpenCompileCache(rf.CompileCache)
@@ -84,7 +101,11 @@ func runCtx(ctx context.Context, args []string) error {
 	}
 	res, err := cluster.RunContext(ctx, prog, cfg)
 	if err != nil {
+		captureRun(recorder, req, cfg, nil, err)
 		return err
+	}
+	if info := captureRun(recorder, req, cfg, res, nil); info != nil {
+		fmt.Fprintf(os.Stderr, "captured diagnostics bundle %s at %s\n", info.ID, info.Path)
 	}
 	if *trace != "" {
 		if err := writeTrace(*trace, cfg.Probe); err != nil {
@@ -159,17 +180,60 @@ func runCtx(ctx context.Context, args []string) error {
 	return nil
 }
 
+// captureRun assembles a diagnostics bundle for the finished (or failed)
+// run when -capture-dir is set. Capture problems are reported on stderr
+// but never mask the run's own outcome.
+func captureRun(rec *diag.Recorder, req harness.Request, cfg cluster.Config, res *cluster.Result, runErr error) *diag.BundleInfo {
+	if rec == nil {
+		return nil
+	}
+	trigger := diag.TriggerManual
+	if runErr != nil {
+		trigger = diag.TriggerError
+		if errors.Is(runErr, context.DeadlineExceeded) {
+			trigger = diag.TriggerTimeout
+		}
+	}
+	c := diag.Capture{
+		Trigger:    trigger,
+		Key:        req.Key(),
+		ContentKey: req.ContentKey(),
+		Err:        runErr,
+		Request:    req,
+	}
+	if res != nil {
+		c.Result = harness.NewRunRecord(res)
+		c.Metrics = res.Metrics
+		c.Faults = res.Faults
+	}
+	if cfg.Probe != nil {
+		c.Trace = func(w io.Writer) error {
+			return probe.WriteChromeTrace(w, cfg.Probe, chromeOptions())
+		}
+	}
+	info, err := rec.Capture(c)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sddsim: capture:", err)
+		return nil
+	}
+	return info
+}
+
+// chromeOptions names disk states and fault sites in exported traces.
+func chromeOptions() probe.ChromeOptions {
+	return probe.ChromeOptions{
+		StateName:     func(arg int64) string { return disk.State(arg).String() },
+		FaultSiteName: func(id int32) string { return fault.Site(id).String() },
+	}
+}
+
 // writeTrace exports the probe as Chrome trace-event JSON.
 func writeTrace(path string, p *probe.Probe) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	opts := probe.ChromeOptions{
-		StateName:     func(arg int64) string { return disk.State(arg).String() },
-		FaultSiteName: func(id int32) string { return fault.Site(id).String() },
-	}
-	if err := probe.WriteChromeTrace(f, p, opts); err != nil {
+	if err := probe.WriteChromeTrace(f, p, chromeOptions()); err != nil {
 		f.Close()
 		return err
 	}

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"sdds/internal/diag"
 )
 
 func TestRunDescribe(t *testing.T) {
@@ -38,6 +40,61 @@ func TestRunTinySimulation(t *testing.T) {
 	}
 	if err := run([]string{"-app", "madbench2", "-scale", "0.02", "-procs", "8", "-policy", "history", "-scheduling", "-json"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunCapturesBundle: -capture-dir makes a successful run leave a
+// validated manual bundle with the probe trace, and a timed-out run leave
+// a timeout-triggered one.
+func TestRunCapturesBundle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster run")
+	}
+	dir := filepath.Join(t.TempDir(), "capture")
+	if err := run([]string{"-app", "madbench2", "-scale", "0.02", "-procs", "8",
+		"-json", "-capture-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := diag.ListDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 {
+		t.Fatalf("captured %d bundles, want 1", len(infos))
+	}
+	if infos[0].Manifest.Trigger != diag.TriggerManual {
+		t.Errorf("trigger = %q, want manual", infos[0].Manifest.Trigger)
+	}
+	rep, err := diag.Validate(infos[0].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("bundle invalid: %v", rep.Problems)
+	}
+	if _, ok := rep.Files["trace.json"]; !ok {
+		t.Error("capture without -trace still must include the probe trace")
+	}
+
+	if err := run([]string{"-app", "madbench2", "-scale", "0.02", "-procs", "8",
+		"-json", "-capture-dir", dir, "-timeout", "1ns"}); err == nil {
+		t.Fatal("1ns deadline did not fail the run")
+	}
+	infos, err = diag.ListDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("captured %d bundles after timeout, want 2", len(infos))
+	}
+	found := false
+	for _, b := range infos {
+		if b.Manifest.Trigger == diag.TriggerTimeout {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no timeout-triggered bundle in %+v", infos)
 	}
 }
 

@@ -46,6 +46,8 @@ func runCtx(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("sddstables", flag.ContinueOnError)
 	var sf cliutil.SweepFlags
 	sf.Register(fs)
+	var df cliutil.DiagFlags
+	df.Register(fs)
 	var (
 		experiment = fs.String("experiment", "", "experiment id to run (default: all)")
 		progress   = fs.Bool("progress", stderrIsTerminal(), "render a live run-progress line on stderr")
@@ -109,13 +111,24 @@ func runCtx(ctx context.Context, args []string) error {
 	if resolvedWorkers <= 0 {
 		resolvedWorkers = runtime.GOMAXPROCS(0)
 	}
+	log, closeLog, err := df.NewLogger()
+	if err != nil {
+		return err
+	}
+	defer closeLog()
+	recorder, err := df.NewRecorder(log)
+	if err != nil {
+		return err
+	}
 	// The session probe is span-only: the concurrent worker pool may not
-	// share a record ring, but mutex-guarded spans are safe.
+	// share a record ring, but mutex-guarded spans are safe. Diagnostics
+	// capture wants the session trace in its bundles, so a capture dir
+	// arms the probe even without -trace.
 	var sessProbe *probe.Probe
-	if *tracePath != "" {
+	if *tracePath != "" || recorder != nil {
 		sessProbe = probe.NewSpanProbe()
 	}
-	jrn, err := sf.OpenJournal()
+	jrn, err := sf.OpenJournalWith(log)
 	if err != nil {
 		return err
 	}
@@ -137,6 +150,8 @@ func runCtx(ctx context.Context, args []string) error {
 		Journal:             jrn,
 		CompileCache:        cache,
 		DisableCompileCache: cacheOff,
+		Diag:                recorder,
+		Log:                 log,
 	})
 	if jrn != nil && sf.Resume {
 		fmt.Fprintf(os.Stderr, "journal %s: resumed %d completed runs\n", jrn.Path(), sess.Preloaded())

@@ -9,11 +9,15 @@ package cliutil
 import (
 	"errors"
 	"flag"
+	"fmt"
+	"log/slog"
+	"os"
 	"strings"
 	"time"
 
 	"sdds/internal/cluster"
 	"sdds/internal/compilecache"
+	"sdds/internal/diag"
 	"sdds/internal/fault"
 	"sdds/internal/harness"
 )
@@ -162,11 +166,69 @@ func (f *SweepFlags) Config() (harness.Config, error) {
 // naming a directory is rejected by the store, each with a clear error —
 // neither silently runs uncached.
 func (f *SweepFlags) OpenJournal() (*harness.Journal, error) {
+	return f.OpenJournalWith(nil)
+}
+
+// OpenJournalWith is OpenJournal with structured logging on the opened
+// store (resume recovery, torn-tail truncation).
+func (f *SweepFlags) OpenJournalWith(log *slog.Logger) (*harness.Journal, error) {
 	if f.Resume && f.Journal == "" {
 		return nil, errors.New("-resume requires -journal")
 	}
 	if f.Journal == "" {
 		return nil, nil
 	}
-	return harness.OpenJournal(f.Journal, f.Resume)
+	return harness.OpenJournalWith(f.Journal, f.Resume, log)
+}
+
+// DiagFlags are the shared diagnostics flags (sddsim, sddstables, sddsd):
+// the capture directory, the slow-run watchdog multiplier, and the
+// structured-log destination. Defined once so the trigger semantics and
+// flag spellings cannot drift between binaries.
+type DiagFlags struct {
+	CaptureDir string
+	Watchdog   float64
+	Log        string
+}
+
+// Register installs the diagnostics flags on fs.
+func (f *DiagFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.CaptureDir, "capture-dir", "",
+		"capture failing, timed-out, panicking, and watchdog-flagged runs as diagnostics bundles in this directory (empty = capture off)")
+	fs.Float64Var(&f.Watchdog, "watchdog", 4,
+		"with -capture-dir: capture runs slower than this multiple of the rolling median run time (<=0 disarms the watchdog)")
+	fs.StringVar(&f.Log, "log", "",
+		"structured JSON log destination: 'stderr' or a file path (empty = logging off)")
+}
+
+// NewLogger resolves the -log flag: a nil logger when unset, stderr or an
+// append-mode file otherwise. The returned close function flushes the
+// file destination (a no-op for stderr); call it on exit.
+func (f *DiagFlags) NewLogger() (*slog.Logger, func() error, error) {
+	noop := func() error { return nil }
+	switch f.Log {
+	case "":
+		return nil, noop, nil
+	case "stderr", "-":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), noop, nil
+	default:
+		file, err := os.OpenFile(f.Log, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, noop, fmt.Errorf("-log: %w", err)
+		}
+		return slog.New(slog.NewJSONHandler(file, nil)), file.Close, nil
+	}
+}
+
+// NewRecorder resolves the capture flags: a nil recorder (capture off)
+// when -capture-dir is unset.
+func (f *DiagFlags) NewRecorder(log *slog.Logger) (*diag.Recorder, error) {
+	if f.CaptureDir == "" {
+		return nil, nil
+	}
+	return diag.NewRecorder(diag.Options{
+		Dir:            f.CaptureDir,
+		SlowMultiplier: f.Watchdog,
+		Log:            log,
+	})
 }

@@ -1,0 +1,52 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+
+	"sdds/internal/power"
+)
+
+// Fingerprint flattens a Result into an ordered, exact string form: the
+// bit-identity contract behind testdata/golden.json. Floats are rendered
+// as hex (%x) so the comparison is bit-exact, not round-trip-formatted.
+// The golden tests in this package and the harness's capture-neutrality
+// test share this one definition — any observability layer (probes,
+// diagnostics capture, logging) must leave it unchanged.
+//
+// Deliberately excluded: Metrics (the registry snapshot may grow
+// observability-only entries), Compile/CompileProvenance (execution
+// provenance, not simulation output), and Faults (absent from the
+// fault-free golden matrix).
+func Fingerprint(res *Result) []string {
+	hex := func(f float64) string { return strconv.FormatFloat(f, 'x', -1, 64) }
+	fp := []string{
+		"exec=" + strconv.FormatInt(int64(res.ExecTime), 10),
+		"energy=" + hex(res.EnergyJ),
+		"bufhits=" + strconv.FormatInt(res.BufferHits, 10),
+		"bufmiss=" + strconv.FormatInt(res.BufferMisses, 10),
+		"prefetch=" + strconv.FormatInt(res.PrefetchIssued, 10),
+		"schits=" + strconv.FormatInt(res.StorageCacheHits, 10),
+		"scmiss=" + strconv.FormatInt(res.StorageCacheMisses, 10),
+		"agmoved=" + strconv.FormatInt(res.AgentMoved, 10),
+		"agissued=" + strconv.FormatInt(res.AgentIssued, 10),
+		"agblocked=" + strconv.FormatInt(res.AgentBlocked, 10),
+		"agdeferred=" + strconv.FormatInt(res.AgentDeferred, 10),
+		"diskreq=" + strconv.FormatInt(res.DiskRequests, 10),
+		"spinups=" + strconv.FormatInt(res.SpinUps, 10),
+		"rpmshifts=" + strconv.FormatInt(res.RPMShifts, 10),
+		"idlecount=" + strconv.FormatInt(res.Idle.Count(), 10),
+		"idlemax=" + strconv.FormatInt(int64(res.Idle.Max()), 10),
+		"idlemean=" + strconv.FormatInt(int64(res.Idle.Mean()), 10),
+	}
+	for i, j := range res.NodeEnergyJ {
+		fp = append(fp, fmt.Sprintf("node%d=%s", i, hex(j)))
+	}
+	return fp
+}
+
+// FingerprintKey renders a golden-matrix configuration's key as stored in
+// testdata/golden.json.
+func FingerprintKey(app string, kind power.Kind, scheduling bool) string {
+	return fmt.Sprintf("%s/%s/sched=%v", app, kind, scheduling)
+}

@@ -338,6 +338,15 @@ func collectMetrics(res *Result, nodes []*ionode.Node, pols []power.Policy, ex *
 	if res.Faults != nil {
 		addFaultMetrics(reg, res.Faults)
 	}
+	// Flight-recorder health, when a ring-bearing probe was attached: how
+	// much history the ring retained vs overwrote. Observability-only
+	// entries — the golden Fingerprint deliberately excludes Metrics, so a
+	// traced run still fingerprints identically to an untraced one.
+	if p := ex.cfg.Probe; p.Capacity() > 0 {
+		reg.Gauge("probe.ring_capacity").Set(float64(p.Capacity()))
+		reg.Gauge("probe.ring_emitted").Set(float64(p.Emitted()))
+		reg.Gauge("probe.ring_dropped").Set(float64(p.Dropped()))
+	}
 	return reg.Snapshot()
 }
 

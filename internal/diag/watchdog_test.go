@@ -1,0 +1,87 @@
+package diag
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWatchdogFlagsOutlier: after the warm-up window, a run far beyond
+// the median is flagged; typical runs are not.
+func TestWatchdogFlagsOutlier(t *testing.T) {
+	w := NewWatchdog(4, 8)
+	for i := 0; i < 8; i++ {
+		if slow, _ := w.Observe(100 * time.Millisecond); slow {
+			t.Fatalf("run %d flagged during warm-up", i)
+		}
+	}
+	if slow, _ := w.Observe(120 * time.Millisecond); slow {
+		t.Error("typical run flagged")
+	}
+	slow, median := w.Observe(1 * time.Second)
+	if !slow {
+		t.Error("10x-median run not flagged")
+	}
+	if median != 100*time.Millisecond {
+		t.Errorf("median = %v, want 100ms", median)
+	}
+}
+
+// TestWatchdogMedianRobustToOutliers: one slow run does not drag the
+// baseline up — the next slow run is still flagged.
+func TestWatchdogMedianRobustToOutliers(t *testing.T) {
+	w := NewWatchdog(4, 8)
+	for i := 0; i < 10; i++ {
+		w.Observe(100 * time.Millisecond)
+	}
+	w.Observe(10 * time.Second) // straggler enters the window
+	if slow, _ := w.Observe(1 * time.Second); !slow {
+		t.Error("outlier poisoned the median baseline")
+	}
+}
+
+// TestWatchdogWindowRolls: the window is bounded and adapts when the
+// workload shifts to a uniformly slower regime.
+func TestWatchdogWindowRolls(t *testing.T) {
+	w := NewWatchdog(4, 8)
+	for i := 0; i < watchdogWindow; i++ {
+		w.Observe(10 * time.Millisecond)
+	}
+	// New regime: every run is 100ms. After the window fully rolls over,
+	// 100ms is the median and must no longer be flagged.
+	for i := 0; i < watchdogWindow; i++ {
+		w.Observe(100 * time.Millisecond)
+	}
+	if slow, median := w.Observe(100 * time.Millisecond); slow {
+		t.Errorf("watchdog did not adapt: median %v", median)
+	}
+}
+
+// TestWatchdogDisarmed: nil watchdogs (including mult <= 0) never flag.
+func TestWatchdogDisarmed(t *testing.T) {
+	if w := NewWatchdog(0, 8); w != nil {
+		t.Fatal("mult=0 returned an armed watchdog")
+	}
+	var w *Watchdog
+	for i := 0; i < 100; i++ {
+		if slow, median := w.Observe(time.Duration(i) * time.Hour); slow || median != 0 {
+			t.Fatal("nil watchdog flagged")
+		}
+	}
+	if w.Median() != 0 {
+		t.Error("nil Median nonzero")
+	}
+}
+
+// TestWatchdogMinSamples: no verdicts before the warm-up threshold.
+func TestWatchdogMinSamples(t *testing.T) {
+	w := NewWatchdog(2, 5)
+	for i := 0; i < 4; i++ {
+		w.Observe(time.Millisecond)
+	}
+	if slow, _ := w.Observe(time.Hour); slow {
+		t.Error("flagged before minSamples observations existed")
+	}
+	if slow, _ := w.Observe(time.Hour); !slow {
+		t.Error("not flagged after warm-up")
+	}
+}

@@ -3,6 +3,7 @@ package harness
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 
 	"sdds/internal/cluster"
 	"sdds/internal/metrics"
@@ -131,7 +132,13 @@ type Journal struct {
 // are loaded for NewSession to preload, and appends continue after them.
 // A path naming a directory is rejected.
 func OpenJournal(path string, resume bool) (*Journal, error) {
-	s, err := store.Open(path, !resume)
+	return OpenJournalWith(path, resume, nil)
+}
+
+// OpenJournalWith is OpenJournal with structured logging: resume recovery
+// (entries loaded, torn tail dropped) is reported on log when non-nil.
+func OpenJournalWith(path string, resume bool, log *slog.Logger) (*Journal, error) {
+	s, err := store.OpenWith(path, !resume, log)
 	if err != nil {
 		return nil, fmt.Errorf("harness: journal: %w", err)
 	}

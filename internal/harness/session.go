@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -12,6 +14,7 @@ import (
 
 	"sdds/internal/cluster"
 	"sdds/internal/compilecache"
+	"sdds/internal/diag"
 	"sdds/internal/loop"
 	"sdds/internal/power"
 	"sdds/internal/probe"
@@ -112,6 +115,20 @@ func (s *Session) simulate(ctx context.Context, c Config, sp runSpec) (*cluster.
 	return cluster.RunPrepared(ctx, setup, cfg)
 }
 
+// panicError is a worker panic converted to a per-run error. It keeps the
+// panic value and stack addressable with errors.As, so the diagnostics
+// layer can classify the failure as a panic (and capture a bundle tagged
+// accordingly) without parsing the message.
+type panicError struct {
+	tag   string
+	value any
+	stack []byte
+}
+
+func (e *panicError) Error() string {
+	return fmt.Sprintf("harness: run %s panicked: %v\n%s", e.tag, e.value, e.stack)
+}
+
 // safeSimulate runs the spec's simulation, converting a panic anywhere in
 // the compile or event loop into a per-run error carrying the stack. One
 // misbehaving configuration then fails only its own run; sibling runs on
@@ -120,7 +137,7 @@ func (s *Session) safeSimulate(ctx context.Context, c Config, sp runSpec) (res *
 	defer func() {
 		if r := recover(); r != nil {
 			res = nil
-			err = fmt.Errorf("harness: run %s panicked: %v\n%s", sp.tag(), r, debug.Stack())
+			err = &panicError{tag: sp.tag(), value: r, stack: debug.Stack()}
 		}
 	}()
 	return s.simulate(ctx, c, sp)
@@ -231,6 +248,18 @@ type SessionOptions struct {
 	// DisableCompileCache compiles every scheduled run inline (the
 	// pre-cache behaviour); for A/B measurement and ablation.
 	DisableCompileCache bool
+	// Diag, when non-nil, arms automatic diagnostics capture: every run
+	// that fails, times out, or panics — and, when the recorder's
+	// slow-run watchdog is armed, every run far slower than the rolling
+	// median — is captured as a content-addressed bundle. Capture happens
+	// after the run's result is fully collected, so it cannot perturb
+	// simulation output; capture failures are logged, never surfaced as
+	// run errors.
+	Diag *diag.Recorder
+	// Log, when non-nil, receives one structured event per executed run
+	// (request_key, elapsed_ms, outcome) plus capture events. Per-run,
+	// not per-simulation-event: the probe hot path stays allocation-free.
+	Log *slog.Logger
 }
 
 // Session owns a run cache and a bounded worker pool for executing
@@ -249,6 +278,8 @@ type Session struct {
 	sem        chan struct{} // worker-pool slots; len == workers
 	runTimeout time.Duration // per-run deadline; 0 = none
 	journal    *Journal      // crash-safe result journal; nil = none
+	diag       *diag.Recorder // diagnostics capture; nil = disabled
+	log        *slog.Logger  // per-run structured log; nil = silent
 
 	progMu sync.Mutex // serializes RunRequest progress emissions
 
@@ -296,6 +327,8 @@ func NewSession(o SessionOptions) *Session {
 		sem:        make(chan struct{}, w),
 		runTimeout: o.RunTimeout,
 		journal:    o.Journal,
+		diag:       o.Diag,
+		log:        o.Log,
 		memo:       make(map[Request]*memoEntry),
 		setups:     make(map[setupKey]*setupEntry),
 	}
@@ -420,12 +453,15 @@ func (s *Session) execute(ctx context.Context, c Config, sp runSpec, key Request
 	if s.runTimeout > 0 {
 		runCtx, cancel = context.WithTimeout(ctx, s.runTimeout)
 	}
+	start := time.Now() //sddsvet:ignore detflow -- wall-clock run timing for the watchdog and log, not simulated time
 	res, err := s.safeSimulate(runCtx, c, sp)
+	elapsed := time.Since(start) //sddsvet:ignore detflow -- wall-clock run timing for the watchdog and log, not simulated time
 	cancel()
 	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 		if ctx.Err() != nil {
 			// Cancellation is a property of this call's context, not of the
-			// configuration; don't poison the cache with it.
+			// configuration; don't poison the cache with it. And it says
+			// nothing about the run, so no diagnostics are captured either.
 			s.abandon(key, e)
 			return nil, err
 		}
@@ -437,6 +473,7 @@ func (s *Session) execute(ctx context.Context, c Config, sp runSpec, key Request
 	e.res, e.err = res, err
 	close(e.done)
 	s.simulated.Add(1)
+	s.finishRun(key, res, err, elapsed)
 	if err == nil && s.journal != nil {
 		if jerr := s.journal.append(key, res); jerr != nil {
 			// The run itself succeeded and stays cached; surface the
@@ -446,6 +483,82 @@ func (s *Session) execute(ctx context.Context, c Config, sp runSpec, key Request
 		}
 	}
 	return res, err
+}
+
+// finishRun is the diagnostics tail of every executed (non-abandoned)
+// run: it classifies the outcome, logs it, feeds the slow-run watchdog,
+// and captures a bundle when the outcome warrants one. It runs strictly
+// after the run's result is final — nothing here can influence what the
+// caller or the cache sees.
+func (s *Session) finishRun(key Request, res *cluster.Result, err error, elapsed time.Duration) {
+	trigger := ""
+	var median time.Duration
+	if err == nil {
+		if slow, m := s.diag.Watchdog().Observe(elapsed); slow {
+			trigger, median = diag.TriggerSlow, m
+		}
+	} else {
+		var pe *panicError
+		switch {
+		case errors.As(err, &pe):
+			trigger = diag.TriggerPanic
+		case errors.Is(err, context.DeadlineExceeded):
+			trigger = diag.TriggerTimeout
+		default:
+			trigger = diag.TriggerError
+		}
+	}
+	if s.log != nil {
+		if err != nil {
+			s.log.Error("run failed", "request_key", key.Key(), "trigger", trigger,
+				"elapsed_ms", elapsed.Milliseconds(), "err", err.Error())
+		} else {
+			attrs := []any{"request_key", key.Key(), "elapsed_ms", elapsed.Milliseconds()}
+			if res != nil {
+				attrs = append(attrs, "compile", res.CompileProvenance.String())
+			}
+			if trigger == diag.TriggerSlow {
+				attrs = append(attrs, "slow", true, "median_ms", median.Milliseconds())
+			}
+			s.log.Info("run complete", attrs...)
+		}
+	}
+	if trigger != "" && s.diag != nil {
+		s.captureRun(trigger, key, res, err, elapsed, median)
+	}
+}
+
+// captureRun assembles the diagnostics capture for one run: the canonical
+// request (resubmitting it reproduces the run exactly — the simulator is
+// deterministic in its inputs), the result evidence when there is any,
+// the session's caches' state, the journal tail, and the session trace.
+// Capture errors are the recorder's to log; a failed capture never fails
+// the run it was documenting.
+func (s *Session) captureRun(trigger string, key Request, res *cluster.Result, err error, elapsed, median time.Duration) {
+	c := diag.Capture{
+		Trigger:      trigger,
+		Key:          key.Key(),
+		ContentKey:   key.ContentKey(),
+		Err:          err,
+		Request:      key.canonical(),
+		CompileCache: s.CompileCacheStats(),
+		ElapsedMS:    elapsed.Milliseconds(),
+		MedianMS:     median.Milliseconds(),
+	}
+	if res != nil {
+		c.Result = NewRunRecord(res)
+		c.Metrics = res.Metrics
+		c.Faults = res.Faults
+	}
+	if s.journal != nil {
+		c.JournalTail = s.journal.Tail(8)
+	}
+	if p := s.probe; p != nil {
+		c.Trace = func(w io.Writer) error {
+			return probe.WriteChromeTrace(w, p, probe.ChromeOptions{})
+		}
+	}
+	s.diag.Capture(c)
 }
 
 // abandon releases a claimed-but-unsimulated entry so other waiters can

@@ -18,6 +18,7 @@ package probe
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -124,6 +125,10 @@ type Probe struct {
 
 	mu    sync.Mutex
 	spans []spanRec
+	// contention counts span-lock acquisitions that found the mutex held
+	// by another goroutine — the signal that concurrent workers are
+	// serializing on span recording.
+	contention atomic.Int64
 }
 
 // NewProbe returns a probe whose ring holds at least capacity records
@@ -231,7 +236,7 @@ func (p *Probe) StartSpan(track int32, name string) Span {
 		return Span{}
 	}
 	now := time.Since(p.epoch).Microseconds() //sddsvet:ignore simdet,detflow -- host-side telemetry: span timestamps never feed golden output
-	p.mu.Lock()
+	p.lockSpans()
 	defer p.mu.Unlock()
 	p.spans = append(p.spans, spanRec{track: track, name: name, start: now, end: -1})
 	return Span{p: p, idx: len(p.spans) - 1}
@@ -244,7 +249,7 @@ func (s Span) End() {
 		return
 	}
 	now := time.Since(s.p.epoch).Microseconds() //sddsvet:ignore simdet,detflow -- host-side telemetry: span timestamps never feed golden output
-	s.p.mu.Lock()
+	s.p.lockSpans()
 	defer s.p.mu.Unlock()
 	if s.p.spans[s.idx].end < 0 {
 		s.p.spans[s.idx].end = now
@@ -259,6 +264,27 @@ const (
 	TrackRun        int32 = 1
 	TrackWorkerBase int32 = 2
 )
+
+// lockSpans takes the span mutex, counting acquisitions that had to wait.
+// TryLock failing means another goroutine held the lock at that instant —
+// an approximation of contention that costs nothing when uncontended.
+func (p *Probe) lockSpans() {
+	if p.mu.TryLock() {
+		return
+	}
+	p.contention.Add(1)
+	p.mu.Lock()
+}
+
+// SpanContention reports how many span-lock acquisitions found the mutex
+// already held. A high value relative to SpanCount means concurrent
+// workers are serializing on span recording.
+func (p *Probe) SpanContention() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.contention.Load()
+}
 
 // SpanCount reports how many spans have been recorded.
 func (p *Probe) SpanCount() int {

@@ -4,39 +4,63 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 )
 
 // WritePrometheus renders the registry snapshot in the Prometheus text
 // exposition format (version 0.0.4): a # TYPE line per metric — counters
-// stay counters, high-water gauges become gauges — followed by its value.
-// Metric names are sanitized to the Prometheus charset (runs of other
-// characters collapse to "_"). Output is sorted by name, so two snapshots
-// of equal registries render identically.
+// stay counters, high-water gauges become gauges, and fixed-bucket
+// histograms render as cumulative _bucket{le="..."} series with _sum and
+// _count. Metric names are sanitized to the Prometheus charset (runs of
+// other characters collapse to "_"). Output is sorted by name, so two
+// snapshots of equal registries render identically.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
 	type row struct {
 		name  string
-		value float64
-		gauge bool
+		text  string
 	}
-	rows := make([]row, 0, len(r.values))
+	rows := make([]row, 0, len(r.values)+len(r.hists))
 	for i, n := range r.names {
-		rows = append(rows, row{name: promName(n), value: r.values[i], gauge: r.isGauge[i]})
+		name := promName(n)
+		typ := "counter"
+		if r.isGauge[i] {
+			typ = "gauge"
+		}
+		rows = append(rows, row{name: name,
+			text: fmt.Sprintf("# TYPE %s %s\n%s %g\n", name, typ, name, r.values[i])})
+	}
+	for _, h := range r.hists {
+		name := promName(h.name)
+		var b strings.Builder
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+		cum := uint64(0)
+		for i, bound := range h.bounds {
+			cum += h.counts[i]
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, promFloat(bound), cum)
+		}
+		cum += h.counts[len(h.bounds)]
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(&b, "%s_sum %g\n", name, h.sum)
+		fmt.Fprintf(&b, "%s_count %d\n", name, h.count)
+		rows = append(rows, row{name: name, text: b.String()})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
 	for _, rw := range rows {
-		typ := "counter"
-		if rw.gauge {
-			typ = "gauge"
-		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %g\n", rw.name, typ, rw.name, rw.value); err != nil {
+		if _, err := io.WriteString(w, rw.text); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// promFloat renders a histogram bucket bound the way Prometheus clients
+// conventionally do: shortest round-trip decimal.
+func promFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
 }
 
 // promName maps a registry metric name ("disk.spinups", "sweep/runs") to

@@ -1,0 +1,135 @@
+package probe
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusNilAndEmpty: a nil registry writes nothing and returns no
+// error; an empty registry writes nothing either.
+func TestPrometheusNilAndEmpty(t *testing.T) {
+	var b strings.Builder
+	var r *Registry
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("nil registry: %v", err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("nil registry wrote %q", b.String())
+	}
+	if err := NewRegistry().WritePrometheus(&b); err != nil {
+		t.Fatalf("empty registry: %v", err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("empty registry wrote %q", b.String())
+	}
+}
+
+// TestPrometheusNaNInf: NaN and ±Inf gauge values render in the exposition
+// format's spellings (NaN, +Inf, -Inf), not as parse errors.
+func TestPrometheusNaNInf(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("g.nan").Set(math.NaN())
+	r.Gauge("g.posinf").Set(math.Inf(1))
+	r.Gauge("g.neginf").Set(math.Inf(-1))
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"g_nan NaN\n", "g_posinf +Inf\n", "g_neginf -Inf\n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPromNameEscaping: metric names are collapsed to the Prometheus
+// charset without leading/trailing separators or digit-leading names.
+func TestPromNameEscaping(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"disk.spin_ups", "disk_spin_ups"},
+		{"sweep/runs", "sweep_runs"},
+		{"a..b", "a_b"},
+		{".leading", "leading"},
+		{"trailing.", "trailing"},
+		{"", "metric"},
+		{"---", "metric"},
+		{"0count", "_0count"},
+		{"ns:sub.metric", "ns:sub_metric"},
+		{"héllo wörld", "h_llo_w_rld"},
+	}
+	for _, c := range cases {
+		if got := promName(c.in); got != c.want {
+			t.Errorf("promName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestPrometheusHistogram: fixed-bucket histograms render as cumulative
+// _bucket series with _sum/_count, sorted in with the scalar metrics.
+func TestPrometheusHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("run.latency_seconds", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.7, 5, 100} {
+		h.Observe(v)
+	}
+	r.Counter("aaa").Add(2) // sorts before the histogram block
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	wantLines := []string{
+		"# TYPE aaa counter",
+		"aaa 2",
+		"# TYPE run_latency_seconds histogram",
+		`run_latency_seconds_bucket{le="0.1"} 1`,
+		`run_latency_seconds_bucket{le="1"} 3`,
+		`run_latency_seconds_bucket{le="10"} 4`,
+		`run_latency_seconds_bucket{le="+Inf"} 5`,
+		"run_latency_seconds_sum 106.25",
+		"run_latency_seconds_count 5",
+	}
+	got := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(got) != len(wantLines) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(got), len(wantLines), out)
+	}
+	for i, w := range wantLines {
+		if got[i] != w {
+			t.Errorf("line %d = %q, want %q", i, got[i], w)
+		}
+	}
+}
+
+// TestHistogramHandleSemantics: re-registration returns the same
+// histogram, zero-value handles are inert, and snapshots are sorted.
+func TestHistogramHandleSemantics(t *testing.T) {
+	var zero Histogram
+	zero.Observe(1) // must not panic
+
+	r := NewRegistry()
+	h1 := r.Histogram("h", []float64{1})
+	h2 := r.Histogram("h", []float64{5, 10}) // bounds ignored on re-register
+	h1.Observe(0.5)
+	h2.Observe(0.5)
+	r.Histogram("a", []float64{1})
+	hs := r.Histograms()
+	if len(hs) != 2 || hs[0].Name != "a" || hs[1].Name != "h" {
+		t.Fatalf("Histograms() = %+v, want sorted [a h]", hs)
+	}
+	if hs[1].Count != 2 || hs[1].Counts[0] != 2 {
+		t.Errorf("shared histogram state = %+v, want both observations in one", hs[1])
+	}
+	if len(hs[1].Bounds) != 1 {
+		t.Errorf("re-register changed bounds: %v", hs[1].Bounds)
+	}
+
+	var nilReg *Registry
+	if h := nilReg.Histogram("x", nil); h.r != nil {
+		t.Error("nil registry returned a live histogram")
+	}
+	if got := nilReg.Histograms(); got != nil {
+		t.Errorf("nil registry Histograms() = %v", got)
+	}
+}

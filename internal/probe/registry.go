@@ -8,16 +8,29 @@ type Metric struct {
 	Value float64
 }
 
-// Registry is a per-run set of named counters and gauges. Registration
-// allocates (setup or end-of-run); Add/Inc/Observe on the returned handles
-// do not, so handles may be used from hot paths. Like the ring, a registry
-// is owned by one goroutine at a time — the cluster runner builds one per
-// run and snapshots it into the Result.
+// Registry is a per-run set of named counters, gauges, and fixed-bucket
+// histograms. Registration allocates (setup or end-of-run); Add/Inc/Observe
+// on the returned handles do not, so handles may be used from hot paths.
+// Like the ring, a registry is owned by one goroutine at a time — the
+// cluster runner builds one per run and snapshots it into the Result.
 type Registry struct {
 	index   map[string]int
 	names   []string
 	values  []float64
 	isGauge []bool
+
+	histIndex map[string]int
+	hists     []histState
+}
+
+// histState is one registered fixed-bucket histogram: counts[i] covers
+// observations ≤ bounds[i]; the final slot is the +Inf overflow bucket.
+type histState struct {
+	name   string
+	bounds []float64
+	counts []uint64
+	sum    float64
+	count  uint64
 }
 
 // NewRegistry returns an empty registry.
@@ -94,6 +107,88 @@ func (g Gauge) Set(v float64) {
 		return
 	}
 	g.r.values[g.i] = v
+}
+
+// Histogram is a fixed-bucket distribution handle. Observe is
+// allocation-free, so a histogram may be fed from per-run (though not
+// per-event) paths.
+type Histogram struct {
+	r *Registry
+	i int
+}
+
+// Histogram registers (or finds) a fixed-bucket histogram named name.
+// bounds are ascending upper bucket bounds; an implicit +Inf bucket
+// catches everything above the last bound. Re-registering an existing
+// name returns the original histogram; the new bounds are ignored.
+func (r *Registry) Histogram(name string, bounds []float64) Histogram {
+	if r == nil {
+		return Histogram{}
+	}
+	if r.histIndex == nil {
+		r.histIndex = make(map[string]int)
+	}
+	if i, ok := r.histIndex[name]; ok {
+		return Histogram{r: r, i: i}
+	}
+	i := len(r.hists)
+	r.histIndex[name] = i
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	r.hists = append(r.hists, histState{
+		name:   name,
+		bounds: b,
+		counts: make([]uint64, len(b)+1),
+	})
+	return Histogram{r: r, i: i}
+}
+
+// Observe records one value. Nil-safe.
+func (h Histogram) Observe(v float64) {
+	if h.r == nil {
+		return
+	}
+	st := &h.r.hists[h.i]
+	idx := len(st.bounds) // +Inf overflow
+	for i, b := range st.bounds {
+		if v <= b {
+			idx = i
+			break
+		}
+	}
+	st.counts[idx]++
+	st.sum += v
+	st.count++
+}
+
+// HistogramSnapshot is one histogram's state in a registry snapshot.
+type HistogramSnapshot struct {
+	Name string
+	// Bounds are the upper bucket bounds; Counts has one extra trailing
+	// slot for the +Inf bucket. Counts are per-bucket, not cumulative.
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+	Count  uint64
+}
+
+// Histograms returns every registered histogram sorted by name.
+func (r *Registry) Histograms() []HistogramSnapshot {
+	if r == nil || len(r.hists) == 0 {
+		return nil
+	}
+	out := make([]HistogramSnapshot, 0, len(r.hists))
+	for _, st := range r.hists {
+		out = append(out, HistogramSnapshot{
+			Name:   st.name,
+			Bounds: append([]float64(nil), st.bounds...),
+			Counts: append([]uint64(nil), st.counts...),
+			Sum:    st.sum,
+			Count:  st.count,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // Value returns the current value of the named metric (0 if unregistered).

@@ -1,0 +1,187 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sdds/internal/diag"
+	"sdds/internal/harness"
+)
+
+// newCaptureServer builds a service with diagnostics capture armed.
+func newCaptureServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	dir := t.TempDir()
+	if opts.StorePath == "" {
+		opts.StorePath = filepath.Join(dir, "store.jsonl")
+	}
+	if opts.CaptureDir == "" {
+		opts.CaptureDir = filepath.Join(dir, "diag")
+	}
+	s, err := NewServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// TestBundlesDisabled: without a capture dir, the bundle endpoints answer
+// 503 with a pointer at the flag, and doctor reports capture disabled.
+func TestBundlesDisabled(t *testing.T) {
+	_, ts := newTestServer(t, filepath.Join(t.TempDir(), "store.jsonl"), 1)
+	var errResp errorResponse
+	if code := getJSON(t, ts.URL+"/v1/bundles", &errResp); code != http.StatusServiceUnavailable {
+		t.Errorf("GET /v1/bundles = %d, want 503", code)
+	}
+	if !strings.Contains(errResp.Error, "capture-dir") {
+		t.Errorf("error %q does not point at -capture-dir", errResp.Error)
+	}
+	if code := postJSON(t, ts.URL+"/v1/bundles", BundleRequest{Key: "x"}, nil); code != http.StatusServiceUnavailable {
+		t.Errorf("POST /v1/bundles = %d, want 503", code)
+	}
+	var doc DoctorResponse
+	getJSON(t, ts.URL+"/v1/doctor", &doc)
+	found := false
+	for _, c := range doc.Checks {
+		if c.Name == "diagnostics" {
+			found = true
+			if c.Status != "ok" || !strings.Contains(c.Detail, "disabled") {
+				t.Errorf("diagnostics check = %+v", c)
+			}
+		}
+	}
+	if !found {
+		t.Error("doctor has no diagnostics check")
+	}
+}
+
+// TestManualBundleRoundTrip: capture a completed run via POST /v1/bundles
+// (by request, then by key), fetch its manifest via GET, see it in the
+// listing and the doctor report, and validate the bundle on disk.
+func TestManualBundleRoundTrip(t *testing.T) {
+	_, ts := newCaptureServer(t, Options{Workers: 1})
+	req := harness.Request{App: "sar", Scale: 0.02, Seed: 7}
+	var run RunResponse
+	if code := postJSON(t, ts.URL+"/v1/runs", req, &run); code != http.StatusOK {
+		t.Fatalf("run: status %d (%s)", code, run.Error)
+	}
+
+	var created BundleResponse
+	if code := postJSON(t, ts.URL+"/v1/bundles", BundleRequest{Request: &req}, &created); code != http.StatusCreated {
+		t.Fatalf("POST /v1/bundles = %d", code)
+	}
+	if created.Manifest.Trigger != diag.TriggerManual {
+		t.Errorf("trigger = %q", created.Manifest.Trigger)
+	}
+	if created.Manifest.ContentKey != run.Key {
+		t.Errorf("bundle content key %q, run key %q", created.Manifest.ContentKey, run.Key)
+	}
+	names := make(map[string]bool)
+	for _, f := range created.Manifest.Files {
+		names[f.Name] = true
+	}
+	for _, want := range []string{"request.json", "result.json", "metrics.json", "journal_tail.json", "trace.json"} {
+		if !names[want] {
+			t.Errorf("manual bundle missing %s (has %v)", want, created.Manifest.Files)
+		}
+	}
+	rep, err := diag.Validate(created.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("bundle invalid: %v", rep.Problems)
+	}
+
+	// Same capture by content key dedups onto an existing-or-new bundle.
+	var byKey BundleResponse
+	if code := postJSON(t, ts.URL+"/v1/bundles", BundleRequest{Key: run.Key}, &byKey); code != http.StatusCreated {
+		t.Fatalf("POST /v1/bundles by key = %d", code)
+	}
+
+	var got BundleResponse
+	if code := getJSON(t, ts.URL+"/v1/bundles/"+created.ID, &got); code != http.StatusOK {
+		t.Fatalf("GET /v1/bundles/{id} = %d", code)
+	}
+	if got.ID != created.ID {
+		t.Errorf("got bundle %s, want %s", got.ID, created.ID)
+	}
+	var listing []BundleSummary
+	if code := getJSON(t, ts.URL+"/v1/bundles", &listing); code != http.StatusOK || len(listing) == 0 {
+		t.Fatalf("GET /v1/bundles = %d with %d entries", code, len(listing))
+	}
+	var doc DoctorResponse
+	getJSON(t, ts.URL+"/v1/doctor", &doc)
+	if len(doc.Bundles) == 0 {
+		t.Error("doctor lists no bundles")
+	}
+	if code := getJSON(t, ts.URL+"/v1/bundles/zzzz", nil); code != http.StatusNotFound {
+		t.Errorf("unknown bundle id = %d, want 404", code)
+	}
+	var badResp errorResponse
+	if code := postJSON(t, ts.URL+"/v1/bundles", BundleRequest{Key: strings.Repeat("0", 64)}, &badResp); code != http.StatusNotFound {
+		t.Errorf("unknown run key = %d, want 404", code)
+	}
+}
+
+// TestTimeoutRunCapturesAutomatically: a service-side per-run deadline
+// failure captures a bundle without anyone asking.
+func TestTimeoutRunCapturesAutomatically(t *testing.T) {
+	s, ts := newCaptureServer(t, Options{Workers: 1, RunTimeout: time.Millisecond})
+	req := harness.Request{App: "sar", Policy: "history", Scheduling: true, Scale: 0.05, Seed: 42}
+	var run RunResponse
+	if code := postJSON(t, ts.URL+"/v1/runs", req, &run); code != http.StatusInternalServerError {
+		t.Fatalf("run under 1ms deadline: status %d", code)
+	}
+	infos, err := s.diag.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 {
+		t.Fatalf("captured %d bundles, want 1", len(infos))
+	}
+	if infos[0].Manifest.Trigger != diag.TriggerTimeout {
+		t.Errorf("trigger = %q, want timeout", infos[0].Manifest.Trigger)
+	}
+}
+
+// TestMetricsHistogramAndDiagGauges: /v1/metrics exposes the run-latency
+// histogram (with _bucket/_sum/_count series) and the diagnostics gauges.
+func TestMetricsHistogramAndDiagGauges(t *testing.T) {
+	_, ts := newCaptureServer(t, Options{Workers: 1})
+	req := harness.Request{App: "sar", Scale: 0.02, Seed: 7}
+	if code := postJSON(t, ts.URL+"/v1/runs", req, nil); code != http.StatusOK {
+		t.Fatalf("run: status %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1<<20)
+	n, _ := resp.Body.Read(buf)
+	out := string(buf[:n])
+	for _, want := range []string{
+		"# TYPE sddsd_run_latency_seconds histogram",
+		`sddsd_run_latency_seconds_bucket{le="+Inf"} 1`,
+		"sddsd_run_latency_seconds_count 1",
+		"diag_bundles_captured",
+		"diag_capture_failures",
+		"diag_watchdog_median_ms",
+		"probe_spans",
+		"probe_span_contention",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"sdds/internal/compilecache"
+	"sdds/internal/diag"
 	"sdds/internal/harness"
 	"sdds/internal/store"
 	"sdds/internal/workloads"
@@ -153,7 +154,52 @@ type DoctorResponse struct {
 	Checks  []Check      `json:"checks"`
 	Store   store.Report `json:"store"`
 	Tail    []TailRun    `json:"tail,omitempty"`
-	Metrics string       `json:"metrics"`
+	// Bundles lists the most recent diagnostics bundles (newest first);
+	// absent when capture is disabled.
+	Bundles []BundleSummary `json:"bundles,omitempty"`
+	Metrics string          `json:"metrics"`
+}
+
+// BundleSummary is one diagnostics bundle in listings: identity and
+// trigger context without the per-file manifest detail.
+type BundleSummary struct {
+	ID            string `json:"id"`
+	Trigger       string `json:"trigger"`
+	Key           string `json:"key,omitempty"`
+	Error         string `json:"error,omitempty"`
+	ElapsedMS     int64  `json:"elapsed_ms,omitempty"`
+	CreatedUnixMS int64  `json:"created_unix_ms"`
+	Files         int    `json:"files"`
+	Path          string `json:"path"`
+}
+
+func newBundleSummary(b diag.BundleInfo) BundleSummary {
+	return BundleSummary{
+		ID:            b.ID,
+		Trigger:       b.Manifest.Trigger,
+		Key:           b.Manifest.Key,
+		Error:         b.Manifest.Error,
+		ElapsedMS:     b.Manifest.ElapsedMS,
+		CreatedUnixMS: b.Manifest.CreatedUnixMS,
+		Files:         len(b.Manifest.Files),
+		Path:          b.Path,
+	}
+}
+
+// BundleRequest is the POST /v1/bundles body: the run to capture, named
+// either by content key (a run this service has seen or stored) or by a
+// full request.
+type BundleRequest struct {
+	Key     string           `json:"key,omitempty"`
+	Request *harness.Request `json:"request,omitempty"`
+}
+
+// BundleResponse answers POST /v1/bundles and GET /v1/bundles/{id}.
+type BundleResponse struct {
+	ID       string        `json:"id"`
+	Path     string        `json:"path"`
+	Archive  string        `json:"archive,omitempty"`
+	Manifest diag.Manifest `json:"manifest"`
 }
 
 // Event is one run-progress event on the GET /v1/events SSE stream,
@@ -189,6 +235,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/status", s.handleStatus)
 	mux.HandleFunc("GET /v1/doctor", s.handleDoctor)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/bundles", s.handleCaptureBundle)
+	mux.HandleFunc("GET /v1/bundles", s.handleListBundles)
+	mux.HandleFunc("GET /v1/bundles/{id}", s.handleGetBundle)
 	return mux
 }
 
@@ -377,4 +426,99 @@ func (s *Server) handleDoctor(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	io.WriteString(w, s.metricsText())
+}
+
+// handleCaptureBundle resolves POST /v1/bundles: a manual diagnostics
+// capture of one run, named by content key or full request. 503 when the
+// service runs without a capture directory, 404 for an unknown key.
+func (s *Server) handleCaptureBundle(w http.ResponseWriter, r *http.Request) {
+	if s.diag == nil {
+		writeJSON(w, http.StatusServiceUnavailable,
+			errorResponse{Error: "diagnostics capture is disabled (start sddsd with -capture-dir)"})
+		return
+	}
+	var br BundleRequest
+	if err := decodeJSON(r, &br); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	var req harness.Request
+	switch {
+	case br.Key != "" && br.Request != nil:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "give key or request, not both"})
+		return
+	case br.Key != "":
+		s.mu.Lock()
+		seen, known := s.seen[br.Key]
+		s.mu.Unlock()
+		if known {
+			req = seen
+			break
+		}
+		sreq, _, found, err := s.journal.Lookup(br.Key)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+			return
+		}
+		if !found {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown run key " + br.Key})
+			return
+		}
+		req = sreq
+	case br.Request != nil:
+		norm, err := br.Request.Normalize()
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		req = norm
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "give a run key or a request to capture"})
+		return
+	}
+	info, err := s.CaptureBundle(req)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusCreated, BundleResponse{
+		ID: info.ID, Path: info.Path, Archive: info.Archive, Manifest: info.Manifest,
+	})
+}
+
+// handleListBundles serves GET /v1/bundles: every bundle, newest first.
+func (s *Server) handleListBundles(w http.ResponseWriter, r *http.Request) {
+	if s.diag == nil {
+		writeJSON(w, http.StatusServiceUnavailable,
+			errorResponse{Error: "diagnostics capture is disabled (start sddsd with -capture-dir)"})
+		return
+	}
+	infos, err := s.diag.List()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	out := make([]BundleSummary, 0, len(infos))
+	for _, b := range infos {
+		out = append(out, newBundleSummary(b))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleGetBundle serves GET /v1/bundles/{id}: the bundle's manifest, by
+// full ID or unique prefix.
+func (s *Server) handleGetBundle(w http.ResponseWriter, r *http.Request) {
+	if s.diag == nil {
+		writeJSON(w, http.StatusServiceUnavailable,
+			errorResponse{Error: "diagnostics capture is disabled (start sddsd with -capture-dir)"})
+		return
+	}
+	info, err := s.diag.Find(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, BundleResponse{
+		ID: info.ID, Path: info.Path, Archive: info.Archive, Manifest: info.Manifest,
+	})
 }

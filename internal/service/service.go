@@ -12,6 +12,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime"
@@ -21,10 +23,15 @@ import (
 	"time"
 
 	"sdds/internal/compilecache"
+	"sdds/internal/diag"
 	"sdds/internal/harness"
 	"sdds/internal/probe"
 	"sdds/internal/store"
 )
+
+// latencyBuckets are the fixed run-latency histogram bounds (seconds):
+// spanning cache hits (sub-millisecond) through full-scale simulations.
+var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 5, 30, 120, 600}
 
 // Options configures the service.
 type Options struct {
@@ -47,6 +54,19 @@ type Options struct {
 	// restarts. Empty derives StorePath + ".artifacts"; "off" disables the
 	// compile cache entirely.
 	ArtifactPath string
+	// CaptureDir, when non-empty, arms diagnostics capture: failing,
+	// timed-out, panicking, and watchdog-flagged runs are captured as
+	// content-addressed bundles there, and the /v1/bundles endpoints serve
+	// them. Empty disables capture (the endpoints then report it so).
+	CaptureDir string
+	// SlowMultiplier tunes the slow-run watchdog when capture is armed: a
+	// run slower than multiplier × the rolling median of recent runs is
+	// captured. 0 means the default (4); a negative value disarms only the
+	// watchdog, keeping failure capture.
+	SlowMultiplier float64
+	// Log, when non-nil, receives structured service, session, and store
+	// events (JSON slog records with per-run request_key correlation).
+	Log *slog.Logger
 }
 
 // Server is the service state: one session, one persistent store, one
@@ -58,10 +78,18 @@ type Server struct {
 	sess    *harness.Session
 	hub     *hub
 	start   time.Time
+	log     *slog.Logger
 
 	// compile is the persistent compile-artifact cache shared by every
 	// scheduled run the session executes; nil when disabled.
 	compile *compilecache.Cache
+
+	// diag is the diagnostics recorder behind /v1/bundles and the
+	// session's automatic capture; nil when capture is disabled.
+	diag *diag.Recorder
+	// spanProbe is the session's span-only trace, captured into bundles;
+	// nil when capture is disabled.
+	spanProbe *probe.Probe
 
 	// reg holds the service's own counters. probe.Registry is single-owner
 	// by contract, so every access goes through regMu.
@@ -79,6 +107,16 @@ type Server struct {
 	ccRestores probe.Gauge
 	ccBytes    probe.Gauge
 	ccEntries  probe.Gauge
+	// latency is the request-latency histogram (seconds), observed per
+	// /v1/runs and sweep cell, cache hits included.
+	latency probe.Histogram
+	// Diagnostics gauges, refreshed at render time like the compile-cache
+	// ones; registered only when capture is armed.
+	diagCaptured  probe.Gauge
+	diagFailures  probe.Gauge
+	wdMedianMS    probe.Gauge
+	spanCount     probe.Gauge
+	spanContended probe.Gauge
 
 	mu       sync.Mutex
 	seen     map[string]harness.Request // content key → request, for GET /v1/runs/{key}
@@ -103,7 +141,7 @@ func NewServer(o Options) (*Server, error) {
 	if o.ArtifactPath == "" {
 		o.ArtifactPath = o.StorePath + ".artifacts"
 	}
-	j, err := harness.OpenJournal(o.StorePath, true)
+	j, err := harness.OpenJournalWith(o.StorePath, true, o.Log)
 	if err != nil {
 		return nil, err
 	}
@@ -111,6 +149,7 @@ func NewServer(o Options) (*Server, error) {
 		opts:     o,
 		journal:  j,
 		hub:      newHub(),
+		log:      o.Log,
 		reg:      probe.NewRegistry(),
 		seen:     make(map[string]harness.Request),
 		inflight: make(map[string]int),
@@ -122,6 +161,22 @@ func NewServer(o Options) (*Server, error) {
 			return nil, err
 		}
 	}
+	if o.CaptureDir != "" {
+		mult := o.SlowMultiplier
+		if mult == 0 {
+			mult = 4
+		}
+		s.diag, err = diag.NewRecorder(diag.Options{
+			Dir:            o.CaptureDir,
+			SlowMultiplier: mult,
+			Log:            o.Log,
+		})
+		if err != nil {
+			s.closeStores()
+			return nil, err
+		}
+		s.spanProbe = probe.NewSpanProbe()
+	}
 	s.submitted = s.reg.Counter("sddsd.runs.submitted")
 	s.simulated = s.reg.Counter("sddsd.runs.simulated")
 	s.cached = s.reg.Counter("sddsd.runs.cached")
@@ -132,6 +187,14 @@ func NewServer(o Options) (*Server, error) {
 	s.ccRestores = s.reg.Gauge("compile_cache.restores")
 	s.ccBytes = s.reg.Gauge("compile_cache.bytes")
 	s.ccEntries = s.reg.Gauge("compile_cache.entries")
+	s.latency = s.reg.Histogram("sddsd.run_latency_seconds", latencyBuckets)
+	if s.diag != nil {
+		s.diagCaptured = s.reg.Gauge("diag.bundles_captured")
+		s.diagFailures = s.reg.Gauge("diag.capture_failures")
+		s.wdMedianMS = s.reg.Gauge("diag.watchdog_median_ms")
+		s.spanCount = s.reg.Gauge("probe.spans")
+		s.spanContended = s.reg.Gauge("probe.span_contention")
+	}
 	s.sess = harness.NewSession(harness.SessionOptions{
 		Workers:             o.Workers,
 		RunTimeout:          o.RunTimeout,
@@ -139,6 +202,9 @@ func NewServer(o Options) (*Server, error) {
 		Progress:            s.onProgress,
 		CompileCache:        s.compile,
 		DisableCompileCache: s.compile == nil,
+		Probe:               s.spanProbe,
+		Diag:                s.diag,
+		Log:                 o.Log,
 	})
 	s.start = time.Now() //sddsvet:ignore simdet -- wall-clock service uptime, not simulated time
 	return s, nil
@@ -185,11 +251,12 @@ func (s *Server) runOne(ctx context.Context, req harness.Request) RunResponse {
 
 	start := time.Now() //sddsvet:ignore simdet -- wall-clock request latency, not simulated time
 	res, hit, err := s.sess.RunRequest(ctx, req)
+	elapsed := time.Since(start) //sddsvet:ignore simdet -- wall-clock request latency, not simulated time
 	resp := RunResponse{
 		Key:       key,
 		Request:   req,
 		Cached:    hit,
-		ElapsedMS: time.Since(start).Milliseconds(),
+		ElapsedMS: elapsed.Milliseconds(),
 	}
 	s.regMu.Lock()
 	switch {
@@ -200,6 +267,7 @@ func (s *Server) runOne(ctx context.Context, req harness.Request) RunResponse {
 	default:
 		s.simulated.Inc()
 	}
+	s.latency.Observe(elapsed.Seconds())
 	s.regMu.Unlock()
 	if err != nil {
 		resp.Error = err.Error()
@@ -302,6 +370,33 @@ func (s *Server) Doctor() DoctorResponse {
 		}
 	}
 
+	// Diagnostics capture health: bundles on disk and capture failures.
+	var bundles []BundleSummary
+	if s.diag == nil {
+		checks = append(checks, Check{Name: "diagnostics", Status: "ok", Detail: "capture disabled"})
+	} else {
+		captured, failures := s.diag.Stats()
+		infos, err := s.diag.List()
+		switch {
+		case err != nil:
+			checks = append(checks, Check{Name: "diagnostics", Status: "fail", Detail: err.Error()})
+		case failures > 0:
+			checks = append(checks, Check{Name: "diagnostics", Status: "warn",
+				Detail: fmt.Sprintf("%d capture failures (%d captured, %d bundles in %s)",
+					failures, captured, len(infos), s.diag.Dir())})
+		default:
+			checks = append(checks, Check{Name: "diagnostics", Status: "ok",
+				Detail: fmt.Sprintf("%d captured this lifetime, %d bundles in %s",
+					captured, len(infos), s.diag.Dir())})
+		}
+		if n := len(infos); n > s.opts.Tail {
+			infos = infos[:s.opts.Tail]
+		}
+		for _, b := range infos {
+			bundles = append(bundles, newBundleSummary(b))
+		}
+	}
+
 	status := "ok"
 	for _, c := range checks {
 		if c.Status == "fail" {
@@ -324,6 +419,7 @@ func (s *Server) Doctor() DoctorResponse {
 		Checks:  checks,
 		Store:   rep,
 		Tail:    tail,
+		Bundles: bundles,
 		Metrics: s.metricsText(),
 	}
 }
@@ -340,9 +436,57 @@ func (s *Server) metricsText() string {
 	s.ccRestores.Set(float64(st.Restores))
 	s.ccBytes.Set(float64(st.Bytes))
 	s.ccEntries.Set(float64(st.Entries))
+	if s.diag != nil {
+		captured, failures := s.diag.Stats()
+		s.diagCaptured.Set(float64(captured))
+		s.diagFailures.Set(float64(failures))
+		s.wdMedianMS.Set(float64(s.diag.Watchdog().Median().Milliseconds()))
+		s.spanCount.Set(float64(s.spanProbe.SpanCount()))
+		s.spanContended.Set(float64(s.spanProbe.SpanContention()))
+	}
 	s.reg.WritePrometheus(&b)
 	s.regMu.Unlock()
 	return b.String()
+}
+
+// CaptureBundle assembles a manual diagnostics bundle for one resolved
+// request: its canonical form, the stored result (from the session cache
+// or the persistent store), the service's caches' state, the journal
+// tail, and the session trace. It answers POST /v1/bundles.
+func (s *Server) CaptureBundle(req harness.Request) (*diag.BundleInfo, error) {
+	if s.diag == nil {
+		return nil, errors.New("service: diagnostics capture is disabled (start sddsd with -capture-dir)")
+	}
+	c := diag.Capture{
+		Trigger:      diag.TriggerManual,
+		Key:          req.Key(),
+		ContentKey:   req.ContentKey(),
+		Request:      req,
+		CompileCache: s.sess.CompileCacheStats(),
+		JournalTail:  s.journal.Tail(s.opts.Tail),
+	}
+	res, rerr, ok := s.sess.Cached(req)
+	if !ok {
+		// Not resolved this lifetime: the persistent store may still hold it.
+		if sreq, sres, found, err := s.journal.Lookup(req.ContentKey()); err == nil && found {
+			req, res, ok = sreq, sres, true
+		}
+	}
+	if ok {
+		c.Err = rerr
+		if res != nil {
+			rec := harness.NewRunRecord(res)
+			c.Result = rec
+			c.Metrics = res.Metrics
+			c.Faults = res.Faults
+		}
+	}
+	if p := s.spanProbe; p != nil {
+		c.Trace = func(w io.Writer) error {
+			return probe.WriteChromeTrace(w, p, probe.ChromeOptions{})
+		}
+	}
+	return s.diag.Capture(c)
 }
 
 // Serve runs the HTTP server on ln until ctx is cancelled, then shuts

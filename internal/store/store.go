@@ -12,6 +12,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 	"sync"
@@ -39,6 +40,14 @@ type Store struct {
 // and a torn trailing line (a crash's kill point) is dropped before
 // appends continue after it. A path naming a directory is rejected.
 func Open(path string, truncate bool) (*Store, error) {
+	return OpenWith(path, truncate, nil)
+}
+
+// OpenWith is Open with structured logging: when log is non-nil, resume
+// recovery (entries loaded, torn tail dropped) is reported on it — the
+// torn-tail truncation is the one silent data repair in the whole
+// pipeline, and a crashed sweep's operator should see it happen.
+func OpenWith(path string, truncate bool, log *slog.Logger) (*Store, error) {
 	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
 		return nil, fmt.Errorf("store: path %s is a directory, want a file", path)
 	}
@@ -54,6 +63,15 @@ func Open(path string, truncate bool) (*Store, error) {
 	lines, validBytes, err := loadLines(path)
 	if err != nil {
 		return nil, err
+	}
+	if log != nil {
+		if fi, err := os.Stat(path); err == nil && fi.Size() > validBytes {
+			log.Warn("store dropping torn tail", "path", path,
+				"torn_bytes", fi.Size()-validBytes, "valid_bytes", validBytes)
+		}
+		if len(lines) > 0 {
+			log.Info("store resumed", "path", path, "entries", len(lines), "bytes", validBytes)
+		}
 	}
 	for _, l := range lines {
 		if _, dup := s.values[l.Key]; !dup {
