@@ -5,12 +5,12 @@ GO ?= go
 # sandboxes, air-gapped machines) skip it with a notice instead of failing.
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: ci lint vet sddsvet staticcheck build test race smoke trace-smoke fault-smoke service-smoke diag-smoke bench bench-check
+.PHONY: ci lint vet sddsvet staticcheck build test race smoke trace-smoke fault-smoke service-smoke diag-smoke shard-smoke bench bench-check
 
 # CI runs the lint tier strictly: silently skipping a linter there would
 # let findings land unreviewed.
 ci: LINT_STRICT = 1
-ci: lint build race smoke trace-smoke fault-smoke service-smoke diag-smoke bench-check
+ci: lint build race smoke trace-smoke fault-smoke service-smoke diag-smoke shard-smoke bench-check
 
 # Fast static tier: runs in seconds, ahead of the (90-minute) race tier.
 # LINT_STRICT=1 turns the offline staticcheck skip into a hard failure.
@@ -99,6 +99,14 @@ diag-smoke:
 # /v1/doctor, and SIGTERMs for a clean drained exit.
 service-smoke:
 	$(GO) test -run TestServiceSmokeBinary -count=1 -v ./internal/service
+
+# Sharded sweep end to end: builds the real sddsd and sddsworker binaries,
+# starts a coordinator with a short lease TTL, leases a shard to a worker
+# and SIGKILLs it mid-shard, then verifies a second worker picks up the
+# requeued lease and the merged store is byte-identical to a direct
+# single-process run of the same plan.
+shard-smoke:
+	$(GO) test -run TestShardSmokeBinary -count=1 -v ./internal/service
 
 # Perf trajectory: engine microbenchmarks (steady-state schedule+fire, the
 # container/heap baseline they are measured against) plus a fig12c-shape

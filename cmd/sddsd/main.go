@@ -8,7 +8,10 @@
 //
 // Endpoints (all under /v1): POST /runs, POST /sweeps, GET /runs/{key},
 // GET /events (SSE progress), GET /status, GET /doctor, GET /metrics
-// (Prometheus text). SIGINT/SIGTERM drain inflight runs before exit.
+// (Prometheus text), and the sharded-sweep family POST /shards/sweeps,
+// /shards/lease, /shards/renew, /shards/complete, GET /shards/status —
+// sddsd acts as the lease-based coordinator for sddsworker processes.
+// SIGINT/SIGTERM drain inflight runs before exit.
 package main
 
 import (
@@ -45,6 +48,10 @@ func runCtx(ctx context.Context, args []string) error {
 		tail     = fs.Int("tail", 8, "recent store entries reported by /v1/doctor")
 		addrFile = fs.String("addr-file", "", "write the resolved listen address to this file (for scripts using port 0)")
 		artifact = fs.String("artifacts", "", "persistent compile-artifact store (JSONL; default <store>.artifacts, \"off\" disables)")
+		leaseTTL = fs.Duration("lease-ttl", 15*time.Second, "shard lease lifetime; a worker silent this long forfeits its shard")
+		shardSz  = fs.Int("shard-size", 4, "default requests per shard for sharded sweeps")
+		retries  = fs.Int("shard-retries", 5, "lease grants per shard before it is poisoned")
+		grace    = fs.Duration("local-grace", 3*time.Second, "wait this long for a worker before running a sharded sweep locally (negative disables the fallback)")
 	)
 	var df cliutil.DiagFlags
 	df.Register(fs)
@@ -66,15 +73,19 @@ func runCtx(ctx context.Context, args []string) error {
 		watchdog = -1
 	}
 	srv, err := service.NewServer(service.Options{
-		StorePath:      *storeArg,
-		Workers:        *workers,
-		RunTimeout:     *timeout,
-		DrainTimeout:   *drain,
-		Tail:           *tail,
-		ArtifactPath:   *artifact,
-		CaptureDir:     df.CaptureDir,
-		SlowMultiplier: watchdog,
-		Log:            log,
+		StorePath:        *storeArg,
+		Workers:          *workers,
+		RunTimeout:       *timeout,
+		DrainTimeout:     *drain,
+		Tail:             *tail,
+		ArtifactPath:     *artifact,
+		CaptureDir:       df.CaptureDir,
+		SlowMultiplier:   watchdog,
+		Log:              log,
+		LeaseTTL:         *leaseTTL,
+		ShardSize:        *shardSz,
+		MaxShardAttempts: *retries,
+		LocalGrace:       *grace,
 	})
 	if err != nil {
 		return err

@@ -28,6 +28,7 @@ import (
 	"sdds/internal/cliutil"
 	"sdds/internal/harness"
 	"sdds/internal/probe"
+	"sdds/internal/shard"
 )
 
 func main() {
@@ -56,6 +57,8 @@ func runCtx(ctx context.Context, args []string) error {
 		memprofile = fs.String("memprofile", "", "write an allocation profile to this file at exit")
 		showMetric = fs.Bool("metrics", false, "print each simulated run's counter/gauge registry as a '# metrics' line on stdout")
 		tracePath  = fs.String("trace", "", "write a Chrome trace of the session's phases (plan, per-worker runs, compile/simulate) to this file")
+		coord      = fs.String("coordinator", "", "run the sweep sharded through this sddsd coordinator URL; results merge back before rendering")
+		shardSize  = fs.Int("shard-size", 0, "with -coordinator: requests per shard (0 = the coordinator's default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -156,6 +159,14 @@ func runCtx(ctx context.Context, args []string) error {
 	if jrn != nil && sf.Resume {
 		fmt.Fprintf(os.Stderr, "journal %s: resumed %d completed runs\n", jrn.Path(), sess.Preloaded())
 	}
+	if *coord != "" {
+		// Sharded mode: the coordinator's worker fleet executes the plan,
+		// the merged results are installed into the session cache, and the
+		// experiments below render entirely from hits.
+		if err := runSharded(ctx, *coord, *shardSize, experiments, cfg, sess); err != nil {
+			return err
+		}
+	}
 	for i, e := range experiments {
 		start := time.Now()
 		res, err := sess.Run(ctx, e, cfg)
@@ -203,6 +214,53 @@ func runCtx(ctx context.Context, args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d session spans to %s\n", sessProbe.SpanCount(), *tracePath)
 	}
+	return nil
+}
+
+// runSharded executes the experiments' full run plan through a sddsd
+// coordinator: submit the deterministically ordered canonical plan,
+// wait for the worker fleet (or the coordinator's local fallback) to
+// drain it, then fetch every merged result and install it into the
+// session cache — the experiments afterwards resolve from hits and
+// render byte-identical output to a single-process run.
+func runSharded(ctx context.Context, baseURL string, shardSize int, exps []harness.Experiment, cfg harness.Config, sess *harness.Session) error {
+	if !strings.Contains(baseURL, "://") {
+		baseURL = "http://" + baseURL
+	}
+	plan := harness.PlanRequests(exps, cfg)
+	cl := &shard.Client{BaseURL: baseURL}
+	sub, err := cl.Submit(ctx, shard.SubmitRequest{Requests: plan, ShardSize: shardSize})
+	if err != nil {
+		return fmt.Errorf("submitting sharded sweep: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "sharded sweep: %d requests (%d already stored) across %d shards via %s\n",
+		sub.Requests, sub.Resumed, sub.Shards, baseURL)
+	snap, err := cl.WaitDone(ctx, 500*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	if snap.Requeues > 0 || snap.Duplicates > 0 {
+		fmt.Fprintf(os.Stderr, "sharded sweep survived %d lease expiries and deduped %d duplicate completions\n",
+			snap.Requeues, snap.Duplicates)
+	}
+	installed := 0
+	for _, req := range plan {
+		r, rec, err := cl.Run(ctx, req.ContentKey())
+		if err != nil {
+			return fmt.Errorf("collecting %s: %w", req.Key(), err)
+		}
+		res, err := rec.Restore(r)
+		if err != nil {
+			return fmt.Errorf("restoring %s: %w", req.Key(), err)
+		}
+		if ok, err := sess.Install(req, res); err != nil {
+			return err
+		} else if ok {
+			installed++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "sharded sweep merged: %d results installed from %d workers\n",
+		installed, len(snap.Workers))
 	return nil
 }
 

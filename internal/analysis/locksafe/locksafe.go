@@ -38,6 +38,11 @@ type Root struct {
 var CriticalRoots = []Root{
 	{"sdds/internal/harness", "Session", "RunRequest"},
 	{"sdds/internal/service", "hub", "broadcast"},
+	// The shard coordinator's lease traffic must never stall behind a
+	// blocking operation under its mutex: every worker heartbeat funnels
+	// through these.
+	{"sdds/internal/shard", "Coordinator", "Lease"},
+	{"sdds/internal/shard", "Coordinator", "Complete"},
 }
 
 // Analyzer reports handlers that can block while holding a critical lock.

@@ -19,7 +19,7 @@ import (
 // SimPackages selects the packages the analyzer applies to: the
 // discrete-event engine and every device/executor model whose behaviour
 // feeds the golden-compared results. Tests may override it.
-var SimPackages = regexp.MustCompile(`^sdds/internal/(sim|cluster|disk|power|sched|ionode|mpiio|netsim|fault|store|service|compiler|compilecache|diag)$`)
+var SimPackages = regexp.MustCompile(`^sdds/internal/(sim|cluster|disk|power|sched|ionode|mpiio|netsim|fault|store|service|compiler|compilecache|diag|shard|backoff)$`)
 
 // Analyzer flags time.Now, global math/rand draws, and order-sensitive map
 // iteration in simulation packages — at direct sites syntactically, and

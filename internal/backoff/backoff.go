@@ -1,0 +1,106 @@
+// Package backoff implements jittered, capped exponential backoff: the
+// one retry-delay policy shared by sddsworker reconnects, shard-completion
+// retries, and the coordinator's poisoned-shard requeue gates. Delays grow
+// geometrically from Base, saturate at Cap, and are spread by a jitter
+// fraction so a fleet of workers losing the same coordinator does not
+// reconnect in lockstep (the thundering-herd failure mode).
+//
+// The randomness source is injectable and defaults to a per-Policy seeded
+// PRNG, so tests can pin exact delay sequences; the jitter bounds
+// themselves ([1-Jitter, 1] × the pre-jitter delay) hold for any source.
+package backoff
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Policy describes one backoff schedule. The zero value is not useful;
+// construct with New (or fill the fields and call WithSource).
+type Policy struct {
+	// Base is the attempt-0 delay.
+	Base time.Duration
+	// Cap saturates the pre-jitter delay; it is the worst-case sleep.
+	Cap time.Duration
+	// Factor is the per-attempt growth multiplier (default 2).
+	Factor float64
+	// Jitter is the randomized fraction of each delay, in [0, 1]: the
+	// delay is drawn uniformly from [(1-Jitter)·d, d] where d is the
+	// capped exponential value. 0 means fully deterministic delays.
+	Jitter float64
+
+	mu  *sync.Mutex
+	rnd func() float64 // uniform [0,1); guarded by mu
+}
+
+// New returns a policy growing from base to cap with factor 2 and 0.5
+// jitter, seeded from the base/cap pair (deterministic construction; use
+// WithSource to pin a seed explicitly).
+func New(base, cap time.Duration) Policy {
+	p := Policy{Base: base, Cap: cap, Factor: 2, Jitter: 0.5}
+	return p.WithSource(int64(base) ^ int64(cap)<<1 ^ 0x7f4a7c15)
+}
+
+// WithSource returns a copy of the policy drawing jitter from a PRNG
+// seeded with seed. Tests use it to make delay sequences reproducible.
+func (p Policy) WithSource(seed int64) Policy {
+	rnd := rand.New(rand.NewSource(seed)) // retry-delay jitter; never feeds simulated state
+	p.mu = &sync.Mutex{}
+	p.rnd = rnd.Float64
+	return p
+}
+
+// Delay returns the sleep before retry number attempt (attempt 0 is the
+// first retry). The pre-jitter value is min(Cap, Base·Factor^attempt);
+// the returned value is uniform in [(1-Jitter)·d, d] and never below
+// zero. Safe for concurrent use.
+func (p Policy) Delay(attempt int) time.Duration {
+	if attempt < 0 {
+		attempt = 0
+	}
+	factor := p.Factor
+	if factor <= 1 {
+		factor = 2
+	}
+	d := float64(p.Base) * math.Pow(factor, float64(attempt))
+	if cap := float64(p.Cap); p.Cap > 0 && (d > cap || math.IsInf(d, 1)) {
+		d = cap
+	}
+	if d <= 0 {
+		return 0
+	}
+	j := p.Jitter
+	if j < 0 {
+		j = 0
+	}
+	if j > 1 {
+		j = 1
+	}
+	if j > 0 && p.rnd != nil {
+		p.mu.Lock()
+		u := p.rnd()
+		p.mu.Unlock()
+		d *= 1 - j*u
+	}
+	return time.Duration(d)
+}
+
+// Sleep blocks for Delay(attempt) or until ctx is done, returning
+// ctx.Err() in the latter case. A zero delay returns immediately.
+func (p Policy) Sleep(ctx context.Context, attempt int) error {
+	d := p.Delay(attempt)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

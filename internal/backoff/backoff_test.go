@@ -1,0 +1,94 @@
+package backoff
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestDelayGrowthAndCap pins the jitter-free schedule: geometric growth
+// from Base saturating exactly at Cap.
+func TestDelayGrowthAndCap(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Cap: 160 * time.Millisecond, Factor: 2, Jitter: 0}
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		160 * time.Millisecond,
+		160 * time.Millisecond, // capped
+		160 * time.Millisecond,
+	}
+	for attempt, w := range want {
+		if got := p.Delay(attempt); got != w {
+			t.Errorf("attempt %d: delay %v, want %v", attempt, got, w)
+		}
+	}
+	// Huge attempt counts must not overflow past the cap.
+	if got := p.Delay(10_000); got != 160*time.Millisecond {
+		t.Errorf("attempt 10000: delay %v, want cap", got)
+	}
+	if got := p.Delay(-3); got != p.Delay(0) {
+		t.Errorf("negative attempt: delay %v, want attempt-0 delay", got)
+	}
+}
+
+// TestDelayJitterBounds draws many jittered delays from a seeded source
+// and asserts every one lands inside [(1-Jitter)·d, d].
+func TestDelayJitterBounds(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Cap: time.Second, Factor: 2, Jitter: 0.5}.WithSource(42)
+	for attempt := 0; attempt < 6; attempt++ {
+		pre := Policy{Base: p.Base, Cap: p.Cap, Factor: p.Factor}.Delay(attempt)
+		lo := time.Duration(float64(pre) * 0.5)
+		for i := 0; i < 200; i++ {
+			d := p.Delay(attempt)
+			if d < lo || d > pre {
+				t.Fatalf("attempt %d draw %d: delay %v outside [%v, %v]", attempt, i, d, lo, pre)
+			}
+		}
+	}
+}
+
+// TestDelaySeededReproducible pins that equal seeds yield equal delay
+// sequences (what keeps retry-timing tests deterministic) and different
+// seeds actually jitter.
+func TestDelaySeededReproducible(t *testing.T) {
+	a := New(10*time.Millisecond, time.Second).WithSource(7)
+	b := New(10*time.Millisecond, time.Second).WithSource(7)
+	var diverged bool
+	c := New(10*time.Millisecond, time.Second).WithSource(8)
+	for i := 0; i < 32; i++ {
+		da, db, dc := a.Delay(i%6), b.Delay(i%6), c.Delay(i%6)
+		if da != db {
+			t.Fatalf("draw %d: same seed diverged (%v vs %v)", i, da, db)
+		}
+		if da != dc {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("different seeds produced identical 32-draw sequences")
+	}
+}
+
+// TestSleepHonoursContext asserts Sleep returns promptly with the
+// context's error when cancelled mid-delay.
+func TestSleepHonoursContext(t *testing.T) {
+	p := Policy{Base: time.Hour, Cap: time.Hour, Factor: 2}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- p.Sleep(ctx, 0) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Sleep returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep did not return after cancellation")
+	}
+	// Zero-delay sleeps return immediately without arming a timer.
+	if err := (Policy{}).Sleep(context.Background(), 0); err != nil {
+		t.Fatalf("zero-delay Sleep: %v", err)
+	}
+}

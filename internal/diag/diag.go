@@ -53,6 +53,7 @@ const (
 	TriggerPanic   = "panic"   // a worker panicked inside the run
 	TriggerSlow    = "slow"    // the slow-run watchdog flagged the run
 	TriggerManual  = "manual"  // requested via CLI flag or service API
+	TriggerShard   = "shard"   // a sharded sweep poisoned a shard (retries exhausted)
 )
 
 // Options configures a Recorder.

@@ -169,6 +169,26 @@ func (j *Journal) append(key Request, res *cluster.Result) error {
 	return nil
 }
 
+// AppendRecord durably stores an externally-produced run record — one a
+// sharded worker simulated and shipped back over the wire — under the
+// request's content key, reporting whether it was newly added. False
+// with a nil error is the dedup no-op: an identical record was already
+// stored (the double-completion case). A record that differs from the
+// stored bytes is an error, because identical requests must produce
+// identical results — a mismatch here is the determinism invariant
+// caught broken, not a conflict to resolve.
+func (j *Journal) AppendRecord(req Request, rec RunRecord) (bool, error) {
+	norm, err := req.Normalize()
+	if err != nil {
+		return false, err
+	}
+	added, err := j.s.Add(norm.ContentKey(), storedRun{Request: norm.canonical(), Result: rec})
+	if err != nil {
+		return false, fmt.Errorf("harness: journal: %w", err)
+	}
+	return added, nil
+}
+
 // Lookup returns the stored request and result under a content key
 // (Request.ContentKey form), reporting whether it exists.
 func (j *Journal) Lookup(key string) (Request, *cluster.Result, bool, error) {

@@ -41,13 +41,13 @@ func TestRequestNormalizeCanonicalizesPolicy(t *testing.T) {
 // TestRequestNormalizeRejects pins the validation failures.
 func TestRequestNormalizeRejects(t *testing.T) {
 	cases := []Request{
-		{},                                  // no app
-		{App: "nosuch"},                     // unknown app
-		{App: "sar", Scale: -1},             // negative scale
-		{App: "sar", Variant: "thetaa=8"},   // unknown variant key
-		{App: "sar", Variant: "theta=-3"},   // bad variant value
-		{App: "sar", Faults: "nonsense"},    // bad fault spec
-		{App: "sar", TimeoutMS: -5},         // negative timeout
+		{},                                       // no app
+		{App: "nosuch"},                          // unknown app
+		{App: "sar", Scale: -1},                  // negative scale
+		{App: "sar", Variant: "thetaa=8"},        // unknown variant key
+		{App: "sar", Variant: "theta=-3"},        // bad variant value
+		{App: "sar", Faults: "nonsense"},         // bad fault spec
+		{App: "sar", TimeoutMS: -5},              // negative timeout
 		{App: "sar", Variant: "theta=8,theta=8"}, // repeated key
 	}
 	for _, r := range cases {
@@ -89,8 +89,8 @@ func TestRequestKeyMatchesSessionKey(t *testing.T) {
 func TestRequestVariantCanonicalization(t *testing.T) {
 	cases := []struct{ in, want string }{
 		{"", ""},
-		{"theta=4", ""},               // the default, canonically absent
-		{"procs=32,nodes=8", ""},      // all defaults
+		{"theta=4", ""},          // the default, canonically absent
+		{"procs=32,nodes=8", ""}, // all defaults
 		{"theta=8", "theta=8"},
 		{"theta=8,nodes=16", "nodes=16,theta=8"}, // sorted
 		{"cache=33554432", "cache=32MB"},         // bytes render as MB

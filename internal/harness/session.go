@@ -44,18 +44,24 @@ func variantSpec(app string, kind power.Kind, scheduling bool, tag string, mutat
 // key renders the spec as a canonical Request — the session cache key.
 // Two runs with equal keys are guaranteed identical (the simulator is
 // deterministic in its inputs), so the session executes each distinct key
-// exactly once. Variant tags are canonical: a given tag must always denote
-// the same config mutation, which is what lets experiments share runs
-// (fig14a and fig14b both use "theta=N") and lets service-submitted
-// requests share cache slots with in-process plans.
+// exactly once. Variant tags are canonicalized here (defaults dropped,
+// elements sorted), which is what lets experiments share runs (fig14a
+// and fig14b both use "theta=N"), lets a sweep point that restates a
+// default (cachesens' "cache=64MB") share the unmodified-config run, and
+// lets service-submitted and shard-distributed requests share cache
+// slots and store entries with in-process plans.
 func (sp runSpec) key(c Config) Request {
+	v := sp.variant
+	if canon, err := canonVariant(v); err == nil {
+		v = canon
+	}
 	return Request{
 		App:        sp.app,
 		Policy:     sp.kind.String(),
 		Scheduling: sp.scheduling,
 		Scale:      c.Scale,
 		Seed:       c.Seed,
-		Variant:    sp.variant,
+		Variant:    v,
 		Faults:     c.Faults.Canon(),
 	}
 }
@@ -274,12 +280,12 @@ type SessionOptions struct {
 type Session struct {
 	workers    int
 	progress   ProgressFunc
-	probe      *probe.Probe  // span-only session trace; nil when untraced
-	sem        chan struct{} // worker-pool slots; len == workers
-	runTimeout time.Duration // per-run deadline; 0 = none
-	journal    *Journal      // crash-safe result journal; nil = none
+	probe      *probe.Probe   // span-only session trace; nil when untraced
+	sem        chan struct{}  // worker-pool slots; len == workers
+	runTimeout time.Duration  // per-run deadline; 0 = none
+	journal    *Journal       // crash-safe result journal; nil = none
 	diag       *diag.Recorder // diagnostics capture; nil = disabled
-	log        *slog.Logger  // per-run structured log; nil = silent
+	log        *slog.Logger   // per-run structured log; nil = silent
 
 	progMu sync.Mutex // serializes RunRequest progress emissions
 

@@ -20,8 +20,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		return nil
 	}
 	type row struct {
-		name  string
-		text  string
+		name string
+		text string
 	}
 	rows := make([]row, 0, len(r.values)+len(r.hists))
 	for i, n := range r.names {

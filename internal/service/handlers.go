@@ -11,6 +11,7 @@ import (
 	"sdds/internal/compilecache"
 	"sdds/internal/diag"
 	"sdds/internal/harness"
+	"sdds/internal/shard"
 	"sdds/internal/store"
 	"sdds/internal/workloads"
 )
@@ -133,6 +134,9 @@ type StatusResponse struct {
 	// ArtifactPath is the persistent compile-artifact store; empty when
 	// the cache is disabled.
 	ArtifactPath string `json:"artifact_path,omitempty"`
+	// Shards reports the active sharded sweep; absent when none was
+	// submitted this lifetime.
+	Shards *shard.Snapshot `json:"shards,omitempty"`
 }
 
 // Check is one doctor diagnostic: status is "ok", "warn", or "fail".
@@ -150,10 +154,10 @@ type TailRun struct {
 
 // DoctorResponse is the diagnostic surface behind GET /v1/doctor.
 type DoctorResponse struct {
-	Status  string       `json:"status"`
-	Checks  []Check      `json:"checks"`
-	Store   store.Report `json:"store"`
-	Tail    []TailRun    `json:"tail,omitempty"`
+	Status string       `json:"status"`
+	Checks []Check      `json:"checks"`
+	Store  store.Report `json:"store"`
+	Tail   []TailRun    `json:"tail,omitempty"`
 	// Bundles lists the most recent diagnostics bundles (newest first);
 	// absent when capture is disabled.
 	Bundles []BundleSummary `json:"bundles,omitempty"`
@@ -218,6 +222,13 @@ type Event struct {
 	// CompileProv names where a scheduled run's compile pass came from
 	// ("compiled", "memo", "restored", "uncacheable").
 	CompileProv string `json:"compile_prov,omitempty"`
+	// Shard/ShardEvent/Worker/Attempts describe a shard lifecycle
+	// transition ("leased", "completed", "duplicate", "requeued",
+	// "poisoned") on a sharded sweep; absent on plain run events.
+	Shard      string `json:"shard,omitempty"`
+	ShardEvent string `json:"shard_event,omitempty"`
+	Worker     string `json:"worker,omitempty"`
+	Attempts   int    `json:"attempts,omitempty"`
 }
 
 // errorResponse is the uniform JSON error body.
@@ -235,6 +246,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/status", s.handleStatus)
 	mux.HandleFunc("GET /v1/doctor", s.handleDoctor)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/shards/sweeps", s.handleSubmitShards)
+	mux.HandleFunc("POST /v1/shards/lease", s.handleShardLease)
+	mux.HandleFunc("POST /v1/shards/renew", s.handleShardRenew)
+	mux.HandleFunc("POST /v1/shards/complete", s.handleShardComplete)
+	mux.HandleFunc("GET /v1/shards/status", s.handleShardStatus)
 	mux.HandleFunc("POST /v1/bundles", s.handleCaptureBundle)
 	mux.HandleFunc("GET /v1/bundles", s.handleListBundles)
 	mux.HandleFunc("GET /v1/bundles/{id}", s.handleGetBundle)

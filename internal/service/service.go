@@ -26,6 +26,7 @@ import (
 	"sdds/internal/diag"
 	"sdds/internal/harness"
 	"sdds/internal/probe"
+	"sdds/internal/shard"
 	"sdds/internal/store"
 )
 
@@ -67,6 +68,20 @@ type Options struct {
 	// Log, when non-nil, receives structured service, session, and store
 	// events (JSON slog records with per-run request_key correlation).
 	Log *slog.Logger
+
+	// LeaseTTL is how long a shard lease granted to a sddsworker lives
+	// without renewal (default 15s).
+	LeaseTTL time.Duration
+	// ShardSize is the default requests-per-shard for sharded sweeps
+	// (default 4); submitters may override per sweep.
+	ShardSize int
+	// MaxShardAttempts bounds lease grants per shard before it is
+	// poisoned (default 5).
+	MaxShardAttempts int
+	// LocalGrace is how long a sharded sweep waits for any worker to
+	// register before degrading to local single-process execution
+	// (default 3s; negative disables the fallback entirely).
+	LocalGrace time.Duration
 }
 
 // Server is the service state: one session, one persistent store, one
@@ -118,6 +133,23 @@ type Server struct {
 	spanCount     probe.Gauge
 	spanContended probe.Gauge
 
+	// Shard-sweep counters, driven by coordinator lifecycle events.
+	shardSweeps     probe.Counter
+	shardsLeased    probe.Counter
+	shardsCompleted probe.Counter
+	shardsRequeued  probe.Counter
+	shardsDuplicate probe.Counter
+	shardsPoisoned  probe.Counter
+
+	// life spans the server's lifetime; the sharded sweeps' local-fallback
+	// goroutines hang off it so Close reaps them.
+	life     context.Context
+	lifeStop context.CancelFunc
+
+	// shardMu guards the active sweep coordinator (one at a time).
+	shardMu sync.Mutex
+	coord   *shard.Coordinator
+
 	mu       sync.Mutex
 	seen     map[string]harness.Request // content key → request, for GET /v1/runs/{key}
 	inflight map[string]int             // content key → active submissions
@@ -145,6 +177,18 @@ func NewServer(o Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 15 * time.Second
+	}
+	if o.ShardSize <= 0 {
+		o.ShardSize = 4
+	}
+	if o.MaxShardAttempts <= 0 {
+		o.MaxShardAttempts = 5
+	}
+	if o.LocalGrace == 0 {
+		o.LocalGrace = 3 * time.Second
+	}
 	s := &Server{
 		opts:     o,
 		journal:  j,
@@ -154,6 +198,7 @@ func NewServer(o Options) (*Server, error) {
 		seen:     make(map[string]harness.Request),
 		inflight: make(map[string]int),
 	}
+	s.life, s.lifeStop = context.WithCancel(context.Background())
 	if o.ArtifactPath != "off" {
 		s.compile, err = compilecache.Open(o.ArtifactPath)
 		if err != nil {
@@ -188,6 +233,12 @@ func NewServer(o Options) (*Server, error) {
 	s.ccBytes = s.reg.Gauge("compile_cache.bytes")
 	s.ccEntries = s.reg.Gauge("compile_cache.entries")
 	s.latency = s.reg.Histogram("sddsd.run_latency_seconds", latencyBuckets)
+	s.shardSweeps = s.reg.Counter("sddsd.shards.sweeps")
+	s.shardsLeased = s.reg.Counter("sddsd.shards.leased")
+	s.shardsCompleted = s.reg.Counter("sddsd.shards.completed")
+	s.shardsRequeued = s.reg.Counter("sddsd.shards.requeued")
+	s.shardsDuplicate = s.reg.Counter("sddsd.shards.duplicate")
+	s.shardsPoisoned = s.reg.Counter("sddsd.shards.poisoned")
 	if s.diag != nil {
 		s.diagCaptured = s.reg.Gauge("diag.bundles_captured")
 		s.diagFailures = s.reg.Gauge("diag.capture_failures")
@@ -307,6 +358,10 @@ func (s *Server) Status() StatusResponse {
 		st := s.sess.CompileCacheStats()
 		resp.CompileCache = &st
 		resp.ArtifactPath = s.compile.Store().Path()
+	}
+	if coord := s.activeCoord(); coord != nil {
+		snap := coord.Snapshot()
+		resp.Shards = &snap
 	}
 	return resp
 }
@@ -517,8 +572,10 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	return err
 }
 
-// closeStores closes the result journal and the compile-artifact store.
+// closeStores stops the sweep-lifetime goroutines and closes the result
+// journal and the compile-artifact store.
 func (s *Server) closeStores() error {
+	s.lifeStop()
 	err := s.journal.Close()
 	if s.compile != nil {
 		if cerr := s.compile.Close(); err == nil {

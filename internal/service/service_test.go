@@ -132,10 +132,10 @@ func TestServiceRunMatchesDirectSession(t *testing.T) {
 func TestServiceRunValidation(t *testing.T) {
 	_, ts := newTestServer(t, filepath.Join(t.TempDir(), "store.jsonl"), 1)
 	cases := []string{
-		`{`,                          // malformed
-		`{"app":"sar","polcy":"x"}`,  // unknown field
-		`{"app":"nosuch"}`,           // unknown app
-		`{"app":"sar","policy":"histroy"}`, // policy typo
+		`{`,                                  // malformed
+		`{"app":"sar","polcy":"x"}`,          // unknown field
+		`{"app":"nosuch"}`,                   // unknown app
+		`{"app":"sar","policy":"histroy"}`,   // policy typo
 		`{"app":"sar","variant":"thetaa=8"}`, // variant typo
 	}
 	for _, body := range cases {

@@ -1,0 +1,306 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"sdds/internal/diag"
+	"sdds/internal/harness"
+	"sdds/internal/shard"
+)
+
+// Sharded sweeps: the /v1/shards endpoint family turns sddsd into a
+// lease-based coordinator. A submitter posts the deterministically
+// ordered run plan; the coordinator partitions it into content-keyed
+// shards and hands them to sddsworker processes under expiring leases.
+// Every completed run is committed to the same content-addressed store
+// that local runs use, so exactly-once semantics fall out of store
+// immutability rather than coordination: late double-completions dedup
+// byte-identically, and a mismatch surfaces as the determinism
+// invariant broken. If no worker ever registers within LocalGrace, the
+// sweep degrades gracefully to local single-process execution through
+// the very same lease machinery.
+
+// handleSubmitShards answers POST /v1/shards/sweeps: normalize and
+// dedup the submitted plan, resolve already-stored requests without
+// sharding them, partition the rest, and start the coordinator. One
+// sharded sweep runs at a time; submitting while one is active is a
+// conflict.
+func (s *Server) handleSubmitShards(w http.ResponseWriter, r *http.Request) {
+	var sub shard.SubmitRequest
+	if err := decodeJSON(r, &sub); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if len(sub.Requests) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty request plan"})
+		return
+	}
+	seen := make(map[string]bool)
+	var all, pending []harness.Request
+	resumed := 0
+	for i, r := range sub.Requests {
+		norm, err := r.Normalize()
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest,
+				errorResponse{Error: fmt.Sprintf("request %d (%s): %v", i, r.App, err)})
+			return
+		}
+		key := norm.ContentKey()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		all = append(all, norm)
+		s.mu.Lock()
+		s.seen[key] = norm
+		s.mu.Unlock()
+		// A request the session already resolved (this lifetime or loaded
+		// from the store) never reaches a shard.
+		if _, rerr, ok := s.sess.Cached(norm); ok && rerr == nil {
+			resumed++
+			continue
+		}
+		pending = append(pending, norm)
+	}
+	size := sub.ShardSize
+	if size <= 0 {
+		size = s.opts.ShardSize
+	}
+	shards := shard.Partition(pending, size)
+
+	s.shardMu.Lock()
+	if c := s.coord; c != nil {
+		select {
+		case <-c.Done():
+			// Finished: the new sweep replaces it.
+		default:
+			s.shardMu.Unlock()
+			writeJSON(w, http.StatusConflict,
+				errorResponse{Error: "a sharded sweep is already active"})
+			return
+		}
+	}
+	coord := shard.NewCoordinator(shards, shard.Options{
+		LeaseTTL:    s.opts.LeaseTTL,
+		MaxAttempts: s.opts.MaxShardAttempts,
+		Commit:      s.commitShardResult,
+		OnEvent:     s.onShardEvent,
+		Requests:    len(all),
+		Resumed:     resumed,
+	})
+	s.coord = coord
+	s.shardMu.Unlock()
+
+	s.regMu.Lock()
+	s.shardSweeps.Inc()
+	s.regMu.Unlock()
+	if s.log != nil {
+		s.log.Info("shard sweep submitted", "requests", len(all),
+			"resumed", resumed, "shards", len(shards), "shard_size", size)
+	}
+	if s.opts.LocalGrace >= 0 {
+		go s.localFallback(coord)
+	}
+	writeJSON(w, http.StatusOK, shard.SubmitResponse{
+		Requests: len(all), Resumed: resumed, Shards: len(shards),
+	})
+}
+
+// localFallback degrades a sharded sweep to local single-process
+// execution when no worker registers within the grace period: an
+// in-process shard.Worker drains the coordinator through the same lease
+// machinery remote workers use, so a worker arriving late simply shares
+// the sweep — the store dedups any overlap.
+func (s *Server) localFallback(coord *shard.Coordinator) {
+	t := time.NewTimer(s.opts.LocalGrace)
+	defer t.Stop()
+	select {
+	case <-s.life.Done():
+		return
+	case <-coord.Done():
+		return
+	case <-t.C:
+	}
+	if coord.WorkerCount() > 0 {
+		return
+	}
+	if s.log != nil {
+		s.log.Info("no worker registered; degrading shard sweep to local execution",
+			"grace", s.opts.LocalGrace.String())
+	}
+	w := &shard.Worker{
+		API:          shard.Local(coord),
+		Exec:         s.execRequest,
+		Name:         "local-fallback",
+		ExitWhenDone: true,
+		Log:          s.log,
+	}
+	if err := w.Run(s.life); err != nil && !errors.Is(err, context.Canceled) {
+		if s.log != nil {
+			s.log.Error("local fallback worker failed", "err", err.Error())
+		}
+	}
+}
+
+// execRequest runs one request through the session (pool-bounded,
+// compile cache and fault plumbing intact) for the local fallback
+// worker.
+func (s *Server) execRequest(ctx context.Context, req harness.Request) (harness.RunRecord, error) {
+	res, _, err := s.sess.RunRequest(ctx, req)
+	if err != nil {
+		return harness.RunRecord{}, err
+	}
+	return harness.NewRunRecord(res), nil
+}
+
+// commitShardResult persists one worker-produced run: durably into the
+// journal (first write wins; identical re-commits dedup; mismatches are
+// the determinism invariant broken) and into the session cache so
+// GET /v1/runs and later local sweeps serve it as a hit.
+func (s *Server) commitShardResult(req harness.Request, rec harness.RunRecord) (bool, error) {
+	added, err := s.journal.AppendRecord(req, rec)
+	if err != nil {
+		return false, err
+	}
+	res, err := rec.Restore(req)
+	if err != nil {
+		return added, err
+	}
+	if _, err := s.sess.Install(req, res); err != nil {
+		return added, err
+	}
+	s.mu.Lock()
+	s.seen[req.ContentKey()] = req
+	s.mu.Unlock()
+	return added, nil
+}
+
+// onShardEvent fans coordinator lifecycle transitions into the service
+// counters, the SSE stream, the structured log, and — for a poisoned
+// shard — a diagnostics bundle. The coordinator serializes calls and
+// never holds its mutex here.
+func (s *Server) onShardEvent(e shard.Event) {
+	s.regMu.Lock()
+	switch e.Kind {
+	case shard.EventLeased:
+		s.shardsLeased.Inc()
+	case shard.EventCompleted:
+		s.shardsCompleted.Inc()
+	case shard.EventRequeued:
+		s.shardsRequeued.Inc()
+	case shard.EventDuplicate:
+		s.shardsDuplicate.Inc()
+	case shard.EventPoisoned:
+		s.shardsPoisoned.Inc()
+	}
+	s.regMu.Unlock()
+	s.hub.broadcast(Event{
+		Shard: e.ShardID, ShardEvent: e.Kind,
+		Worker: e.Worker, Attempts: e.Attempts, Err: e.Err,
+	})
+	if s.log != nil {
+		s.log.Info("shard "+e.Kind, "shard", e.ShardID,
+			"worker", e.Worker, "attempts", e.Attempts, "err", e.Err)
+	}
+	if e.Kind == shard.EventPoisoned && s.diag != nil {
+		if _, err := s.diag.Capture(diag.Capture{
+			Trigger:      diag.TriggerShard,
+			Key:          "shard " + e.ShardID,
+			Err:          errors.New(e.Err),
+			CompileCache: s.sess.CompileCacheStats(),
+			JournalTail:  s.journal.Tail(s.opts.Tail),
+		}); err != nil && s.log != nil {
+			s.log.Error("shard poison capture failed", "shard", e.ShardID, "err", err.Error())
+		}
+	}
+}
+
+// activeCoord returns the current sweep coordinator, nil when none was
+// ever submitted this lifetime.
+func (s *Server) activeCoord() *shard.Coordinator {
+	s.shardMu.Lock()
+	defer s.shardMu.Unlock()
+	return s.coord
+}
+
+// handleShardLease answers POST /v1/shards/lease. With no active sweep,
+// workers are told to wait — a worker may outlive the sweep that
+// spawned it and poll for the next one.
+func (s *Server) handleShardLease(w http.ResponseWriter, r *http.Request) {
+	var req shard.LeaseRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	coord := s.activeCoord()
+	if coord == nil {
+		writeJSON(w, http.StatusOK, shard.LeaseResponse{Status: shard.StatusWait})
+		return
+	}
+	writeJSON(w, http.StatusOK, coord.Lease(req.Worker))
+}
+
+// handleShardRenew answers POST /v1/shards/renew. With no active sweep
+// the lease is trivially gone: done tells the worker to drop the shard.
+func (s *Server) handleShardRenew(w http.ResponseWriter, r *http.Request) {
+	var req shard.RenewRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	coord := s.activeCoord()
+	if coord == nil {
+		writeJSON(w, http.StatusOK, shard.RenewResponse{Status: shard.StatusDone})
+		return
+	}
+	writeJSON(w, http.StatusOK, coord.Renew(req.Worker, req.ShardID, req.LeaseID))
+}
+
+// handleShardComplete answers POST /v1/shards/complete. A completion
+// arriving after the coordinator is gone (service restarted mid-sweep)
+// is still committed straight to the store — the work is never thrown
+// away, and the resubmitted sweep resumes past it.
+func (s *Server) handleShardComplete(w http.ResponseWriter, r *http.Request) {
+	var req shard.CompleteRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	coord := s.activeCoord()
+	if coord == nil {
+		stored := 0
+		for _, e := range req.Results {
+			added, err := s.commitShardResult(e.Request, e.Result)
+			if err != nil {
+				writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+				return
+			}
+			if added {
+				stored++
+			}
+		}
+		writeJSON(w, http.StatusOK, shard.CompleteResponse{Status: shard.StatusDuplicate, Stored: stored})
+		return
+	}
+	resp, err := coord.Complete(req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleShardStatus answers GET /v1/shards/status: the coordinator
+// snapshot, or an inactive zero snapshot when no sweep was submitted.
+func (s *Server) handleShardStatus(w http.ResponseWriter, r *http.Request) {
+	coord := s.activeCoord()
+	if coord == nil {
+		writeJSON(w, http.StatusOK, shard.Snapshot{})
+		return
+	}
+	writeJSON(w, http.StatusOK, coord.Snapshot())
+}

@@ -1,0 +1,202 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"sdds/internal/backoff"
+	"sdds/internal/harness"
+)
+
+// Client drives the sddsd /v1/shards endpoints (and the run-lookup
+// endpoint the submitter uses to collect merged results). Transient
+// transport errors and 5xx responses are retried under a jittered capped
+// backoff, so a worker survives a coordinator restart and a submitter
+// survives a flaky link.
+type Client struct {
+	// BaseURL is the service root, e.g. "http://127.0.0.1:8377".
+	BaseURL string
+	// HTTP is the transport; nil means a 30s-timeout client.
+	HTTP *http.Client
+	// Backoff paces retries (zero value: backoff.New(200ms, 5s)).
+	Backoff backoff.Policy
+	// Retries bounds attempts per call (default 5).
+	Retries int
+}
+
+// httpError is a non-2xx response; 5xx values are retryable.
+type httpError struct {
+	status int
+	body   string
+}
+
+func (e *httpError) Error() string {
+	return fmt.Sprintf("http %d: %s", e.status, e.body)
+}
+
+func (c *Client) client() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// do issues one request with retries: transport errors and 5xx retry
+// under backoff, 4xx fail fast (the request itself is wrong).
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	bo := c.Backoff
+	if bo.Base == 0 && bo.Cap == 0 {
+		bo = backoff.New(200*time.Millisecond, 5*time.Second)
+	}
+	retries := c.Retries
+	if retries <= 0 {
+		retries = 5
+	}
+	var lastErr error
+	for try := 0; try < retries; try++ {
+		if try > 0 {
+			if err := bo.Sleep(ctx, try-1); err != nil {
+				return err
+			}
+		}
+		lastErr = c.once(ctx, method, path, in, out)
+		if lastErr == nil {
+			return nil
+		}
+		var he *httpError
+		if errors.As(lastErr, &he) && he.status < 500 {
+			return lastErr // client error: retrying cannot help
+		}
+		if ctx.Err() != nil {
+			return lastErr
+		}
+	}
+	return fmt.Errorf("shard: %s %s failed after %d attempts: %w", method, path, retries, lastErr)
+}
+
+func (c *Client) once(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, strings.TrimSuffix(c.BaseURL, "/")+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		msg := strings.TrimSpace(string(buf))
+		var er struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(buf, &er) == nil && er.Error != "" {
+			msg = er.Error
+		}
+		return &httpError{status: resp.StatusCode, body: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(buf, out)
+}
+
+// Lease implements API over HTTP.
+func (c *Client) Lease(ctx context.Context, worker string) (LeaseResponse, error) {
+	var out LeaseResponse
+	err := c.do(ctx, http.MethodPost, "/v1/shards/lease", LeaseRequest{Worker: worker}, &out)
+	return out, err
+}
+
+// Renew implements API over HTTP.
+func (c *Client) Renew(ctx context.Context, req RenewRequest) (RenewResponse, error) {
+	var out RenewResponse
+	err := c.do(ctx, http.MethodPost, "/v1/shards/renew", req, &out)
+	return out, err
+}
+
+// Complete implements API over HTTP. Safe to retry: completions dedup.
+func (c *Client) Complete(ctx context.Context, req CompleteRequest) (CompleteResponse, error) {
+	var out CompleteResponse
+	err := c.do(ctx, http.MethodPost, "/v1/shards/complete", req, &out)
+	return out, err
+}
+
+// Submit starts a sharded sweep on the coordinator.
+func (c *Client) Submit(ctx context.Context, req SubmitRequest) (SubmitResponse, error) {
+	var out SubmitResponse
+	err := c.do(ctx, http.MethodPost, "/v1/shards/sweeps", req, &out)
+	return out, err
+}
+
+// Status snapshots the coordinator.
+func (c *Client) Status(ctx context.Context) (Snapshot, error) {
+	var out Snapshot
+	err := c.do(ctx, http.MethodGet, "/v1/shards/status", nil, &out)
+	return out, err
+}
+
+// WaitDone polls Status until the sweep is done or ctx ends, returning
+// the final snapshot. A sweep that finished with poisoned shards returns
+// the snapshot and an error carrying the coordinator's verdict.
+func (c *Client) WaitDone(ctx context.Context, poll time.Duration) (Snapshot, error) {
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	for {
+		snap, err := c.Status(ctx)
+		if err != nil {
+			return snap, err
+		}
+		if snap.Done {
+			if snap.Err != "" {
+				return snap, fmt.Errorf("shard: sweep finished with failures: %s", snap.Err)
+			}
+			return snap, nil
+		}
+		if err := sleepCtx(ctx, poll); err != nil {
+			return snap, err
+		}
+	}
+}
+
+// Run fetches one merged result by content key from the coordinator's
+// canonical store (GET /v1/runs/{key}).
+func (c *Client) Run(ctx context.Context, contentKey string) (harness.Request, harness.RunRecord, error) {
+	var out struct {
+		Request harness.Request    `json:"request"`
+		Result  *harness.RunRecord `json:"result"`
+		Error   string             `json:"error"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/v1/runs/"+contentKey, nil, &out); err != nil {
+		return harness.Request{}, harness.RunRecord{}, err
+	}
+	if out.Error != "" {
+		return out.Request, harness.RunRecord{}, fmt.Errorf("shard: run %s: %s", contentKey, out.Error)
+	}
+	if out.Result == nil {
+		return out.Request, harness.RunRecord{}, fmt.Errorf("shard: run %s: no result", contentKey)
+	}
+	return out.Request, *out.Result, nil
+}

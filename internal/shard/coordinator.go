@@ -1,0 +1,434 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sdds/internal/backoff"
+	"sdds/internal/harness"
+)
+
+// Shard lease states.
+type State string
+
+const (
+	// Pending: unleased, waiting for a worker (possibly backoff-gated
+	// after a failure or expiry).
+	Pending State = "pending"
+	// Leased: handed to a worker under an unexpired lease.
+	Leased State = "leased"
+	// Done: results committed to the canonical store.
+	Done State = "done"
+	// Failed: poisoned — retried MaxAttempts times without completing.
+	Failed State = "failed"
+)
+
+// Event kinds, in shard lifecycle order.
+const (
+	EventLeased    = "leased"
+	EventCompleted = "completed"
+	EventDuplicate = "duplicate"
+	EventRequeued  = "requeued"
+	EventPoisoned  = "poisoned"
+)
+
+// Event is one shard lifecycle transition, emitted to Options.OnEvent
+// strictly after the coordinator mutex is released (handlers may call
+// back into the coordinator or take their own locks).
+type Event struct {
+	Kind     string
+	ShardID  string
+	Worker   string
+	Attempts int
+	Err      string
+}
+
+// Options configures a Coordinator.
+type Options struct {
+	// LeaseTTL is how long a granted lease lives without renewal
+	// (default 15s). Workers renew at a fraction of this.
+	LeaseTTL time.Duration
+	// MaxAttempts bounds lease grants per shard before it is poisoned
+	// (default 5).
+	MaxAttempts int
+	// Backoff gates a requeued shard's next grant (capped exponential
+	// with jitter; the zero value defaults to backoff.New(250ms, 10s)).
+	Backoff backoff.Policy
+	// Clock is the time source; injectable so lease-expiry tests are
+	// deterministic. Nil means wall clock.
+	Clock func() time.Time
+	// Commit persists one completed run into the canonical store,
+	// reporting whether it was newly added (false = identical duplicate).
+	// It must be idempotent and first-write-wins; a value mismatch is the
+	// determinism invariant broken and must be an error. Required.
+	Commit func(req harness.Request, rec harness.RunRecord) (bool, error)
+	// OnEvent observes shard lifecycle transitions; may be nil. Called
+	// outside the coordinator mutex, serialized in emission order.
+	OnEvent func(Event)
+	// Requests and Resumed annotate Snapshot with the submit summary.
+	Requests, Resumed int
+}
+
+// shardState is one shard's lease-machine cell.
+type shardState struct {
+	shard     Shard
+	state     State
+	worker    string
+	leaseID   string
+	expiry    time.Time
+	attempts  int
+	notBefore time.Time // backoff gate for the next grant
+	lastErr   string
+}
+
+// Coordinator runs the lease state machine over one sweep's shards:
+// Pending → Leased → Done, with expiry and failure folding back to
+// Pending (behind a backoff gate) until MaxAttempts poisons the shard to
+// Failed. All methods are safe for concurrent use; expiry is evaluated
+// lazily at every public call, so no background ticker is needed.
+type Coordinator struct {
+	opts Options
+
+	mu       sync.Mutex
+	shards   map[string]*shardState
+	order    []string // shard IDs in plan order: deterministic grant order
+	seq      int      // lease ID generator
+	workers  map[string]bool
+	requeues int
+	dups     int
+	stored   int
+	finished bool
+	err      error
+	doneCh   chan struct{}
+
+	evMu sync.Mutex // serializes OnEvent emission order
+}
+
+// NewCoordinator builds the coordinator for one sweep. Duplicate shard
+// IDs (identical content) collapse onto one cell. An empty shard list is
+// immediately done.
+func NewCoordinator(shards []Shard, o Options) *Coordinator {
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 15 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 5
+	}
+	if o.Backoff.Base == 0 && o.Backoff.Cap == 0 {
+		o.Backoff = backoff.New(250*time.Millisecond, 10*time.Second)
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now // wall-clock lease scheduling, not simulated time
+	}
+	c := &Coordinator{
+		opts:    o,
+		shards:  make(map[string]*shardState),
+		workers: make(map[string]bool),
+		doneCh:  make(chan struct{}),
+	}
+	for _, sh := range shards {
+		if _, dup := c.shards[sh.ID]; dup {
+			continue
+		}
+		c.shards[sh.ID] = &shardState{shard: sh, state: Pending}
+		c.order = append(c.order, sh.ID)
+	}
+	c.maybeFinishLocked() // zero shards: born done
+	return c
+}
+
+// expireLocked requeues every shard whose lease has lapsed. Iteration is
+// over the plan-ordered ID slice, so transitions happen in a
+// deterministic order. Caller holds c.mu.
+func (c *Coordinator) expireLocked(now time.Time, events *[]Event) {
+	for _, id := range c.order {
+		sh := c.shards[id]
+		if sh.state != Leased || now.Before(sh.expiry) {
+			continue
+		}
+		c.requeues++
+		worker := sh.worker
+		c.requeueLocked(sh, now, "lease expired (worker "+worker+" crashed, stalled, or partitioned)", events)
+	}
+}
+
+// requeueLocked folds a shard back to Pending behind its backoff gate,
+// or poisons it once MaxAttempts lease grants have failed to complete
+// it. Caller holds c.mu.
+func (c *Coordinator) requeueLocked(sh *shardState, now time.Time, cause string, events *[]Event) {
+	worker := sh.worker
+	sh.worker, sh.leaseID = "", ""
+	sh.lastErr = cause
+	if sh.attempts >= c.opts.MaxAttempts {
+		sh.state = Failed
+		*events = append(*events, Event{Kind: EventPoisoned, ShardID: sh.shard.ID,
+			Worker: worker, Attempts: sh.attempts, Err: cause})
+		c.maybeFinishLocked()
+		return
+	}
+	sh.state = Pending
+	sh.notBefore = now.Add(c.opts.Backoff.Delay(sh.attempts - 1))
+	*events = append(*events, Event{Kind: EventRequeued, ShardID: sh.shard.ID,
+		Worker: worker, Attempts: sh.attempts, Err: cause})
+}
+
+// maybeFinishLocked closes the done channel once every shard is
+// terminal, recording a summary error when any were poisoned. Caller
+// holds c.mu.
+func (c *Coordinator) maybeFinishLocked() {
+	if c.finished {
+		return
+	}
+	var failed []string
+	for _, id := range c.order {
+		switch c.shards[id].state {
+		case Done:
+		case Failed:
+			failed = append(failed, id)
+		default:
+			return
+		}
+	}
+	c.finished = true
+	if len(failed) > 0 {
+		c.err = fmt.Errorf("shard: %d of %d shards poisoned after %d attempts each: %s",
+			len(failed), len(c.order), c.opts.MaxAttempts, strings.Join(failed, ", "))
+	}
+	close(c.doneCh)
+}
+
+// Lease grants the next available shard to worker, or reports wait/done.
+func (c *Coordinator) Lease(worker string) LeaseResponse {
+	var events []Event
+	defer func() { c.emit(events) }()
+	now := c.opts.Clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if worker != "" {
+		c.workers[worker] = true
+	}
+	c.expireLocked(now, &events)
+	for _, id := range c.order {
+		sh := c.shards[id]
+		if sh.state != Pending || now.Before(sh.notBefore) {
+			continue
+		}
+		c.seq++
+		sh.state = Leased
+		sh.worker = worker
+		sh.leaseID = fmt.Sprintf("%s#%d", sh.shard.ID, c.seq)
+		sh.expiry = now.Add(c.opts.LeaseTTL)
+		sh.attempts++
+		events = append(events, Event{Kind: EventLeased, ShardID: sh.shard.ID,
+			Worker: worker, Attempts: sh.attempts})
+		shardCopy := sh.shard
+		return LeaseResponse{
+			Status:  StatusGranted,
+			Shard:   &shardCopy,
+			LeaseID: sh.leaseID,
+			TTLMS:   c.opts.LeaseTTL.Milliseconds(),
+		}
+	}
+	if c.finished {
+		return LeaseResponse{Status: StatusAllDone}
+	}
+	return LeaseResponse{Status: StatusWait}
+}
+
+// Renew heartbeats a held lease, reporting whether it still stands.
+func (c *Coordinator) Renew(worker, shardID, leaseID string) RenewResponse {
+	var events []Event
+	defer func() { c.emit(events) }()
+	now := c.opts.Clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if worker != "" {
+		c.workers[worker] = true
+	}
+	c.expireLocked(now, &events)
+	sh, ok := c.shards[shardID]
+	if !ok {
+		return RenewResponse{Status: StatusDone} // not this sweep's shard: stop
+	}
+	switch sh.state {
+	case Done, Failed:
+		return RenewResponse{Status: StatusDone}
+	case Leased:
+		if sh.leaseID == leaseID {
+			sh.expiry = now.Add(c.opts.LeaseTTL)
+			return RenewResponse{Status: StatusOK}
+		}
+	}
+	return RenewResponse{Status: StatusLost}
+}
+
+// Complete delivers a shard's outcome. Results are committed to the
+// canonical store before any state changes — and regardless of lease
+// ownership: the first completion to land wins even if its lease expired
+// a heartbeat ago, and every later completion dedups byte-identically
+// against the store (a mismatch is reported as the determinism invariant
+// broken). A failure outcome requeues the shard only when it belongs to
+// the current lease; stale failures are dropped.
+func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
+	var events []Event
+	defer func() { c.emit(events) }()
+
+	// Commit outside the mutex: store fsyncs must not block lease/renew
+	// traffic, and the content-addressed store is itself safe under
+	// concurrent duplicate commits.
+	stored := 0
+	commitErr := ""
+	if req.Error == "" {
+		for _, e := range req.Results {
+			added, err := c.opts.Commit(e.Request, e.Result)
+			if err != nil {
+				commitErr = fmt.Sprintf("commit %s: %v", e.Request.Key(), err)
+				break
+			}
+			if added {
+				stored++
+			}
+		}
+	}
+
+	now := c.opts.Clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if req.Worker != "" {
+		c.workers[req.Worker] = true
+	}
+	c.stored += stored
+	c.expireLocked(now, &events)
+	sh, ok := c.shards[req.ShardID]
+	if !ok {
+		return CompleteResponse{}, fmt.Errorf("shard: unknown shard %s", req.ShardID)
+	}
+
+	failure := req.Error
+	if failure == "" {
+		failure = commitErr
+	}
+	if failure == "" {
+		// Success: first completion wins, whatever happened to the lease.
+		if sh.state == Done {
+			c.dups++
+			events = append(events, Event{Kind: EventDuplicate, ShardID: sh.shard.ID,
+				Worker: req.Worker, Attempts: sh.attempts})
+			return CompleteResponse{Status: StatusDuplicate, Stored: stored}, nil
+		}
+		sh.state = Done
+		sh.worker, sh.leaseID, sh.lastErr = "", "", ""
+		events = append(events, Event{Kind: EventCompleted, ShardID: sh.shard.ID,
+			Worker: req.Worker, Attempts: sh.attempts})
+		c.maybeFinishLocked()
+		return CompleteResponse{Status: StatusAccepted, Stored: stored}, nil
+	}
+
+	// Failure: only the current lease holder's verdict counts — a stale
+	// failure must not requeue a shard someone else is executing (or has
+	// already completed).
+	if sh.state != Leased || sh.leaseID != req.LeaseID {
+		c.dups++
+		events = append(events, Event{Kind: EventDuplicate, ShardID: sh.shard.ID,
+			Worker: req.Worker, Attempts: sh.attempts, Err: failure})
+		return CompleteResponse{Status: StatusDuplicate, Stored: stored}, nil
+	}
+	c.requeueLocked(sh, now, failure, &events)
+	return CompleteResponse{Status: StatusAccepted, Stored: stored}, nil
+}
+
+// Done is closed once every shard is terminal.
+func (c *Coordinator) Done() <-chan struct{} { return c.doneCh }
+
+// Err reports the terminal error (poisoned shards), nil while running or
+// when every shard completed.
+func (c *Coordinator) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Wait blocks until every shard is terminal or ctx ends, returning the
+// coordinator's terminal error.
+func (c *Coordinator) Wait(ctx context.Context) error {
+	select {
+	case <-c.doneCh:
+		return c.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// WorkerCount reports how many distinct workers have ever contacted the
+// coordinator — the no-worker-ever-registered gate for local fallback.
+func (c *Coordinator) WorkerCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.workers)
+}
+
+// Snapshot reports the coordinator's observable state. Lease expiry is
+// evaluated first, so a snapshot taken long after a crash shows the
+// requeue, not a stale lease.
+func (c *Coordinator) Snapshot() Snapshot {
+	var events []Event
+	defer func() { c.emit(events) }()
+	now := c.opts.Clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(now, &events)
+	s := Snapshot{
+		Active:     true,
+		Done:       c.finished,
+		Total:      len(c.order),
+		Requests:   c.opts.Requests,
+		Resumed:    c.opts.Resumed,
+		Requeues:   c.requeues,
+		Duplicates: c.dups,
+		Stored:     c.stored,
+	}
+	if c.err != nil {
+		s.Err = c.err.Error()
+	}
+	for _, id := range c.order {
+		sh := c.shards[id]
+		switch sh.state {
+		case Pending:
+			s.Pending++
+		case Leased:
+			s.Leased++
+		case Done:
+			s.Completed++
+		case Failed:
+			s.Failed++
+		}
+		if sh.state != Done {
+			s.Shards = append(s.Shards, ShardStatus{
+				ID: id, State: string(sh.state), Worker: sh.worker,
+				Attempts: sh.attempts, Error: sh.lastErr,
+			})
+		}
+	}
+	for w := range c.workers {
+		s.Workers = append(s.Workers, w)
+	}
+	sort.Strings(s.Workers)
+	return s
+}
+
+// emit delivers events to OnEvent outside the coordinator mutex,
+// serialized so observers see transitions in order.
+func (c *Coordinator) emit(events []Event) {
+	if c.opts.OnEvent == nil || len(events) == 0 {
+		return
+	}
+	c.evMu.Lock()
+	defer c.evMu.Unlock()
+	for _, e := range events {
+		c.opts.OnEvent(e)
+	}
+}

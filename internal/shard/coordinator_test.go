@@ -1,0 +1,450 @@
+package shard
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sdds/internal/backoff"
+	"sdds/internal/harness"
+	"sdds/internal/store"
+)
+
+// fakeClock is an injectable manual clock: lease-expiry tests advance it
+// explicitly, so no test sleeps on real time.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+}
+
+// testRequests builds n distinct canonical requests.
+func testRequests(t *testing.T, n int) []harness.Request {
+	t.Helper()
+	apps := []string{"hf", "sar", "astro", "apsi", "madbench2", "wupwise"}
+	out := make([]harness.Request, 0, n)
+	for i := 0; i < n; i++ {
+		r := harness.Request{App: apps[i%len(apps)], Scale: 0.05, Seed: int64(1 + i/len(apps))}
+		norm, err := r.Normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, norm)
+	}
+	return out
+}
+
+// recordFor derives a deterministic fake result for a request.
+func recordFor(req harness.Request) harness.RunRecord {
+	return harness.RunRecord{
+		ExecTimeUS: int64(len(req.Key())),
+		EnergyJ:    float64(len(req.App)),
+	}
+}
+
+// entriesFor renders a shard's completion payload.
+func entriesFor(sh Shard) []RunEntry {
+	out := make([]RunEntry, 0, len(sh.Requests))
+	for _, r := range sh.Requests {
+		out = append(out, RunEntry{Request: r, Result: recordFor(r)})
+	}
+	return out
+}
+
+// storeCommit builds a Commit function over a real content-addressed
+// store file, so dedup and mismatch semantics are the production ones.
+func storeCommit(t *testing.T) (*store.Store, func(harness.Request, harness.RunRecord) (bool, error)) {
+	t.Helper()
+	st, err := store.Open(filepath.Join(t.TempDir(), "merged.jsonl"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st, func(req harness.Request, rec harness.RunRecord) (bool, error) {
+		return st.Add(req.ContentKey(), rec)
+	}
+}
+
+// zeroJitter is a deterministic backoff policy for clock-stepped tests.
+var zeroJitter = backoff.Policy{Base: 100 * time.Millisecond, Cap: time.Second, Factor: 2, Jitter: 0}
+
+// TestPartitionContentKeyed pins shard derivation: stable IDs for the
+// same plan, plan order preserved, IDs sensitive to content.
+func TestPartitionContentKeyed(t *testing.T) {
+	reqs := testRequests(t, 7)
+	a := Partition(reqs, 3)
+	b := Partition(reqs, 3)
+	if len(a) != 3 || len(a[0].Requests) != 3 || len(a[2].Requests) != 1 {
+		t.Fatalf("partition shape wrong: %d shards", len(a))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Errorf("shard %d ID not stable: %s vs %s", i, a[i].ID, b[i].ID)
+		}
+	}
+	if a[0].ID == a[1].ID {
+		t.Error("different content produced equal shard IDs")
+	}
+	// Order is preserved end to end.
+	i := 0
+	for _, sh := range a {
+		for _, r := range sh.Requests {
+			if r != reqs[i] {
+				t.Fatalf("request %d out of order", i)
+			}
+			i++
+		}
+	}
+}
+
+// TestLeaseExpiryRequeueAndBackoff pins the crash-recovery path: an
+// expired lease requeues the shard behind a backoff gate, and a second
+// worker gets it once the gate opens.
+func TestLeaseExpiryRequeueAndBackoff(t *testing.T) {
+	clock := newFakeClock()
+	_, commit := storeCommit(t)
+	shards := Partition(testRequests(t, 2), 2)
+	c := NewCoordinator(shards, Options{
+		LeaseTTL: time.Second, MaxAttempts: 5, Backoff: zeroJitter,
+		Clock: clock.Now, Commit: commit,
+	})
+
+	la := c.Lease("worker-a")
+	if la.Status != StatusGranted {
+		t.Fatalf("worker-a lease: %s", la.Status)
+	}
+	// Unexpired: worker-b has nothing to lease.
+	if lb := c.Lease("worker-b"); lb.Status != StatusWait {
+		t.Fatalf("worker-b premature lease: %s", lb.Status)
+	}
+	// Expire the lease; the backoff gate (attempt 0 → 100ms) holds first.
+	clock.Advance(time.Second + time.Millisecond)
+	if lb := c.Lease("worker-b"); lb.Status != StatusWait {
+		t.Fatalf("backoff gate did not hold: %s", lb.Status)
+	}
+	snap := c.Snapshot()
+	if snap.Requeues != 1 || snap.Pending != 1 {
+		t.Fatalf("after expiry: %+v", snap)
+	}
+	clock.Advance(101 * time.Millisecond)
+	lb := c.Lease("worker-b")
+	if lb.Status != StatusGranted || lb.Shard.ID != la.Shard.ID {
+		t.Fatalf("worker-b lease after gate: %+v", lb)
+	}
+	if lb.LeaseID == la.LeaseID {
+		t.Fatal("re-grant reused the lease ID")
+	}
+	// The original lease is dead: renewing it reports lost.
+	if r := c.Renew("worker-a", la.Shard.ID, la.LeaseID); r.Status != StatusLost {
+		t.Fatalf("stale renew: %s", r.Status)
+	}
+	// The live lease renews fine.
+	if r := c.Renew("worker-b", lb.Shard.ID, lb.LeaseID); r.Status != StatusOK {
+		t.Fatalf("live renew: %s", r.Status)
+	}
+}
+
+// TestLeaseExpiryDoubleCompletion is the satellite edge case: worker A
+// completes a shard exactly as its lease expires, while worker B already
+// holds a fresh lease on it. Exactly one result per request lands in the
+// store, A's completion is accepted (first wins), B's is deduped as a
+// duplicate, and B's renewal tells it to stop — both workers exit
+// cleanly.
+func TestLeaseExpiryDoubleCompletion(t *testing.T) {
+	clock := newFakeClock()
+	st, commit := storeCommit(t)
+	reqs := testRequests(t, 3)
+	shards := Partition(reqs, 3)
+	var events []Event
+	var evMu sync.Mutex
+	c := NewCoordinator(shards, Options{
+		LeaseTTL: time.Second, MaxAttempts: 5, Backoff: zeroJitter,
+		Clock: clock.Now, Commit: commit,
+		OnEvent: func(e Event) { evMu.Lock(); events = append(events, e); evMu.Unlock() },
+	})
+
+	la := c.Lease("worker-a")
+	if la.Status != StatusGranted {
+		t.Fatalf("worker-a lease: %s", la.Status)
+	}
+	// A's lease expires (Snapshot evaluates it lazily), and once the
+	// requeue's backoff gate opens B picks the shard up.
+	clock.Advance(time.Second + time.Millisecond)
+	c.Snapshot()
+	clock.Advance(200 * time.Millisecond)
+	lb := c.Lease("worker-b")
+	if lb.Status != StatusGranted || lb.Shard.ID != la.Shard.ID {
+		t.Fatalf("worker-b lease: %+v", lb)
+	}
+
+	// A's completion lands first, under its dead lease: accepted.
+	respA, err := c.Complete(CompleteRequest{
+		Worker: "worker-a", ShardID: la.Shard.ID, LeaseID: la.LeaseID,
+		Results: entriesFor(*la.Shard),
+	})
+	if err != nil || respA.Status != StatusAccepted || respA.Stored != len(reqs) {
+		t.Fatalf("worker-a completion: %+v, %v", respA, err)
+	}
+	if st.Len() != len(reqs) {
+		t.Fatalf("store holds %d results, want %d", st.Len(), len(reqs))
+	}
+
+	// B's renewal now reports the shard done: B aborts cleanly.
+	if r := c.Renew("worker-b", lb.Shard.ID, lb.LeaseID); r.Status != StatusDone {
+		t.Fatalf("worker-b renew after A completed: %s", r.Status)
+	}
+	// And if B completes anyway, it dedups: nothing new stored.
+	respB, err := c.Complete(CompleteRequest{
+		Worker: "worker-b", ShardID: lb.Shard.ID, LeaseID: lb.LeaseID,
+		Results: entriesFor(*lb.Shard),
+	})
+	if err != nil || respB.Status != StatusDuplicate || respB.Stored != 0 {
+		t.Fatalf("worker-b completion: %+v, %v", respB, err)
+	}
+	if st.Len() != len(reqs) {
+		t.Fatalf("store holds %d results after duplicate, want exactly %d", st.Len(), len(reqs))
+	}
+
+	select {
+	case <-c.Done():
+	default:
+		t.Fatal("coordinator not done after completion")
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("coordinator error: %v", err)
+	}
+	snap := c.Snapshot()
+	if snap.Completed != 1 || snap.Requeues != 1 || snap.Duplicates != 1 || snap.Stored != len(reqs) {
+		t.Fatalf("final snapshot: %+v", snap)
+	}
+	// The lifecycle events tell the story in order for this shard:
+	// leased → requeued → leased → completed → duplicate.
+	var kinds []string
+	evMu.Lock()
+	for _, e := range events {
+		kinds = append(kinds, e.Kind)
+	}
+	evMu.Unlock()
+	want := []string{EventLeased, EventRequeued, EventLeased, EventCompleted, EventDuplicate}
+	if strings.Join(kinds, ",") != strings.Join(want, ",") {
+		t.Errorf("event order %v, want %v", kinds, want)
+	}
+}
+
+// TestPoisonedShardAfterMaxAttempts pins retry exhaustion: a shard that
+// keeps failing is requeued with backoff until MaxAttempts, then
+// poisoned, and the coordinator finishes with an error naming it.
+func TestPoisonedShardAfterMaxAttempts(t *testing.T) {
+	clock := newFakeClock()
+	_, commit := storeCommit(t)
+	shards := Partition(testRequests(t, 1), 1)
+	var poisoned []Event
+	var evMu sync.Mutex
+	c := NewCoordinator(shards, Options{
+		LeaseTTL: time.Second, MaxAttempts: 2, Backoff: zeroJitter,
+		Clock: clock.Now, Commit: commit,
+		OnEvent: func(e Event) {
+			if e.Kind == EventPoisoned {
+				evMu.Lock()
+				poisoned = append(poisoned, e)
+				evMu.Unlock()
+			}
+		},
+	})
+	for attempt := 0; attempt < 2; attempt++ {
+		clock.Advance(2 * time.Second) // clear any backoff gate
+		l := c.Lease("worker")
+		if l.Status != StatusGranted {
+			t.Fatalf("attempt %d lease: %s", attempt, l.Status)
+		}
+		resp, err := c.Complete(CompleteRequest{
+			Worker: "worker", ShardID: l.Shard.ID, LeaseID: l.LeaseID,
+			Error: "simulated panic",
+		})
+		if err != nil || resp.Status != StatusAccepted {
+			t.Fatalf("attempt %d completion: %+v, %v", attempt, resp, err)
+		}
+	}
+	select {
+	case <-c.Done():
+	default:
+		t.Fatal("coordinator not done after poisoning")
+	}
+	if err := c.Err(); err == nil || !strings.Contains(err.Error(), shards[0].ID) {
+		t.Fatalf("terminal error %v does not name the poisoned shard", err)
+	}
+	evMu.Lock()
+	n := len(poisoned)
+	evMu.Unlock()
+	if n != 1 {
+		t.Fatalf("%d poisoned events, want 1", n)
+	}
+	snap := c.Snapshot()
+	if snap.Failed != 1 || !snap.Done {
+		t.Fatalf("final snapshot: %+v", snap)
+	}
+	// A poisoned sweep still reports done to workers.
+	if l := c.Lease("worker"); l.Status != StatusAllDone {
+		t.Fatalf("lease after poisoning: %s", l.Status)
+	}
+}
+
+// TestCommitMismatchIsTheDeterminismTripwire pins that a worker shipping
+// a result differing from the stored bytes fails its completion — the
+// invariant violation is surfaced, never silently merged.
+func TestCommitMismatchIsTheDeterminismTripwire(t *testing.T) {
+	clock := newFakeClock()
+	st, commit := storeCommit(t)
+	reqs := testRequests(t, 1)
+	shards := Partition(reqs, 1)
+	c := NewCoordinator(shards, Options{
+		LeaseTTL: time.Second, MaxAttempts: 2, Backoff: zeroJitter,
+		Clock: clock.Now, Commit: commit,
+	})
+	if err := st.Put(reqs[0].ContentKey(), harness.RunRecord{EnergyJ: 42}); err != nil {
+		t.Fatal(err)
+	}
+	l := c.Lease("worker")
+	resp, err := c.Complete(CompleteRequest{
+		Worker: "worker", ShardID: l.Shard.ID, LeaseID: l.LeaseID,
+		Results: entriesFor(*l.Shard), // EnergyJ differs from the stored 42
+	})
+	if err != nil {
+		t.Fatalf("Complete transport error: %v", err)
+	}
+	if resp.Status != StatusAccepted || resp.Stored != 0 {
+		t.Fatalf("mismatch completion: %+v", resp)
+	}
+	snap := c.Snapshot()
+	if snap.Pending != 1 {
+		t.Fatalf("shard not requeued after commit mismatch: %+v", snap)
+	}
+	if len(snap.Shards) != 1 || !strings.Contains(snap.Shards[0].Error, "different value") {
+		t.Fatalf("shard error does not surface the mismatch: %+v", snap.Shards)
+	}
+}
+
+// TestWorkersEndToEndLocal drives two real Workers against an in-process
+// coordinator over the Local adapter: all shards complete, the store
+// holds every result exactly once, and both workers exit cleanly on
+// done.
+func TestWorkersEndToEndLocal(t *testing.T) {
+	st, commit := storeCommit(t)
+	reqs := testRequests(t, 10)
+	shards := Partition(reqs, 2)
+	c := NewCoordinator(shards, Options{
+		LeaseTTL: 2 * time.Second, Commit: commit,
+	})
+	exec := func(_ context.Context, req harness.Request) (harness.RunRecord, error) {
+		return recordFor(req), nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i, name := range []string{"w1", "w2"} {
+		w := &Worker{
+			API: Local(c), Exec: exec, Name: name,
+			Poll: 10 * time.Millisecond, ExitWhenDone: true,
+		}
+		wg.Add(1)
+		go func(i int, w *Worker) {
+			defer wg.Done()
+			errs[i] = w.Run(ctx)
+		}(i, w)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("worker %d exited with %v", i, err)
+		}
+	}
+	if err := c.Wait(ctx); err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	if st.Len() != len(reqs) {
+		t.Fatalf("store holds %d results, want %d", st.Len(), len(reqs))
+	}
+	if c.WorkerCount() != 2 {
+		t.Errorf("WorkerCount = %d, want 2", c.WorkerCount())
+	}
+}
+
+// TestWorkerShardJournalResume pins the crash-surviving worker path: a
+// worker killed mid-shard leaves a per-shard journal; a restarted worker
+// re-leasing the shard resumes from it, re-simulating only the missing
+// requests.
+func TestWorkerShardJournalResume(t *testing.T) {
+	st, commit := storeCommit(t)
+	reqs := testRequests(t, 4)
+	shards := Partition(reqs, 4)
+	dir := t.TempDir()
+
+	// First lifetime: execute two requests, journal them, then "crash"
+	// (simulated by a worker that abandons the shard after journaling).
+	c1 := NewCoordinator(shards, Options{LeaseTTL: time.Hour, Commit: commit})
+	l := c1.Lease("w")
+	j, err := harness.OpenJournal(filepath.Join(dir, "shard-"+l.Shard.ID+".jsonl"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range l.Shard.Requests[:2] {
+		if _, err := j.AppendRecord(req, recordFor(req)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second lifetime: a fresh coordinator (the sweep resubmitted) and a
+	// worker with the journal dir; only the two missing requests execute.
+	c2 := NewCoordinator(shards, Options{LeaseTTL: 2 * time.Second, Commit: commit})
+	var executed []string
+	var execMu sync.Mutex
+	w := &Worker{
+		API: Local(c2), Name: "w", JournalDir: dir,
+		Poll: 10 * time.Millisecond, ExitWhenDone: true,
+		Exec: func(_ context.Context, req harness.Request) (harness.RunRecord, error) {
+			execMu.Lock()
+			executed = append(executed, req.ContentKey())
+			execMu.Unlock()
+			return recordFor(req), nil
+		},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := w.Run(ctx); err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	if err := c2.Wait(ctx); err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	execMu.Lock()
+	n := len(executed)
+	execMu.Unlock()
+	if n != 2 {
+		t.Fatalf("restarted worker executed %d requests, want only the 2 missing", n)
+	}
+	if st.Len() != len(reqs) {
+		t.Fatalf("store holds %d results, want %d", st.Len(), len(reqs))
+	}
+}

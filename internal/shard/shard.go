@@ -1,0 +1,63 @@
+// Package shard implements fault-tolerant distribution of a sweep's run
+// plan: the deterministically-ordered plan is partitioned into
+// content-keyed shards, a lease-based Coordinator hands shards to
+// workers under expiring heartbeat-renewed leases, and Worker executes
+// them against any coordinator endpoint (in-process or the sddsd HTTP
+// API via Client).
+//
+// The robustness contract is exactly-once results from at-least-once
+// execution: a shard whose lease expires (crashed, stalled, or
+// partitioned worker) is requeued and may execute again, but every
+// result lands in a content-addressed store whose first-write-wins,
+// identical-bytes-dedup semantics make re-execution invisible — killing
+// workers at arbitrary points cannot change a single output byte,
+// because the simulator is deterministic in its inputs and the store
+// refuses conflicting writes.
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"sdds/internal/harness"
+)
+
+// Shard is one content-keyed slice of a sweep plan: a contiguous run of
+// the deterministically-ordered canonical requests. Its ID is derived
+// from the member content keys, so the same plan always partitions into
+// the same shards, across processes and sweep resubmissions.
+type Shard struct {
+	ID       string            `json:"id"`
+	Requests []harness.Request `json:"requests"`
+}
+
+// NewShard builds a shard over the given canonical requests, deriving
+// its content-keyed ID.
+func NewShard(reqs []harness.Request) Shard {
+	h := sha256.New()
+	for _, r := range reqs {
+		h.Write([]byte(r.ContentKey()))
+		h.Write([]byte{'\n'})
+	}
+	sum := h.Sum(nil)
+	return Shard{ID: hex.EncodeToString(sum[:8]), Requests: reqs}
+}
+
+// Partition slices the plan into shards of at most size requests each,
+// preserving plan order (size <= 0 defaults to 4). Requests must already
+// be canonical and distinct — PlanRequests and the service's sweep
+// expansion both guarantee it.
+func Partition(reqs []harness.Request, size int) []Shard {
+	if size <= 0 {
+		size = 4
+	}
+	var out []Shard
+	for start := 0; start < len(reqs); start += size {
+		end := start + size
+		if end > len(reqs) {
+			end = len(reqs)
+		}
+		out = append(out, NewShard(reqs[start:end]))
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package shard
+
+import "sdds/internal/harness"
+
+// Wire types for the /v1/shards endpoints. The coordinator (inside
+// sddsd) and the worker/submitter clients share these structs, so the
+// two sides cannot drift.
+
+// Lease statuses.
+const (
+	// StatusGranted: the response carries a shard and a lease.
+	StatusGranted = "granted"
+	// StatusWait: nothing leasable right now (no active sweep, every
+	// pending shard backoff-gated, or everything leased out) — poll again.
+	StatusWait = "wait"
+	// StatusAllDone: the active sweep is finished; idle-exit workers stop.
+	StatusAllDone = "done"
+)
+
+// Renew statuses.
+const (
+	// StatusOK: the lease was renewed; keep working.
+	StatusOK = "ok"
+	// StatusLost: the lease expired and the shard was requeued (possibly
+	// re-leased elsewhere). The worker may keep executing — a late
+	// completion still wins if it lands first — but must expect Duplicate.
+	StatusLost = "lost"
+	// StatusDone: the shard is already terminal; abort the work.
+	StatusDone = "done"
+)
+
+// Complete statuses.
+const (
+	// StatusAccepted: this completion resolved the shard.
+	StatusAccepted = "accepted"
+	// StatusDuplicate: the shard was already resolved (or this stale
+	// failure no longer matters); the results deduped against the store.
+	StatusDuplicate = "duplicate"
+)
+
+// RunEntry is one completed run on the wire: the canonical request and
+// its portable result record — exactly what the journal persists.
+type RunEntry struct {
+	Request harness.Request   `json:"request"`
+	Result  harness.RunRecord `json:"result"`
+}
+
+// LeaseRequest asks the coordinator for the next shard.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// LeaseResponse grants a shard under a lease, or reports wait/done.
+type LeaseResponse struct {
+	Status  string `json:"status"`
+	Shard   *Shard `json:"shard,omitempty"`
+	LeaseID string `json:"lease_id,omitempty"`
+	// TTLMS is the lease duration; renew well before it elapses.
+	TTLMS int64 `json:"ttl_ms,omitempty"`
+}
+
+// RenewRequest heartbeats a held lease.
+type RenewRequest struct {
+	Worker  string `json:"worker"`
+	ShardID string `json:"shard_id"`
+	LeaseID string `json:"lease_id"`
+}
+
+// RenewResponse reports the lease's fate.
+type RenewResponse struct {
+	Status string `json:"status"`
+}
+
+// CompleteRequest delivers a shard's outcome: every per-request journal
+// record on success, or the first execution error.
+type CompleteRequest struct {
+	Worker  string     `json:"worker"`
+	ShardID string     `json:"shard_id"`
+	LeaseID string     `json:"lease_id"`
+	Error   string     `json:"error,omitempty"`
+	Results []RunEntry `json:"results,omitempty"`
+}
+
+// CompleteResponse acknowledges a completion.
+type CompleteResponse struct {
+	Status string `json:"status"`
+	// Stored counts results newly written to the canonical store (0 for a
+	// duplicate completion — every byte already landed).
+	Stored int `json:"stored"`
+}
+
+// SubmitRequest starts a sharded sweep: the canonical request list
+// (already expanded; the coordinator dedups and drops store-resolved
+// entries) and the shard size.
+type SubmitRequest struct {
+	Requests  []harness.Request `json:"requests"`
+	ShardSize int               `json:"shard_size,omitempty"`
+}
+
+// SubmitResponse summarizes the accepted sweep.
+type SubmitResponse struct {
+	// Requests counts distinct submitted requests; Resumed of those were
+	// already in the store and never sharded; Shards covers the rest.
+	Requests int `json:"requests"`
+	Resumed  int `json:"resumed"`
+	Shards   int `json:"shards"`
+}
+
+// ShardStatus is one shard's row in a status snapshot.
+type ShardStatus struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Worker   string `json:"worker,omitempty"`
+	Attempts int    `json:"attempts"`
+	Error    string `json:"error,omitempty"`
+}
+
+// Snapshot is the coordinator's observable state (GET /v1/shards/status).
+type Snapshot struct {
+	// Active reports whether a sweep has been submitted this lifetime.
+	Active bool `json:"active"`
+	// Done reports every shard terminal (Completed + Failed == Total).
+	Done bool `json:"done"`
+	// Err is the terminal error when any shard was poisoned.
+	Err       string `json:"err,omitempty"`
+	Total     int    `json:"total"`
+	Pending   int    `json:"pending"`
+	Leased    int    `json:"leased"`
+	Completed int    `json:"completed"`
+	Failed    int    `json:"failed"`
+	// Requests/Resumed mirror the submit summary.
+	Requests int `json:"requests"`
+	Resumed  int `json:"resumed"`
+	// Requeues counts lease expiries; Duplicates counts late double
+	// completions deduped; Stored counts results committed to the store.
+	Requeues   int `json:"requeues"`
+	Duplicates int `json:"duplicates"`
+	Stored     int `json:"stored"`
+	// Workers lists every worker name seen, sorted.
+	Workers []string `json:"workers,omitempty"`
+	// Shards lists non-terminal and failed shards (terminal successes are
+	// elided to keep the snapshot small).
+	Shards []ShardStatus `json:"shards,omitempty"`
+}

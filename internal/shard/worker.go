@@ -1,0 +1,297 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdds/internal/backoff"
+	"sdds/internal/harness"
+)
+
+// API is the coordinator surface a worker drives. Client implements it
+// over the sddsd HTTP endpoints; Local adapts an in-process Coordinator
+// (the no-worker-ever-registered fallback and the unit tests).
+type API interface {
+	Lease(ctx context.Context, worker string) (LeaseResponse, error)
+	Renew(ctx context.Context, req RenewRequest) (RenewResponse, error)
+	Complete(ctx context.Context, req CompleteRequest) (CompleteResponse, error)
+}
+
+// localAPI drives a Coordinator in-process.
+type localAPI struct{ c *Coordinator }
+
+// Local adapts an in-process Coordinator to the worker API.
+func Local(c *Coordinator) API { return localAPI{c} }
+
+func (l localAPI) Lease(_ context.Context, worker string) (LeaseResponse, error) {
+	return l.c.Lease(worker), nil
+}
+
+func (l localAPI) Renew(_ context.Context, req RenewRequest) (RenewResponse, error) {
+	return l.c.Renew(req.Worker, req.ShardID, req.LeaseID), nil
+}
+
+func (l localAPI) Complete(_ context.Context, req CompleteRequest) (CompleteResponse, error) {
+	return l.c.Complete(req)
+}
+
+// Executor runs one canonical request to completion — in practice a
+// bounded harness.Session (compile cache and fault/timeout plumbing
+// intact) wrapped by the worker binary.
+type Executor func(ctx context.Context, req harness.Request) (harness.RunRecord, error)
+
+// Worker leases shards from a coordinator, executes them, and streams
+// the per-shard journal records back. It survives coordinator outages
+// (jittered capped backoff on every call) and its own crashes (the
+// optional per-shard journal lets a restarted worker resume a re-leased
+// shard from the requests it had already finished).
+type Worker struct {
+	// API is the coordinator endpoint. Required.
+	API API
+	// Exec runs one request. Required.
+	Exec Executor
+	// Name identifies this worker in leases and events. Required.
+	Name string
+	// Backoff paces reconnects and completion retries (zero value:
+	// backoff.New(200ms, 5s)).
+	Backoff backoff.Policy
+	// Poll is the sleep between leases when the coordinator reports
+	// nothing leasable (default 300ms, jittered by Backoff's source).
+	Poll time.Duration
+	// ExitWhenDone stops Run cleanly when the coordinator reports the
+	// sweep finished; otherwise the worker keeps polling for the next
+	// sweep.
+	ExitWhenDone bool
+	// JournalDir, when non-empty, holds one crash-safe journal per shard
+	// ("shard-<id>.jsonl"): each finished request is recorded before the
+	// shard completes, so a worker killed mid-shard resumes the re-leased
+	// shard from its intact prefix instead of re-simulating everything.
+	JournalDir string
+	// MaxCompleteRetries bounds completion delivery attempts per shard
+	// (default 8); the lease expiry requeues the shard if delivery never
+	// lands.
+	MaxCompleteRetries int
+	// Log, when non-nil, receives worker lifecycle events.
+	Log *slog.Logger
+}
+
+// Run leases and executes shards until the context ends or (with
+// ExitWhenDone) the sweep completes. Transient coordinator errors are
+// retried under the backoff policy indefinitely — a worker outliving a
+// coordinator restart reconnects rather than dying.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.API == nil || w.Exec == nil || w.Name == "" {
+		return errors.New("shard: worker needs API, Exec, and Name")
+	}
+	bo := w.Backoff
+	if bo.Base == 0 && bo.Cap == 0 {
+		bo = backoff.New(200*time.Millisecond, 5*time.Second)
+	}
+	poll := w.Poll
+	if poll <= 0 {
+		poll = 300 * time.Millisecond
+	}
+	failures := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		lease, err := w.API.Lease(ctx, w.Name)
+		if err != nil {
+			failures++
+			w.logf("lease failed", "err", err.Error(), "failures", failures)
+			if serr := bo.Sleep(ctx, failures-1); serr != nil {
+				return serr
+			}
+			continue
+		}
+		failures = 0
+		switch lease.Status {
+		case StatusGranted:
+			w.runShard(ctx, bo, lease)
+		case StatusAllDone:
+			if w.ExitWhenDone {
+				w.logf("sweep done, exiting")
+				return nil
+			}
+			if err := sleepCtx(ctx, poll); err != nil {
+				return err
+			}
+		default: // StatusWait and anything unknown: poll again
+			if err := sleepCtx(ctx, poll); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// runShard executes one leased shard end to end: heartbeat renewal at a
+// third of the TTL, per-request execution through Exec (the session pool
+// bounds concurrency), optional per-shard journaling, and completion
+// delivery with bounded retries. Errors never escape — a failed shard is
+// reported to the coordinator (or abandoned to lease expiry), and the
+// worker moves on.
+func (w *Worker) runShard(ctx context.Context, bo backoff.Policy, lease LeaseResponse) {
+	sh := *lease.Shard
+	w.logf("shard leased", "shard", sh.ID, "lease", lease.LeaseID, "requests", len(sh.Requests))
+
+	shardCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Heartbeat: renew at TTL/3; a "done" verdict means the shard
+	// resolved elsewhere — stop burning cycles on it. A "lost" verdict
+	// keeps executing: the work is probably nearly finished and a late
+	// completion still wins if it lands first.
+	ttl := time.Duration(lease.TTLMS) * time.Millisecond
+	interval := ttl / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	var aborted atomic.Bool
+	var hb sync.WaitGroup
+	hb.Add(1)
+	go func() {
+		defer hb.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-shardCtx.Done():
+				return
+			case <-t.C:
+			}
+			resp, err := w.API.Renew(shardCtx, RenewRequest{Worker: w.Name, ShardID: sh.ID, LeaseID: lease.LeaseID})
+			if err != nil {
+				w.logf("renew failed", "shard", sh.ID, "err", err.Error())
+				continue // transient: the next tick retries; expiry is the backstop
+			}
+			switch resp.Status {
+			case StatusDone:
+				w.logf("shard resolved elsewhere, aborting", "shard", sh.ID)
+				aborted.Store(true)
+				cancel()
+				return
+			case StatusLost:
+				w.logf("lease lost, finishing anyway", "shard", sh.ID)
+			}
+		}
+	}()
+
+	results, runErr := w.executeShard(shardCtx, sh)
+	cancel()
+	hb.Wait()
+	if aborted.Load() {
+		return // shard resolved elsewhere: nothing to report
+	}
+	if ctx.Err() != nil {
+		return // worker shutting down; lease expiry hands the shard on
+	}
+
+	comp := CompleteRequest{Worker: w.Name, ShardID: sh.ID, LeaseID: lease.LeaseID, Results: results}
+	if runErr != nil {
+		comp.Error = runErr.Error()
+		comp.Results = nil
+	}
+	maxTries := w.MaxCompleteRetries
+	if maxTries <= 0 {
+		maxTries = 8
+	}
+	for try := 0; try < maxTries; try++ {
+		resp, err := w.API.Complete(ctx, comp)
+		if err == nil {
+			w.logf("shard complete", "shard", sh.ID, "status", resp.Status, "stored", resp.Stored, "err", comp.Error)
+			return
+		}
+		w.logf("complete delivery failed", "shard", sh.ID, "try", try+1, "err", err.Error())
+		if serr := bo.Sleep(ctx, try); serr != nil {
+			return
+		}
+	}
+	w.logf("complete delivery abandoned; lease expiry will requeue", "shard", sh.ID)
+}
+
+// executeShard runs every request of the shard, resuming from the
+// per-shard journal when one is configured. Requests run concurrently —
+// the Exec-side session pool bounds actual simulations — and results
+// keep shard order. The first execution error poisons the whole shard
+// attempt (the coordinator's retry/backoff machinery owns recovery).
+func (w *Worker) executeShard(ctx context.Context, sh Shard) ([]RunEntry, error) {
+	var (
+		journal *harness.Journal
+		have    map[string]harness.RunRecord
+	)
+	if w.JournalDir != "" {
+		path := filepath.Join(w.JournalDir, "shard-"+sh.ID+".jsonl")
+		j, err := harness.OpenJournalWith(path, true, w.Log)
+		if err != nil {
+			return nil, fmt.Errorf("shard %s journal: %w", sh.ID, err)
+		}
+		journal = j
+		defer journal.Close()
+		have = make(map[string]harness.RunRecord)
+		for _, req := range sh.Requests {
+			if _, res, ok, err := j.Lookup(req.ContentKey()); err == nil && ok {
+				have[req.ContentKey()] = harness.NewRunRecord(res)
+			}
+		}
+		if len(have) > 0 {
+			w.logf("shard resumed from journal", "shard", sh.ID, "resumed", len(have))
+		}
+	}
+
+	results := make([]RunEntry, len(sh.Requests))
+	errs := make([]error, len(sh.Requests))
+	var wg sync.WaitGroup
+	for i, req := range sh.Requests {
+		if rec, ok := have[req.ContentKey()]; ok {
+			results[i] = RunEntry{Request: req, Result: rec}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, req harness.Request) {
+			defer wg.Done()
+			rec, err := w.Exec(ctx, req)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %w", req.Key(), err)
+				return
+			}
+			results[i] = RunEntry{Request: req, Result: rec}
+			if journal != nil {
+				if _, jerr := journal.AppendRecord(req, rec); jerr != nil {
+					errs[i] = jerr
+				}
+			}
+		}(i, req)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+func (w *Worker) logf(msg string, args ...any) {
+	if w.Log != nil {
+		w.Log.Info("worker "+msg, append([]any{"worker", w.Name}, args...)...)
+	}
+}
+
+// sleepCtx sleeps for d or until ctx ends.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

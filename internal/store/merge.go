@@ -1,0 +1,87 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Entry is one record read back from a store file: the content key and
+// the raw stored JSON value.
+type Entry struct {
+	Key   string
+	Value json.RawMessage
+}
+
+// ReadAll returns every intact record in the store file at path, in
+// append order, without opening the file for writing. Like Open, it
+// tolerates a torn trailing line — the crash kill point of the writing
+// process — by returning only the intact prefix; a missing file reads as
+// empty. Duplicate keys are returned as-is (callers that care dedup).
+func ReadAll(path string) ([]Entry, error) {
+	lines, _, err := loadLines(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Entry, 0, len(lines))
+	for _, l := range lines {
+		out = append(out, Entry{Key: l.Key, Value: l.Value})
+	}
+	return out, nil
+}
+
+// MergeStats summarizes one Merge call.
+type MergeStats struct {
+	// Files counts source files read (missing files count — they merge as
+	// empty, the legitimate state of a shard that never started).
+	Files int
+	// Entries counts records read across all sources, duplicates included.
+	Entries int
+	// Added counts records newly written to the destination.
+	Added int
+	// Dups counts records whose key already held identical bytes — the
+	// expected overlap between shards that raced on the same content key.
+	Dups int
+	// TornBytes totals bytes dropped from torn trailing lines across the
+	// sources (recoverable: each source's intact prefix was merged).
+	TornBytes int64
+}
+
+// Merge folds the records of the source store files at paths into dst,
+// in path order then append order — the deterministic merge the sharded
+// sweep uses to fold per-shard journals into one canonical store. The
+// content-addressed Put semantics make the merge idempotent and
+// order-independent in effect: re-merging, or merging shards that
+// overlap, adds nothing; a key holding different bytes in two sources is
+// an error naming the source and key, because identical requests must
+// produce identical results (the determinism invariant).
+//
+// Sources are read with ReadAll, so a shard journal whose writer was
+// killed mid-append merges its intact prefix instead of failing the
+// whole merge.
+func Merge(dst *Store, paths ...string) (MergeStats, error) {
+	var st MergeStats
+	for _, path := range paths {
+		lines, valid, err := loadLines(path)
+		if err != nil {
+			return st, fmt.Errorf("store: merge %s: %w", path, err)
+		}
+		if fi, err := os.Stat(path); err == nil && fi.Size() > valid {
+			st.TornBytes += fi.Size() - valid
+		}
+		st.Files++
+		for _, e := range lines {
+			st.Entries++
+			added, err := dst.Add(e.Key, e.Value)
+			if err != nil {
+				return st, fmt.Errorf("store: merge %s: key %s: %w", path, e.Key, err)
+			}
+			if added {
+				st.Added++
+			} else {
+				st.Dups++
+			}
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,136 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeStore creates a store file at path holding the given key→value
+// pairs (values are JSON literals).
+func writeStore(t *testing.T, path string, pairs [][2]string) {
+	t.Helper()
+	s, err := Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kv := range pairs {
+		var v any
+		v = kv[1]
+		if err := s.Put(kv[0], v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// tearTail truncates the file mid-way through its final line, simulating
+// a writer SIGKILLed during an append.
+func tearTail(t *testing.T, path string) int64 {
+	t.Helper()
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut inside the last line: drop the trailing newline plus a few bytes.
+	cut := int64(len(buf) - 5)
+	if cut <= 0 {
+		t.Fatalf("store file too small to tear: %d bytes", len(buf))
+	}
+	if err := os.Truncate(path, cut); err != nil {
+		t.Fatal(err)
+	}
+	return cut
+}
+
+// TestMergeShardJournals merges three shard journals — one of them with
+// its final record torn mid-write — into one canonical store and asserts
+// the intact records all land exactly once, overlap dedups, and the torn
+// tail is tolerated and reported rather than failing the merge.
+func TestMergeShardJournals(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "shard-a.jsonl")
+	b := filepath.Join(dir, "shard-b.jsonl")
+	c := filepath.Join(dir, "shard-c.jsonl")
+	writeStore(t, a, [][2]string{{"k1", "v1"}, {"k2", "v2"}})
+	// b overlaps a on k2 (the double-completion case) and adds k3, k4; its
+	// final record (k4) is then torn mid-write.
+	writeStore(t, b, [][2]string{{"k2", "v2"}, {"k3", "v3"}, {"k4", "v4"}})
+	tearTail(t, b)
+	// c never started: a missing journal merges as empty.
+
+	// Verify must see the tear as recoverable, not an error.
+	rep, err := Verify(b)
+	if err != nil {
+		t.Fatalf("Verify(torn shard): %v", err)
+	}
+	if rep.TornBytes == 0 {
+		t.Fatal("Verify(torn shard): want TornBytes > 0")
+	}
+	if rep.Entries != 2 {
+		t.Fatalf("Verify(torn shard): %d intact entries, want 2", rep.Entries)
+	}
+
+	dst, err := Open(filepath.Join(dir, "merged.jsonl"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	st, err := Merge(dst, a, b, c)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if st.Files != 3 {
+		t.Errorf("Files = %d, want 3", st.Files)
+	}
+	if st.Added != 3 || st.Dups != 1 {
+		t.Errorf("Added = %d, Dups = %d, want 3 added (k1,k2,k3) and 1 dup (k2)", st.Added, st.Dups)
+	}
+	if st.TornBytes == 0 {
+		t.Error("TornBytes = 0, want the torn tail reported")
+	}
+	want := []string{"k1", "k2", "k3"}
+	got := dst.Keys()
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("merged keys = %v, want %v", got, want)
+	}
+	var v string
+	if ok, err := dst.Get("k2", &v); err != nil || !ok || v != "v2" {
+		t.Errorf("merged k2 = %q, %v, %v", v, ok, err)
+	}
+
+	// Idempotence: re-merging adds nothing.
+	st2, err := Merge(dst, a, b)
+	if err != nil {
+		t.Fatalf("re-Merge: %v", err)
+	}
+	if st2.Added != 0 || st2.Dups != 4 {
+		t.Errorf("re-merge Added = %d, Dups = %d, want 0 and 4", st2.Added, st2.Dups)
+	}
+}
+
+// TestMergeConflict pins that two shards disagreeing on a content key —
+// the determinism invariant broken — fail the merge with the source and
+// key named.
+func TestMergeConflict(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.jsonl")
+	b := filepath.Join(dir, "b.jsonl")
+	writeStore(t, a, [][2]string{{"k1", "v1"}})
+	writeStore(t, b, [][2]string{{"k1", "DIFFERENT"}})
+	dst, err := Open(filepath.Join(dir, "merged.jsonl"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	_, err = Merge(dst, a, b)
+	if err == nil {
+		t.Fatal("Merge of conflicting values succeeded, want error")
+	}
+	if !strings.Contains(err.Error(), "k1") || !strings.Contains(err.Error(), b) {
+		t.Errorf("conflict error %q does not name the key and source", err)
+	}
+}

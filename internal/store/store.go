@@ -135,36 +135,44 @@ func loadLines(path string) ([]line, int64, error) {
 // under an existing key is an error — content-addressed entries are
 // immutable, so a mismatch means the key derivation is broken.
 func (s *Store) Put(key string, value any) error {
+	_, err := s.Add(key, value)
+	return err
+}
+
+// Add is Put reporting whether the key was newly written: false means an
+// identical value was already stored (the dedup no-op). Shard merges and
+// double-completion accounting key off the distinction.
+func (s *Store) Add(key string, value any) (bool, error) {
 	buf, err := json.Marshal(value)
 	if err != nil {
-		return fmt.Errorf("store: %w", err)
+		return false, fmt.Errorf("store: %w", err)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if prev, ok := s.values[key]; ok {
 		if bytes.Equal(prev, buf) {
-			return nil
+			return false, nil
 		}
-		return fmt.Errorf("store: key %s already holds a different value", key)
+		return false, fmt.Errorf("store: key %s already holds a different value", key)
 	}
 	if s.f == nil {
-		return fmt.Errorf("store: %s is closed", s.path)
+		return false, fmt.Errorf("store: %s is closed", s.path)
 	}
 	rec, err := json.Marshal(line{Key: key, Value: buf})
 	if err != nil {
-		return fmt.Errorf("store: %w", err)
+		return false, fmt.Errorf("store: %w", err)
 	}
 	rec = append(rec, '\n')
 	if _, err := s.f.Write(rec); err != nil {
-		return fmt.Errorf("store: %w", err)
+		return false, fmt.Errorf("store: %w", err)
 	}
 	if err := s.f.Sync(); err != nil {
-		return fmt.Errorf("store: %w", err)
+		return false, fmt.Errorf("store: %w", err)
 	}
 	s.values[key] = buf
 	s.order = append(s.order, key)
 	s.appends++
-	return nil
+	return true, nil
 }
 
 // Get unmarshals the value stored under key into out, reporting whether
